@@ -1,0 +1,87 @@
+// Command dlhub-bench regenerates every table and figure of the paper's
+// evaluation (§V) on the in-process three-site testbed.
+//
+//	dlhub-bench                    # all experiments, laptop scale
+//	dlhub-bench -exp fig3,fig8     # a subset
+//	dlhub-bench -paper-scale       # the paper's full request counts
+//	dlhub-bench -scale 10          # compress injected latencies 10x
+//
+// Absolute numbers differ from the paper's testbed (PetrelKube had 448
+// cores; the models here are width-reduced — see DESIGN.md), but the
+// qualitative shapes of Figs. 3-8 are expected to hold; EXPERIMENTS.md
+// records paper-vs-measured for each.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/simconst"
+)
+
+func main() {
+	exps := flag.String("exp", "table1,table2,fig3,fig4,fig5,fig6,fig7,fig8,ablation", "comma-separated experiments to run")
+	paperScale := flag.Bool("paper-scale", false, "use the paper's full experiment sizes (slow)")
+	scale := flag.Float64("scale", 1, "divide injected environmental latencies by this factor")
+	requests := flag.Int("requests", 0, "override requests per configuration (figs 3/4/8)")
+	fig7n := flag.Int("fig7-n", 0, "override inferences per replica point (fig 7)")
+	verbose := flag.Bool("v", true, "log progress")
+	flag.Parse()
+
+	simconst.Scale = *scale
+
+	cfg := bench.Config{}
+	if *paperScale {
+		cfg = bench.PaperScale()
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	if *fig7n > 0 {
+		cfg.Fig7N = *fig7n
+	}
+	if *verbose {
+		cfg.Out = os.Stderr
+	}
+
+	type experiment struct {
+		name string
+		run  func(bench.Config) (*bench.Table, error)
+	}
+	all := []experiment{
+		{"table1", func(bench.Config) (*bench.Table, error) { return bench.Table1(), nil }},
+		{"table2", func(bench.Config) (*bench.Table, error) { return bench.Table2(), nil }},
+		{"fig3", bench.Fig3},
+		{"fig4", bench.Fig4},
+		{"fig5", bench.Fig5},
+		{"fig6", bench.Fig6},
+		{"fig7", bench.Fig7},
+		{"fig8", bench.Fig8},
+		{"ablation", bench.AblationCoalescing},
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(*exps, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+
+	start := time.Now()
+	for _, e := range all {
+		if !want[e.name] {
+			continue
+		}
+		expStart := time.Now()
+		fmt.Fprintf(os.Stderr, "--- running %s ---\n", e.name)
+		table, err := e.run(cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		table.Note("completed in %s", time.Since(expStart).Round(time.Millisecond))
+		table.Fprint(os.Stdout)
+	}
+	fmt.Fprintf(os.Stderr, "all experiments done in %s\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,81 @@
+// Command dlhub-server runs the DLHub Management Service: the REST API
+// on -http and the ZeroMQ-style task queue on -queue, to which Task
+// Managers (cmd/dlhub-taskmanager) connect.
+//
+// Example:
+//
+//	dlhub-server -http :8080 -queue :7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/queue"
+)
+
+func main() {
+	httpAddr := flag.String("http", ":8080", "REST API listen address")
+	queueAddr := flag.String("queue", ":7000", "task queue listen address")
+	snapshotDir := flag.String("snapshot", "", "repository snapshot directory (loaded on start, saved on shutdown)")
+	flag.Parse()
+
+	ms := core.New(core.Config{})
+	defer ms.Close()
+	if *snapshotDir != "" {
+		if err := ms.LoadSnapshot(*snapshotDir); err != nil {
+			if os.IsNotExist(err) {
+				log.Printf("no snapshot in %s yet; starting empty", *snapshotDir)
+			} else {
+				log.Fatalf("snapshot load: %v", err)
+			}
+		} else {
+			log.Printf("repository restored from %s", *snapshotDir)
+		}
+	}
+
+	qsrv := queue.NewServer(ms.Broker())
+	ql, err := net.Listen("tcp", *queueAddr)
+	if err != nil {
+		log.Fatalf("queue listen: %v", err)
+	}
+	go func() {
+		if err := qsrv.Serve(ql); err != nil {
+			log.Printf("queue server stopped: %v", err)
+		}
+	}()
+	defer qsrv.Close()
+
+	hl, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		log.Fatalf("http listen: %v", err)
+	}
+	srv := &http.Server{Handler: ms.Handler()}
+	go func() {
+		if err := srv.Serve(hl); err != http.ErrServerClosed {
+			log.Printf("http server stopped: %v", err)
+		}
+	}()
+	defer srv.Close()
+
+	fmt.Printf("dlhub-server: REST on %s, queue on %s\n", hl.Addr(), ql.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	if *snapshotDir != "" {
+		if err := ms.SaveSnapshot(*snapshotDir); err != nil {
+			log.Printf("snapshot save failed: %v", err)
+		} else {
+			log.Printf("repository saved to %s", *snapshotDir)
+		}
+	}
+	fmt.Println("dlhub-server: shutting down")
+}

@@ -1,0 +1,348 @@
+// Command dlhub is the Git-like CLI of §IV-E, with commands for
+// "initializing a DLHub servable in a local directory, publishing the
+// servable to DLHub, creating metadata using the toolbox, and invoking
+// the published servable with input data":
+//
+//	dlhub init -name my-model -title "My model" -author "Doe, Jane" \
+//	    -type python_function -entry mymodule:predict
+//	dlhub update -description "better docs"
+//	dlhub publish
+//	dlhub run anonymous/my-model '"some input"'
+//	dlhub ls
+//	dlhub search "formation energy"
+//	dlhub status <task-id>
+//
+// The server is selected with -server or the DLHUB_SERVER environment
+// variable.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/dlhub"
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+const stateDir = ".dlhub"
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "init":
+		err = cmdInit(args)
+	case "update":
+		err = cmdUpdate(args)
+	case "publish":
+		err = cmdPublish(args)
+	case "run":
+		err = cmdRun(args)
+	case "ls":
+		err = cmdLs(args)
+	case "search":
+		err = cmdSearch(args)
+	case "status":
+		err = cmdStatus(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "dlhub: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlhub %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: dlhub <command> [flags]
+
+commands:
+  init     initialize a servable in the current directory (.dlhub/)
+  update   modify the local servable metadata
+  publish  push the local servable to DLHub
+  run      invoke a published servable with JSON input
+  ls       list servables tracked in this directory
+  search   search the model repository
+  status   check an asynchronous task`)
+}
+
+func client(fs *flag.FlagSet) *dlhub.Client {
+	server := fs.Lookup("server").Value.String()
+	token := os.Getenv("DLHUB_TOKEN")
+	return dlhub.NewClient(server, token)
+}
+
+func serverFlag(fs *flag.FlagSet) {
+	def := os.Getenv("DLHUB_SERVER")
+	if def == "" {
+		def = "http://localhost:8080"
+	}
+	fs.String("server", def, "Management Service URL")
+}
+
+// localState is the .dlhub/metadata.json + published-ID tracking.
+type localState struct {
+	Document  schema.Document `json:"document"`
+	Published []string        `json:"published,omitempty"`
+}
+
+func loadState() (*localState, error) {
+	data, err := os.ReadFile(filepath.Join(stateDir, "metadata.json"))
+	if err != nil {
+		return nil, fmt.Errorf("no servable here — run `dlhub init` first (%w)", err)
+	}
+	var st localState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func saveState(st *localState) error {
+	if err := os.MkdirAll(stateDir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(stateDir, "metadata.json"), data, 0o644)
+}
+
+func cmdInit(args []string) error {
+	fs := flag.NewFlagSet("init", flag.ExitOnError)
+	name := fs.String("name", "", "servable name (required)")
+	title := fs.String("title", "", "human title (required)")
+	author := fs.String("author", "", "author, repeatable via commas (required)")
+	typ := fs.String("type", "python_function", "model type: keras|tensorflow|sklearn|python_function|pipeline")
+	entry := fs.String("entry", "", `entry "module:function" for python_function`)
+	fs.Parse(args) //nolint:errcheck
+
+	doc := schema.Document{
+		Publication: schema.Publication{
+			Name:    *name,
+			Title:   *title,
+			Authors: splitNonEmpty(*author),
+		},
+		Servable: schema.Servable{
+			Type:   schema.ModelType(*typ),
+			Entry:  *entry,
+			Input:  schema.DataType{Kind: "string"},
+			Output: schema.DataType{Kind: "string"},
+		},
+	}
+	if err := schema.Validate(&doc); err != nil {
+		return err
+	}
+	if err := saveState(&localState{Document: doc}); err != nil {
+		return err
+	}
+	fmt.Printf("initialized servable %q in %s/\n", *name, stateDir)
+	return nil
+}
+
+func cmdUpdate(args []string) error {
+	fs := flag.NewFlagSet("update", flag.ExitOnError)
+	description := fs.String("description", "", "new description")
+	visibleTo := fs.String("visible-to", "", "comma-separated ACL principals")
+	citation := fs.String("citation", "", "citation text")
+	fs.Parse(args) //nolint:errcheck
+
+	st, err := loadState()
+	if err != nil {
+		return err
+	}
+	if *description != "" {
+		st.Document.Publication.Description = *description
+	}
+	if *visibleTo != "" {
+		st.Document.Publication.VisibleTo = splitNonEmpty(*visibleTo)
+	}
+	if *citation != "" {
+		st.Document.Publication.Citation = *citation
+	}
+	if err := schema.Validate(&st.Document); err != nil {
+		return err
+	}
+	if err := saveState(st); err != nil {
+		return err
+	}
+	fmt.Println("metadata updated")
+	return nil
+}
+
+func cmdPublish(args []string) error {
+	fs := flag.NewFlagSet("publish", flag.ExitOnError)
+	serverFlag(fs)
+	deploy := fs.Int("deploy", 0, "also deploy N replicas after publishing")
+	fs.Parse(args) //nolint:errcheck
+
+	st, err := loadState()
+	if err != nil {
+		return err
+	}
+	// Gather model components from .dlhub/components/.
+	components := map[string][]byte{}
+	compDir := filepath.Join(stateDir, "components")
+	entries, _ := os.ReadDir(compDir)
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(compDir, e.Name()))
+		if err != nil {
+			return err
+		}
+		components[e.Name()] = data
+	}
+	servable.RegisterBuiltins()
+
+	c := client(fs)
+	id, err := c.Publish(&st.Document, components)
+	if err != nil {
+		return err
+	}
+	st.Published = appendUnique(st.Published, id)
+	if err := saveState(st); err != nil {
+		return err
+	}
+	fmt.Printf("published %s\n", id)
+	if *deploy > 0 {
+		if err := c.Deploy(id, *deploy, ""); err != nil {
+			return err
+		}
+		fmt.Printf("deployed %d replica(s)\n", *deploy)
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	serverFlag(fs)
+	async := fs.Bool("async", false, "submit asynchronously and print the task ID")
+	fs.Parse(args) //nolint:errcheck
+	rest := fs.Args()
+	if len(rest) < 2 {
+		return fmt.Errorf("usage: dlhub run [flags] <owner/name> <json-input>")
+	}
+	id := rest[0]
+	var input any
+	if err := json.Unmarshal([]byte(rest[1]), &input); err != nil {
+		return fmt.Errorf("input must be JSON: %w", err)
+	}
+	c := client(fs)
+	if *async {
+		taskID, err := c.RunAsync(id, input)
+		if err != nil {
+			return err
+		}
+		fmt.Println(taskID)
+		return nil
+	}
+	res, err := c.Run(id, input)
+	if err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(res.Output, "", "  ")
+	fmt.Println(string(out))
+	fmt.Fprintf(os.Stderr, "request=%.2fms invocation=%.2fms inference=%.2fms cached=%v\n",
+		float64(res.RequestMicros)/1000, float64(res.InvocationMicros)/1000,
+		float64(res.InferenceMicros)/1000, res.Cached)
+	return nil
+}
+
+func cmdLs(args []string) error {
+	fs := flag.NewFlagSet("ls", flag.ExitOnError)
+	fs.Parse(args) //nolint:errcheck
+	st, err := loadState()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("local servable: %s (%s)\n", st.Document.Publication.Name, st.Document.Servable.Type)
+	for _, id := range st.Published {
+		fmt.Printf("published: %s\n", id)
+	}
+	return nil
+}
+
+func cmdSearch(args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	serverFlag(fs)
+	limit := fs.Int("limit", 10, "maximum results")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: dlhub search [flags] <query>")
+	}
+	c := client(fs)
+	res, err := c.Search(fs.Arg(0), dlhub.SearchOptions{Limit: *limit})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d result(s)\n", res.Total)
+	for i, id := range res.IDs {
+		title, _ := res.Docs[i]["title"].(string)
+		fmt.Printf("  %-40s %s\n", id, title)
+	}
+	return nil
+}
+
+func cmdStatus(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	serverFlag(fs)
+	wait := fs.Duration("wait", 0, "poll until done or this timeout")
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: dlhub status [flags] <task-id>")
+	}
+	c := client(fs)
+	var (
+		st  *dlhub.TaskStatus
+		err error
+	)
+	if *wait > 0 {
+		st, err = c.WaitTask(fs.Arg(0), *wait)
+	} else {
+		st, err = c.Status(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(out))
+	return nil
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if part := s[start:i]; part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func appendUnique(list []string, v string) []string {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}

@@ -1,0 +1,240 @@
+// Package dlhub is the public SDK for this DLHub reproduction — the Go
+// analogue of the paper's Python SDK (§IV-E): "The DLHub Python SDK
+// supports programmatic interactions with DLHub. The SDK wraps DLHub's
+// REST API, providing access to all model repository and serving
+// functionality." It also includes the metadata toolbox ("programmatic
+// construction of JSON documents that specify publication and
+// model-specific metadata") and a local runner for model development
+// and testing.
+package dlhub
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/schema"
+)
+
+// Client talks to a Management Service over its REST API.
+type Client struct {
+	// BaseURL of the Management Service, e.g. "http://localhost:8080".
+	BaseURL string
+	// Token is an optional bearer token from Globus Auth.
+	Token string
+	// HTTPClient may be replaced (tests, custom transports).
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for the given Management Service.
+func NewClient(baseURL, token string) *Client {
+	return &Client{
+		BaseURL:    baseURL,
+		Token:      token,
+		HTTPClient: &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// RunResult is a synchronous invocation response.
+type RunResult struct {
+	Output  any   `json:"output"`
+	Outputs []any `json:"outputs,omitempty"`
+	Cached  bool  `json:"cached,omitempty"`
+	// Timing decomposition (§V-A): inference at the servable,
+	// invocation at the Task Manager, request at the Management
+	// Service — all in microseconds.
+	InferenceMicros  int64 `json:"inference_us"`
+	InvocationMicros int64 `json:"invocation_us"`
+	RequestMicros    int64 `json:"request_us"`
+}
+
+// TaskStatus is an asynchronous task's state.
+type TaskStatus struct {
+	ID     string     `json:"id"`
+	Status string     `json:"status"`
+	Error  string     `json:"error,omitempty"`
+	Reply  *RunResult `json:"reply,omitempty"`
+}
+
+// Publish uploads a model document plus components, returning the
+// assigned servable ID ("<owner>/<name>").
+func (c *Client) Publish(doc *schema.Document, components map[string][]byte) (string, error) {
+	var resp map[string]string
+	err := c.post("/api/publish", core.PublishRequest{
+		Document:   mustJSON(doc),
+		Components: components,
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp["id"], nil
+}
+
+// PublishPackage publishes a servable.Package.
+func (c *Client) PublishPackage(pkg *Package) (string, error) {
+	return c.Publish(pkg.Doc, pkg.Components)
+}
+
+// PublishByReference publishes a model whose components live on Globus
+// endpoints ("globus://endpoint/path"); the Management Service
+// downloads them on the caller's behalf (§IV-A).
+func (c *Client) PublishByReference(doc *schema.Document, refs map[string]string) (string, error) {
+	var resp map[string]string
+	err := c.post("/api/publish", core.PublishRequest{
+		Document:      mustJSON(doc),
+		ComponentRefs: refs,
+	}, &resp)
+	if err != nil {
+		return "", err
+	}
+	return resp["id"], nil
+}
+
+// Get fetches a servable's metadata document.
+func (c *Client) Get(id string) (*schema.Document, error) {
+	var doc schema.Document
+	if err := c.get("/api/servables/"+id, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+// Dockerfile fetches the rendered build recipe for a servable.
+func (c *Client) Dockerfile(id string) (string, error) {
+	var resp map[string]string
+	if err := c.get("/api/servables/"+id+"/dockerfile", &resp); err != nil {
+		return "", err
+	}
+	return resp["dockerfile"], nil
+}
+
+// List returns the IDs of all servables visible to the caller.
+func (c *Client) List() ([]string, error) {
+	var resp struct {
+		Servables []string `json:"servables"`
+	}
+	if err := c.get("/api/servables", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Servables, nil
+}
+
+// SearchOptions refine a search.
+type SearchOptions struct {
+	Terms            map[string]string
+	Prefix           map[string]string
+	YearMin, YearMax *float64
+	Facets           []string
+	Limit            int
+}
+
+// SearchResult is a search response.
+type SearchResult = core.SearchResponse
+
+// Search runs a free-text + fielded query over the repository.
+func (c *Client) Search(freeText string, opts SearchOptions) (*SearchResult, error) {
+	req := core.SearchRequest{
+		Q:       freeText,
+		Terms:   opts.Terms,
+		Prefix:  opts.Prefix,
+		YearMin: opts.YearMin,
+		YearMax: opts.YearMax,
+		Facets:  opts.Facets,
+		Limit:   opts.Limit,
+	}
+	var resp SearchResult
+	if err := c.post("/api/search", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Run synchronously invokes a servable.
+func (c *Client) Run(id string, input any) (*RunResult, error) {
+	var resp RunResult
+	if err := c.post("/api/run/"+id, core.RunRequest{Input: input}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RunBatch synchronously invokes a servable on many inputs at once
+// (DLHub's batching support, §V-B3).
+func (c *Client) RunBatch(id string, inputs []any) (*RunResult, error) {
+	var resp RunResult
+	if err := c.post("/api/run/"+id, core.RunRequest{Inputs: inputs}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// RunAsync starts an asynchronous invocation, returning a task UUID for
+// Status polling (§IV-A).
+func (c *Client) RunAsync(id string, input any) (string, error) {
+	var resp map[string]string
+	if err := c.post("/api/run/"+id, core.RunRequest{Input: input, Async: true}, &resp); err != nil {
+		return "", err
+	}
+	return resp["task_id"], nil
+}
+
+// Status polls an asynchronous task.
+func (c *Client) Status(taskID string) (*TaskStatus, error) {
+	var resp TaskStatus
+	if err := c.get("/api/status/"+taskID, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// WaitTask polls until the task completes or the timeout elapses.
+func (c *Client) WaitTask(taskID string, timeout time.Duration) (*TaskStatus, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(taskID)
+		if err != nil {
+			return nil, err
+		}
+		if st.Status != "pending" {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("dlhub: task %s still pending after %v", taskID, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Deploy starts replicas of a published servable on an executor route
+// ("" selects the default Parsl executor).
+func (c *Client) Deploy(id string, replicas int, executorRoute string) error {
+	return c.post("/api/deploy/"+id, core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil)
+}
+
+// Scale adjusts the replica count of a deployed servable.
+func (c *Client) Scale(id string, replicas int, executorRoute string) error {
+	return c.post("/api/scale/"+id, core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil)
+}
+
+// UpdateVisibility replaces the ACL principal list of a servable — how
+// CANDLE models move from group-restricted to public (§VI-A).
+func (c *Client) UpdateVisibility(id string, visibleTo []string) error {
+	return c.post("/api/servables/"+id+"/update", core.UpdateRequest{VisibleTo: visibleTo}, nil)
+}
+
+// UpdateDescription replaces a servable's description.
+func (c *Client) UpdateDescription(id, description string) error {
+	return c.post("/api/servables/"+id+"/update", core.UpdateRequest{Description: &description}, nil)
+}
+
+// TaskManagers lists the Task Managers registered with the service.
+func (c *Client) TaskManagers() ([]string, error) {
+	var resp struct {
+		TaskManagers []string `json:"task_managers"`
+	}
+	if err := c.get("/api/tms", &resp); err != nil {
+		return nil, err
+	}
+	return resp.TaskManagers, nil
+}

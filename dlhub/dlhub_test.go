@@ -1,0 +1,213 @@
+package dlhub_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"net/http/httptest"
+
+	"repro/dlhub"
+	"repro/internal/bench"
+	"repro/internal/ml/nn"
+	"repro/internal/servable"
+	"repro/internal/simconst"
+)
+
+func init() {
+	simconst.Scale = 1000
+}
+
+// startService assembles a testbed and exposes it over HTTP.
+func startService(t *testing.T) *dlhub.Client {
+	t.Helper()
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	srv := httptest.NewServer(tb.MS.Handler())
+	t.Cleanup(srv.Close)
+	c := dlhub.NewClient(srv.URL, "")
+	c.HTTPClient = srv.Client()
+	return c
+}
+
+func TestToolboxBuildsValidPackages(t *testing.T) {
+	servable.RegisterBuiltins()
+	pkg, err := dlhub.DescribePythonStaticMethod("hello", "Hello function", "noop:hello").
+		WithAuthors("Chard, Ryan").
+		WithDescription("returns hello world").
+		WithDomains("testing").
+		VisibleTo("public").
+		WithIdentifier("10.5555/dlhub-hello").
+		WithCitation("@article{dlhub2019}").
+		WithLicense("Apache-2.0").
+		WithYear(2019).
+		WithInput("string", nil, "ignored").
+		WithOutput("string", "greeting").
+		WithHyperparameter("epochs", 10).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Doc.Publication.Identifier != "10.5555/dlhub-hello" {
+		t.Fatal("builder lost identifier")
+	}
+
+	// Invalid: no authors.
+	_, err = dlhub.DescribePythonStaticMethod("x", "X", "noop:hello").Build()
+	if err == nil {
+		t.Fatal("missing authors should fail validation")
+	}
+}
+
+func TestToolboxKerasBuilder(t *testing.T) {
+	model, err := nn.Encode(nn.NewCIFAR10(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := dlhub.DescribeKerasModel("cifar10", "CIFAR-10", model).
+		WithAuthors("Krizhevsky, Alex").
+		WithInput("ndarray", []int{32, 32, 3}, "image").
+		WithOutput("list", "top-5").
+		WithDependency("keras", "2.2.4").
+		VisibleTo("public").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Components["model"]) == 0 {
+		t.Fatal("model bytes missing")
+	}
+}
+
+func TestLocalRunner(t *testing.T) {
+	servable.RegisterBuiltins()
+	pkg, err := dlhub.DescribePythonStaticMethod("parse", "Parser", "pymatgen:parse_composition").
+		WithAuthors("Ward, Logan").
+		WithInput("string", nil, "formula").
+		WithOutput("dict", "fractions").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := dlhub.NewLocalRunner(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	out, err := r.Run("H2O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := out.(map[string]any); len(m) != 2 {
+		t.Fatalf("H2O should parse to 2 elements: %v", m)
+	}
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	c := startService(t)
+
+	// Publish via toolbox + client.
+	pkg, err := dlhub.DescribePythonStaticMethod("noop", "Noop", "noop:hello").
+		WithAuthors("DLHub Team").
+		WithDescription("baseline hello world task").
+		VisibleTo("public").
+		WithInput("string", nil, "").
+		WithOutput("string", "").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	servable.RegisterBuiltins()
+	id, err := c.PublishPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Discover.
+	ids, err := c.List()
+	if err != nil || len(ids) != 1 || ids[0] != id {
+		t.Fatalf("list wrong: %v %v", ids, err)
+	}
+	res, err := c.Search("baseline hello", dlhub.SearchOptions{})
+	if err != nil || res.Total != 1 {
+		t.Fatalf("search wrong: %+v %v", res, err)
+	}
+	doc, err := c.Get(id)
+	if err != nil || doc.Publication.Name != "noop" {
+		t.Fatalf("get wrong: %+v %v", doc, err)
+	}
+	df, err := c.Dockerfile(id)
+	if err != nil || !strings.Contains(df, "FROM") {
+		t.Fatalf("dockerfile wrong: %q %v", df, err)
+	}
+
+	// Deploy + run.
+	if err := c.Deploy(id, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	run, err := c.Run(id, "hi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Output != "hello world" || run.RequestMicros <= 0 {
+		t.Fatalf("run wrong: %+v", run)
+	}
+
+	// Scale.
+	if err := c.Scale(id, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch.
+	batch, err := c.RunBatch(id, []any{"a", "b", "c"})
+	if err != nil || len(batch.Outputs) != 3 {
+		t.Fatalf("batch wrong: %+v %v", batch, err)
+	}
+
+	// Async.
+	taskID, err := c.RunAsync(id, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.WaitTask(taskID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "completed" || st.Reply.Output != "hello world" {
+		t.Fatalf("async wrong: %+v", st)
+	}
+
+	// Metadata update.
+	if err := c.UpdateDescription(id, "updated description"); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ = c.Get(id)
+	if doc.Publication.Description != "updated description" {
+		t.Fatal("description not updated")
+	}
+
+	// TMs visible.
+	tms, err := c.TaskManagers()
+	if err != nil || len(tms) != 1 {
+		t.Fatalf("tms wrong: %v %v", tms, err)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	c := startService(t)
+	if _, err := c.Get("ghost/model"); err == nil {
+		t.Fatal("missing servable should error")
+	}
+	var notFound error = errors.New("")
+	_ = notFound
+	if _, err := c.Run("ghost/model", 1); err == nil || !strings.Contains(err.Error(), "404") && !strings.Contains(err.Error(), "not found") {
+		t.Fatalf("run on missing servable: %v", err)
+	}
+	if _, err := c.Status("nope"); err == nil {
+		t.Fatal("missing task should error")
+	}
+}

@@ -1,0 +1,289 @@
+package dlhub
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+// This file is the metadata toolbox of §IV-E: "The DLHub toolbox
+// supports programmatic construction of JSON documents that specify
+// publication and model-specific metadata that complies with
+// DLHub-required schemas." Builders mirror the Python SDK's model
+// description classes (KerasModel, PythonStaticMethod, ...).
+
+// Package pairs a metadata document with uploaded model components.
+type Package = servable.Package
+
+// ModelBuilder assembles a publication document fluently.
+type ModelBuilder struct {
+	doc        schema.Document
+	components map[string][]byte
+	err        error
+}
+
+// DescribeKerasModel starts a Keras model description from serialized
+// model bytes (the "model" component).
+func DescribeKerasModel(name, title string, model []byte) *ModelBuilder {
+	b := newBuilder(name, title, schema.TypeKeras)
+	b.components["model"] = model
+	b.doc.Servable.ModelComponents = map[string]string{"model": name + ".h5"}
+	return b
+}
+
+// DescribeTensorFlowModel starts a TensorFlow model description.
+func DescribeTensorFlowModel(name, title string, model []byte) *ModelBuilder {
+	b := newBuilder(name, title, schema.TypeTensorFlow)
+	b.components["model"] = model
+	b.doc.Servable.ModelComponents = map[string]string{"model": name + ".pb"}
+	return b
+}
+
+// DescribeSklearnModel starts a scikit-learn model description.
+func DescribeSklearnModel(name, title string, model []byte) *ModelBuilder {
+	b := newBuilder(name, title, schema.TypeScikitLearn)
+	b.components["model"] = model
+	b.doc.Servable.ModelComponents = map[string]string{"model": name + ".pkl"}
+	return b
+}
+
+// DescribePythonStaticMethod starts a description of an arbitrary
+// Python function ("module:function"), DLHub's most general servable.
+func DescribePythonStaticMethod(name, title, entry string) *ModelBuilder {
+	b := newBuilder(name, title, schema.TypePythonFunction)
+	b.doc.Servable.Entry = entry
+	return b
+}
+
+// DescribePipeline starts a multi-step pipeline description (§VI-D).
+func DescribePipeline(name, title string, steps ...string) *ModelBuilder {
+	b := newBuilder(name, title, schema.TypePipeline)
+	b.doc.Servable.Steps = steps
+	return b
+}
+
+func newBuilder(name, title string, t schema.ModelType) *ModelBuilder {
+	return &ModelBuilder{
+		doc: schema.Document{
+			Publication: schema.Publication{Name: name, Title: title},
+			Servable:    schema.Servable{Type: t},
+		},
+		components: map[string][]byte{},
+	}
+}
+
+// WithAuthors sets the author list.
+func (b *ModelBuilder) WithAuthors(authors ...string) *ModelBuilder {
+	b.doc.Publication.Authors = authors
+	return b
+}
+
+// WithDescription sets the free-text description.
+func (b *ModelBuilder) WithDescription(d string) *ModelBuilder {
+	b.doc.Publication.Description = d
+	return b
+}
+
+// WithDomains tags the scientific domains.
+func (b *ModelBuilder) WithDomains(domains ...string) *ModelBuilder {
+	b.doc.Publication.Domains = domains
+	return b
+}
+
+// VisibleTo sets the ACL principal list ("public", identity URNs,
+// group URNs).
+func (b *ModelBuilder) VisibleTo(principals ...string) *ModelBuilder {
+	b.doc.Publication.VisibleTo = principals
+	return b
+}
+
+// WithIdentifier attaches a persistent identifier (BYO DOI).
+func (b *ModelBuilder) WithIdentifier(doi string) *ModelBuilder {
+	b.doc.Publication.Identifier = doi
+	return b
+}
+
+// WithCitation attaches citation text or BibTeX.
+func (b *ModelBuilder) WithCitation(cite string) *ModelBuilder {
+	b.doc.Publication.Citation = cite
+	return b
+}
+
+// WithLicense sets the license identifier.
+func (b *ModelBuilder) WithLicense(l string) *ModelBuilder {
+	b.doc.Publication.License = l
+	return b
+}
+
+// WithYear sets the publication year.
+func (b *ModelBuilder) WithYear(y int) *ModelBuilder {
+	b.doc.Publication.Year = y
+	return b
+}
+
+// WithRelatedDatasets links training/test datasets.
+func (b *ModelBuilder) WithRelatedDatasets(urls ...string) *ModelBuilder {
+	b.doc.Publication.RelatedDatasets = urls
+	return b
+}
+
+// WithDependency pins a package dependency baked into the servable
+// container.
+func (b *ModelBuilder) WithDependency(pkg, version string) *ModelBuilder {
+	if b.doc.Servable.Dependencies == nil {
+		b.doc.Servable.Dependencies = map[string]string{}
+	}
+	b.doc.Servable.Dependencies[pkg] = version
+	return b
+}
+
+// WithInput declares the input type of the standard run interface.
+func (b *ModelBuilder) WithInput(kind string, shape []int, description string) *ModelBuilder {
+	b.doc.Servable.Input = schema.DataType{Kind: kind, Shape: shape, Description: description}
+	return b
+}
+
+// WithOutput declares the output type.
+func (b *ModelBuilder) WithOutput(kind string, description string) *ModelBuilder {
+	b.doc.Servable.Output = schema.DataType{Kind: kind, Description: description}
+	return b
+}
+
+// WithComponent attaches an extra uploaded artifact (weights, vocab...).
+func (b *ModelBuilder) WithComponent(name string, data []byte) *ModelBuilder {
+	b.components[name] = data
+	if b.doc.Servable.ModelComponents == nil {
+		b.doc.Servable.ModelComponents = map[string]string{}
+	}
+	b.doc.Servable.ModelComponents[name] = name
+	return b
+}
+
+// WithHyperparameter records a training hyperparameter.
+func (b *ModelBuilder) WithHyperparameter(name string, value any) *ModelBuilder {
+	if b.doc.Servable.Hyperparameters == nil {
+		b.doc.Servable.Hyperparameters = map[string]json.RawMessage{}
+	}
+	data, err := json.Marshal(value)
+	if err != nil {
+		b.err = fmt.Errorf("dlhub: hyperparameter %s: %w", name, err)
+		return b
+	}
+	b.doc.Servable.Hyperparameters[name] = data
+	return b
+}
+
+// Build validates and returns the package.
+func (b *ModelBuilder) Build() (*Package, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := schema.Validate(&b.doc); err != nil {
+		return nil, err
+	}
+	doc := b.doc // copy
+	return &Package{Doc: &doc, Components: b.components}, nil
+}
+
+// --- local runner -------------------------------------------------------------
+
+// LocalRunner executes a servable package locally, without any DLHub
+// service — "functionality to execute DLHub models locally ... useful
+// for model development and testing" (§IV-E).
+type LocalRunner struct {
+	sv *servable.Servable
+}
+
+// NewLocalRunner loads a package for local execution (native host).
+func NewLocalRunner(pkg *Package) (*LocalRunner, error) {
+	doc := *pkg.Doc
+	if doc.ID == "" {
+		doc.ID = "local/" + doc.Publication.Name
+	}
+	sv, err := servable.Load(&doc, pkg.Components, false)
+	if err != nil {
+		return nil, err
+	}
+	return &LocalRunner{sv: sv}, nil
+}
+
+// Run executes the servable on one input.
+func (r *LocalRunner) Run(input any) (any, error) { return r.sv.Run(input) }
+
+// Close releases resources.
+func (r *LocalRunner) Close() { r.sv.Close() }
+
+// --- shared client plumbing -----------------------------------------------------
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	c.addAuth(req)
+	return c.do(req, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	req, err := http.NewRequest(http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	c.addAuth(req)
+	return c.do(req, out)
+}
+
+func (c *Client) addAuth(req *http.Request) {
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var env struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(buf.Bytes(), &env) == nil && env.Error != "" {
+			return fmt.Errorf("dlhub: %s (http %d)", env.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("dlhub: http %d: %s", resp.StatusCode, bytes.TrimSpace(buf.Bytes()))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(buf.Bytes(), out)
+}
+
+func mustJSON(v any) json.RawMessage {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err) // documents are always marshalable structs
+	}
+	return data
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one reproduced table or figure's data, printed as the rows /
+// series the paper reports.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a caption note.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Table1 reproduces Table I: "Model repositories compared and
+// contrasted." The DLHub column states what this reproduction
+// implements; the others restate the paper's survey.
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table I: Model repositories compared and contrasted (BYO = bring your own)",
+		Headers: []string{"Dimension", "ModelHub", "Caffe Zoo", "ModelHub.ai", "Kipoi", "DLHub"},
+	}
+	t.Add("Publication method", "BYO", "BYO", "Curated", "Curated", "BYO")
+	t.Add("Domain(s) supported", "General", "General", "Medical", "Genomics", "General")
+	t.Add("Datasets included", "Yes", "Yes", "No", "No", "Yes")
+	t.Add("Metadata type", "Ad hoc", "Ad hoc", "Ad hoc", "Structured", "Structured")
+	t.Add("Search capabilities", "SQL", "None", "Web GUI", "Web GUI", "Elasticsearch")
+	t.Add("Identifiers supported", "No", "BYO", "No", "BYO", "BYO")
+	t.Add("Versioning supported", "Yes", "No", "No", "Yes", "Yes")
+	t.Add("Export method", "Git", "Git", "Git/Docker", "Git/Docker", "Docker")
+	t.Note("DLHub column verified against this reproduction: schema-validated publication (internal/schema),")
+	t.Note("free-text/prefix/range/facet search with ACLs (internal/search), BYO DOIs and versioning")
+	t.Note("(internal/core repository), container export (internal/container).")
+	return t
+}
+
+// Table2 reproduces Table II: "Serving systems compared and contrasted."
+func Table2() *Table {
+	t := &Table{
+		Title:   "Table II: Serving systems compared and contrasted (K8s = Kubernetes)",
+		Headers: []string{"Dimension", "PennAI", "TF Serving", "Clipper", "SageMaker", "DLHub"},
+	}
+	t.Add("Service model", "Hosted", "Self-service", "Self-service", "Hosted", "Hosted")
+	t.Add("Model types", "Limited", "TF Servables", "General", "General", "General")
+	t.Add("Input types supported", "Unknown", "Primitives, Files", "Primitives", "Structured, Files", "Structured, Files")
+	t.Add("Training supported", "Yes", "No", "No", "Yes", "No")
+	t.Add("Transformations", "No", "Yes", "No", "No", "Yes")
+	t.Add("Workflows", "No", "No", "No", "No", "Yes")
+	t.Add("Invocation interface", "Web GUI", "gRPC, REST", "gRPC, REST", "gRPC, REST", "API, REST")
+	t.Add("Execution environment", "Cloud", "Docker, K8s, Cloud", "Docker, K8s", "Cloud, Docker", "K8s, Docker, Singularity, Cloud")
+	t.Note("TF Serving, Clipper and SageMaker rows correspond to the comparators implemented in")
+	t.Note("internal/tfserving, internal/clipper and internal/sagemaker; the DLHub row to internal/core")
+	t.Note("(transformations = python_function servables, workflows = pipeline servables).")
+	return t
+}

@@ -1,0 +1,185 @@
+// Package bench assembles the paper's three-site deployment (§V-A) in
+// one process and implements every experiment of the evaluation
+// section. The testbed wires together: the Management Service ("on an
+// Amazon EC2 instance"), its queue broker, one or more Task Managers
+// ("on a co-located cluster, Cooley"), and the PetrelKube-like
+// Kubernetes cluster running servable pods — with netsim-shaped links
+// carrying the paper's measured RTTs between the sites.
+package bench
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/clipper"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/executor"
+	"repro/internal/k8s"
+	"repro/internal/netsim"
+	"repro/internal/queue"
+	"repro/internal/sagemaker"
+	"repro/internal/servable"
+	"repro/internal/simconst"
+	"repro/internal/taskmanager"
+	"repro/internal/tfserving"
+)
+
+// Options configures a Testbed.
+type Options struct {
+	// Nodes in the Kubernetes cluster (default 14, as PetrelKube).
+	Nodes int
+	// WAN applies the paper's measured RTTs between MS and TM. When
+	// false the queue is in-process (unit-test mode).
+	WAN bool
+	// Memoize enables the TM cache at startup.
+	Memoize bool
+	// Executors beyond "parsl" to install: "tfserving-grpc",
+	// "tfserving-rest", "sagemaker", "clipper".
+	Executors []string
+	// Auth enables authentication on the Management Service.
+	Auth *auth.Service
+	// RunScope is required when Auth is set.
+	RunScope string
+}
+
+// Testbed is an assembled deployment.
+type Testbed struct {
+	MS      *core.Service
+	TM      *taskmanager.TM
+	Cluster *k8s.Cluster
+	Runtime *container.Runtime
+	Clipper *clipper.System
+
+	queueSrv    *queue.Server
+	queueClient *queue.Client
+	execs       map[string]executor.Executor
+}
+
+// NewTestbed assembles a deployment per opts.
+func NewTestbed(opts Options) (*Testbed, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 14
+	}
+	tb := &Testbed{execs: make(map[string]executor.Executor)}
+
+	// Site 3: the Kubernetes cluster.
+	registry := container.NewRegistry()
+	builder := container.NewBuilder(registry)
+	tb.Runtime = container.NewRuntime(registry)
+	tb.Runtime.RegisterProcess("dlhub-ipp-engine", executor.NewPodProcessFactory(true))
+	tb.Runtime.RegisterProcess(tfserving.Entrypoint, tfserving.NewProcessFactory())
+	tb.Runtime.RegisterProcess(sagemaker.Entrypoint, sagemaker.NewProcessFactory())
+	tb.Cluster = k8s.NewCluster(tb.Runtime, opts.Nodes, k8s.Resources{MilliCPU: 32000, MemMB: 128 * 1024})
+
+	// TM <-> cluster link (0.17 ms RTT, 40GbE).
+	tmClusterLink := netsim.RTT(simconst.D(simconst.RTTTMToCluster), simconst.LinkBandwidth)
+
+	// Executors at the TM site.
+	tb.execs["parsl"] = executor.NewParsl(tb.Cluster, builder, tmClusterLink)
+	for _, name := range opts.Executors {
+		switch name {
+		case "tfserving-grpc":
+			tb.execs[name] = tfserving.New(tb.Cluster, builder, tmClusterLink, tfserving.GRPC)
+		case "tfserving-rest":
+			tb.execs[name] = tfserving.New(tb.Cluster, builder, tmClusterLink, tfserving.REST)
+		case "sagemaker":
+			tb.execs[name] = sagemaker.New(tb.Cluster, builder, tmClusterLink)
+		case "clipper":
+			sys, err := clipper.New(tb.Cluster, builder, tb.Runtime, tmClusterLink)
+			if err != nil {
+				return nil, fmt.Errorf("bench: clipper: %w", err)
+			}
+			tb.Clipper = sys
+			tb.execs[name] = sys
+		default:
+			return nil, fmt.Errorf("bench: unknown executor %q", name)
+		}
+	}
+
+	// Site 1: the Management Service and its broker.
+	tb.MS = core.New(core.Config{
+		Auth:     opts.Auth,
+		RunScope: opts.RunScope,
+		Registry: registry,
+	})
+
+	// Site 2: the Task Manager, connected over the WAN or in-process.
+	var q taskmanager.QueueAPI
+	if opts.WAN {
+		tb.queueSrv = queue.NewServer(tb.MS.Broker())
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		// Shape BOTH ends so a request/reply exchange pays the full
+		// measured 20.7 ms RTT (each end delays its outbound leg by
+		// half the RTT).
+		wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
+		go tb.queueSrv.Serve(netsim.NewListener(l, wan)) //nolint:errcheck
+		conn, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			return nil, err
+		}
+		tb.queueClient = queue.NewClient(netsim.Wrap(conn, wan))
+		q = tb.queueClient
+	} else {
+		q = taskmanager.BrokerAdapter{B: tb.MS.Broker()}
+	}
+
+	tm, err := taskmanager.New(taskmanager.Config{
+		ID:        "cooley-tm-1",
+		Queue:     q,
+		Executors: tb.execs,
+		Memoize:   opts.Memoize,
+		Pullers:   8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.TM = tm
+	if err := tb.MS.WaitForTM(1, 10*time.Second); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// Close tears the deployment down.
+func (tb *Testbed) Close() {
+	if tb.TM != nil {
+		tb.TM.Close() // closes executors too
+	}
+	if tb.queueClient != nil {
+		tb.queueClient.Close()
+	}
+	if tb.queueSrv != nil {
+		tb.queueSrv.Close()
+	}
+	if tb.MS != nil {
+		tb.MS.Close()
+	}
+}
+
+// PublishPaperServables publishes and deploys the six §V-A servables on
+// the parsl executor with the given replica count, returning their
+// published IDs keyed by short name.
+func (tb *Testbed) PublishPaperServables(caller core.Caller, replicas int, seed int64) (map[string]string, error) {
+	pkgs, err := servable.PaperServables(seed)
+	if err != nil {
+		return nil, err
+	}
+	ids := make(map[string]string, len(pkgs))
+	for name, pkg := range pkgs {
+		id, err := tb.MS.Publish(caller, pkg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: publish %s: %w", name, err)
+		}
+		if err := tb.MS.Deploy(caller, id, replicas, "parsl"); err != nil {
+			return nil, fmt.Errorf("bench: deploy %s: %w", name, err)
+		}
+		ids[name] = id
+	}
+	return ids, nil
+}

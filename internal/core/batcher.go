@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/taskmanager"
+)
+
+// Adaptive request coalescing implements the paper's stated future work
+// (§V-B3): "we intend to use such servable profiles to design adaptive
+// batching algorithms that intelligently distribute serving requests to
+// reduce latency."
+//
+// When coalescing is enabled for a servable, individual synchronous
+// requests are held briefly and flushed to the Task Manager as one
+// batch task when either the batch fills or the adaptive hold window
+// expires. The hold window follows a per-servable profile — an EWMA of
+// observed per-item service time — so cheap servables flush almost
+// immediately (their latency budget is small) while expensive servables
+// wait longer to amortize dispatch and WAN costs over more requests.
+
+// BatchPolicy configures coalescing for one servable.
+type BatchPolicy struct {
+	// MaxBatch flushes when this many requests are pending (default 32).
+	MaxBatch int
+	// MaxDelay bounds the hold window (default 20ms).
+	MaxDelay time.Duration
+	// Adaptive scales the hold window with the servable's observed
+	// per-item service time; false holds for MaxDelay always.
+	Adaptive bool
+}
+
+func (p BatchPolicy) withDefaults() BatchPolicy {
+	if p.MaxBatch <= 0 {
+		p.MaxBatch = 32
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 20 * time.Millisecond
+	}
+	return p
+}
+
+type pendingReq struct {
+	input any
+	done  chan coalesceOutcome
+}
+
+type coalesceOutcome struct {
+	output any
+	reply  taskmanager.Reply
+	err    error
+}
+
+// batcher coalesces requests for one servable.
+type batcher struct {
+	svc      *Service
+	servable string
+	policy   BatchPolicy
+
+	mu      sync.Mutex
+	pending []*pendingReq
+	timer   *time.Timer
+	// profileUS is the EWMA of per-item service time in microseconds.
+	profileUS float64
+	flushes   uint64
+	items     uint64
+}
+
+// EnableCoalescing turns adaptive batching on for a servable.
+func (s *Service) EnableCoalescing(servableID string, policy BatchPolicy) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if s.batchers == nil {
+		s.batchers = make(map[string]*batcher)
+	}
+	s.batchers[servableID] = &batcher{svc: s, servable: servableID, policy: policy.withDefaults()}
+}
+
+// DisableCoalescing removes a servable's batcher (pending requests
+// still flush).
+func (s *Service) DisableCoalescing(servableID string) {
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+	if b := s.batchers[servableID]; b != nil {
+		go b.flush()
+	}
+	delete(s.batchers, servableID)
+}
+
+// CoalescingStats reports (flushes, items) for a servable's batcher.
+func (s *Service) CoalescingStats(servableID string) (uint64, uint64) {
+	s.batchMu.Lock()
+	b := s.batchers[servableID]
+	s.batchMu.Unlock()
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.flushes, b.items
+}
+
+// RunCoalesced invokes a servable through its batcher; with no batcher
+// enabled it falls back to a plain Run. Visibility is enforced before
+// enqueueing.
+func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
+	if _, err := s.Get(caller, servableID); err != nil {
+		return RunResult{}, err
+	}
+	s.batchMu.Lock()
+	b := s.batchers[servableID]
+	s.batchMu.Unlock()
+	if b == nil {
+		return s.Run(caller, servableID, input, opts)
+	}
+	start := time.Now()
+	req := &pendingReq{input: input, done: make(chan coalesceOutcome, 1)}
+	b.enqueue(req)
+
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.TaskTimeout
+	}
+	select {
+	case out := <-req.done:
+		if out.err != nil {
+			return RunResult{}, out.err
+		}
+		res := RunResult{Reply: out.reply, RequestMicros: time.Since(start).Microseconds()}
+		res.Output = out.output
+		res.Outputs = nil
+		return res, nil
+	case <-time.After(timeout):
+		return RunResult{}, fmt.Errorf("%w after %v (coalesced)", ErrTimeout, timeout)
+	}
+}
+
+// enqueue adds a request, arming the flush timer or flushing on a full
+// batch.
+func (b *batcher) enqueue(req *pendingReq) {
+	b.mu.Lock()
+	b.pending = append(b.pending, req)
+	if len(b.pending) >= b.policy.MaxBatch {
+		pend := b.take()
+		b.mu.Unlock()
+		go b.dispatch(pend)
+		return
+	}
+	if b.timer == nil {
+		delay := b.holdWindow()
+		b.timer = time.AfterFunc(delay, b.flush)
+	}
+	b.mu.Unlock()
+}
+
+// holdWindow computes the adaptive delay from the servable profile.
+// Callers hold b.mu.
+func (b *batcher) holdWindow() time.Duration {
+	if !b.policy.Adaptive || b.profileUS == 0 {
+		return b.policy.MaxDelay
+	}
+	// Hold for ~2x the per-item service time: cheap servables flush
+	// fast, expensive ones accumulate more amortization.
+	d := time.Duration(2 * b.profileUS * float64(time.Microsecond))
+	if d < 200*time.Microsecond {
+		d = 200 * time.Microsecond
+	}
+	if d > b.policy.MaxDelay {
+		d = b.policy.MaxDelay
+	}
+	return d
+}
+
+// take drains pending and disarms the timer. Callers hold b.mu.
+func (b *batcher) take() []*pendingReq {
+	pend := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	return pend
+}
+
+func (b *batcher) flush() {
+	b.mu.Lock()
+	pend := b.take()
+	b.mu.Unlock()
+	if len(pend) > 0 {
+		b.dispatch(pend)
+	}
+}
+
+// dispatch sends one coalesced batch task and distributes results.
+func (b *batcher) dispatch(pend []*pendingReq) {
+	inputs := make([]any, len(pend))
+	for i, r := range pend {
+		inputs[i] = r.input
+	}
+	task := taskmanager.Task{
+		ID:       queue.NewID(),
+		Kind:     "run_batch",
+		Servable: b.servable,
+		Inputs:   inputs,
+		NoMemo:   true,
+	}
+	start := time.Now()
+	res, err := b.svc.dispatch(task, RunOptions{})
+	if err != nil {
+		for _, r := range pend {
+			r.done <- coalesceOutcome{err: err}
+		}
+		return
+	}
+	// Update the servable profile (per-item wall time for this batch).
+	perItemUS := float64(time.Since(start).Microseconds()) / float64(len(pend))
+	b.mu.Lock()
+	if b.profileUS == 0 {
+		b.profileUS = perItemUS
+	} else {
+		b.profileUS = 0.8*b.profileUS + 0.2*perItemUS
+	}
+	b.flushes++
+	b.items += uint64(len(pend))
+	b.mu.Unlock()
+
+	if len(res.Outputs) != len(pend) {
+		err := fmt.Errorf("core: coalesced batch returned %d outputs for %d requests", len(res.Outputs), len(pend))
+		for _, r := range pend {
+			r.done <- coalesceOutcome{err: err}
+		}
+		return
+	}
+	for i, r := range pend {
+		reply := res.Reply
+		reply.Outputs = nil
+		r.done <- coalesceOutcome{output: res.Outputs[i], reply: reply}
+	}
+}

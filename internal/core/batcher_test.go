@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/servable"
+)
+
+func coalescingTB(t *testing.T) (*bench.Testbed, string) {
+	t.Helper()
+	tb := newTB(t, bench.Options{})
+	id, err := tb.MS.Publish(core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(core.Anonymous, id, 2, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	return tb, id
+}
+
+func TestCoalescingFallsBackWithoutPolicy(t *testing.T) {
+	tb, id := coalescingTB(t)
+	res, err := tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Output.(map[string]any); len(m) != 2 {
+		t.Fatalf("fallback run wrong: %v", res.Output)
+	}
+	if f, items := tb.MS.CoalescingStats(id); f != 0 || items != 0 {
+		t.Fatal("no batcher should mean no stats")
+	}
+}
+
+func TestCoalescingGroupsConcurrentRequests(t *testing.T) {
+	tb, id := coalescingTB(t)
+	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 16, MaxDelay: 50 * time.Millisecond})
+
+	const n = 16
+	formulas := []string{"NaCl", "SiO2", "Fe2O3", "MgO"}
+	var wg sync.WaitGroup
+	outs := make([]map[string]any, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := tb.MS.RunCoalesced(core.Anonymous, id, formulas[i%len(formulas)], core.RunOptions{})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			m, ok := res.Output.(map[string]any)
+			if !ok {
+				errs[i] = fmt.Errorf("bad output %T", res.Output)
+				return
+			}
+			outs[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Each caller got the answer for ITS OWN input.
+	for i, m := range outs {
+		switch formulas[i%len(formulas)] {
+		case "NaCl":
+			if _, ok := m["Na"]; !ok {
+				t.Fatalf("request %d got someone else's result: %v", i, m)
+			}
+		case "SiO2":
+			if _, ok := m["Si"]; !ok {
+				t.Fatalf("request %d got someone else's result: %v", i, m)
+			}
+		}
+	}
+	flushes, items := tb.MS.CoalescingStats(id)
+	if items != n {
+		t.Fatalf("want %d coalesced items, got %d", n, items)
+	}
+	if flushes >= n {
+		t.Fatalf("requests were not coalesced: %d flushes for %d items", flushes, n)
+	}
+}
+
+func TestCoalescingFlushesOnTimer(t *testing.T) {
+	tb, id := coalescingTB(t)
+	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 1000, MaxDelay: 10 * time.Millisecond})
+	// A single request must not wait for a full batch.
+	start := time.Now()
+	res, err := tb.MS.RunCoalesced(core.Anonymous, id, "MgO", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timer flush too slow: %v", elapsed)
+	}
+	if m := res.Output.(map[string]any); len(m) != 2 {
+		t.Fatalf("wrong output: %v", res.Output)
+	}
+}
+
+func TestCoalescingFullBatchFlushesEarly(t *testing.T) {
+	tb, id := coalescingTB(t)
+	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 4, MaxDelay: 10 * time.Second})
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{}) //nolint:errcheck
+		}()
+	}
+	wg.Wait()
+	// With MaxDelay 10s, completing fast proves the size trigger fired.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("full batch should flush immediately, took %v", elapsed)
+	}
+}
+
+func TestCoalescingAdaptiveProfileLearns(t *testing.T) {
+	tb, id := coalescingTB(t)
+	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 8, MaxDelay: 100 * time.Millisecond, Adaptive: true})
+	// Warm the profile.
+	for i := 0; i < 3; i++ {
+		if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// With a learned profile for a cheap servable, a lone request
+	// flushes in ~2x item time, far below MaxDelay.
+	start := time.Now()
+	if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "SiO2", core.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 90*time.Millisecond {
+		t.Fatalf("adaptive hold should be below MaxDelay for cheap servables: %v", elapsed)
+	}
+}
+
+func TestCoalescingErrorPropagates(t *testing.T) {
+	tb, id := coalescingTB(t)
+	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 2, MaxDelay: 5 * time.Millisecond})
+	// One bad formula fails the whole coalesced batch; the error must
+	// reach the caller rather than hang.
+	if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "NotAnElement99", core.RunOptions{}); err == nil {
+		t.Fatal("servable error should propagate through the batcher")
+	}
+}
+
+func TestCoalescingDisable(t *testing.T) {
+	tb, id := coalescingTB(t)
+	tb.MS.EnableCoalescing(id, core.BatchPolicy{})
+	tb.MS.DisableCoalescing(id)
+	// Falls back to plain Run.
+	if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if f, _ := tb.MS.CoalescingStats(id); f != 0 {
+		t.Fatal("stats should be gone after disable")
+	}
+}
+
+func TestCoalescingRespectsACL(t *testing.T) {
+	tb, _ := coalescingTB(t)
+	if _, err := tb.MS.RunCoalesced(core.Anonymous, "ghost/model", 1, core.RunOptions{}); err == nil {
+		t.Fatal("unknown servable should fail before enqueueing")
+	}
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+
+	"repro/internal/rpc"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/servable"
+)
+
+// jsonMarshal/jsonUnmarshal isolate the codec used on internal paths.
+func jsonMarshal(v any) ([]byte, error)   { return json.Marshal(v) }
+func jsonUnmarshal(d []byte, v any) error { return json.Unmarshal(d, v) }
+
+// Handler returns the REST API (§IV-E: "DLHub offers a REST API,
+// Command Line Interface (CLI), and a Python Software Development Kit
+// (SDK) for publishing, managing, and invoking models").
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/publish", s.handlePublish)
+	mux.HandleFunc("GET /api/servables", s.handleList)
+	mux.HandleFunc("GET /api/servables/{owner}/{name}", s.handleGet)
+	mux.HandleFunc("GET /api/servables/{owner}/{name}/dockerfile", s.handleDockerfile)
+	mux.HandleFunc("POST /api/servables/{owner}/{name}/update", s.handleUpdate)
+	mux.HandleFunc("POST /api/search", s.handleSearch)
+	mux.HandleFunc("POST /api/run/{owner}/{name}", s.handleRun)
+	mux.HandleFunc("GET /api/status/{task}", s.handleStatus)
+	mux.HandleFunc("POST /api/deploy/{owner}/{name}", s.handleDeploy)
+	mux.HandleFunc("POST /api/scale/{owner}/{name}", s.handleScale)
+	mux.HandleFunc("GET /api/tms", s.handleTMs)
+	return mux
+}
+
+// caller resolves the request identity, writing the error response on
+// failure.
+func (s *Service) caller(w http.ResponseWriter, r *http.Request) (Caller, bool) {
+	c, err := s.ResolveCaller(r.Header.Get("Authorization"))
+	if err != nil {
+		rpc.WriteError(w, http.StatusUnauthorized, "%v", err)
+		return Caller{}, false
+	}
+	return c, true
+}
+
+func writeServiceError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrTaskNotFound):
+		rpc.WriteError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, ErrForbidden):
+		rpc.WriteError(w, http.StatusForbidden, "%v", err)
+	case errors.Is(err, ErrNoTaskManager), errors.Is(err, ErrTimeout):
+		rpc.WriteError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		rpc.WriteError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// PublishRequest is the POST /api/publish body. Components may be
+// supplied inline or as globus:// references the service downloads
+// (§IV-A: "model components can be uploaded to an AWS S3 bucket or a
+// Globus endpoint").
+type PublishRequest struct {
+	Document      json.RawMessage   `json:"document"`
+	Components    map[string][]byte `json:"components,omitempty"`
+	ComponentRefs map[string]string `json:"component_refs,omitempty"`
+}
+
+func (s *Service) handlePublish(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	var req PublishRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	pkg := &servable.Package{Components: req.Components}
+	pkg.Doc = new(docAlias)
+	if err := json.Unmarshal(req.Document, pkg.Doc); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad document: %v", err)
+		return
+	}
+	if len(req.ComponentRefs) > 0 {
+		fetched, err := s.ResolveComponents(r.Header.Get("Authorization"), req.ComponentRefs)
+		if err != nil {
+			rpc.WriteError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		if pkg.Components == nil {
+			pkg.Components = map[string][]byte{}
+		}
+		for name, data := range fetched {
+			pkg.Components[name] = data
+		}
+	}
+	id, err := s.Publish(c, pkg)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]string{"id": id})
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	res := s.Search(c, search.Query{})
+	ids := make([]string, 0, len(res.Hits))
+	for _, h := range res.Hits {
+		ids = append(ids, h.Doc.ID)
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]any{"servables": ids})
+}
+
+func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	doc, err := s.Get(c, id)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, doc)
+}
+
+func (s *Service) handleDockerfile(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	df, err := s.Dockerfile(c, id)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]string{"dockerfile": df})
+}
+
+// UpdateRequest is the POST .../update body.
+type UpdateRequest struct {
+	Description *string  `json:"description,omitempty"`
+	VisibleTo   []string `json:"visible_to,omitempty"`
+	Citation    *string  `json:"citation,omitempty"`
+	Identifier  *string  `json:"identifier,omitempty"`
+}
+
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	var req UpdateRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	err := s.UpdateMetadata(c, id, func(p *servablePublication) {
+		if req.Description != nil {
+			p.Description = *req.Description
+		}
+		if req.VisibleTo != nil {
+			p.VisibleTo = req.VisibleTo
+		}
+		if req.Citation != nil {
+			p.Citation = *req.Citation
+		}
+		if req.Identifier != nil {
+			p.Identifier = *req.Identifier
+		}
+	})
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "updated"})
+}
+
+// SearchRequest is the POST /api/search body: a simplified query
+// language over the index (free text, fielded term/prefix, year range,
+// facets).
+type SearchRequest struct {
+	Q       string            `json:"q,omitempty"`
+	Terms   map[string]string `json:"terms,omitempty"`
+	Prefix  map[string]string `json:"prefix,omitempty"`
+	YearMin *float64          `json:"year_min,omitempty"`
+	YearMax *float64          `json:"year_max,omitempty"`
+	Facets  []string          `json:"facets,omitempty"`
+	Limit   int               `json:"limit,omitempty"`
+}
+
+// SearchResponse is the POST /api/search response.
+type SearchResponse struct {
+	Total  int                       `json:"total"`
+	IDs    []string                  `json:"ids"`
+	Docs   []map[string]any          `json:"docs"`
+	Facets map[string]map[string]int `json:"facets,omitempty"`
+}
+
+func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	var req SearchRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	q := search.Query{FacetOn: req.Facets, Limit: req.Limit}
+	if req.Q != "" {
+		q.Must = append(q.Must, search.Clause{FreeText: req.Q})
+	}
+	for field, term := range req.Terms {
+		q.Must = append(q.Must, search.Clause{Field: field, Term: term})
+	}
+	for field, pre := range req.Prefix {
+		q.Must = append(q.Must, search.Clause{Field: field, Prefix: pre})
+	}
+	if req.YearMin != nil || req.YearMax != nil {
+		rg := &search.Range{Min: math.NaN(), Max: math.NaN()}
+		if req.YearMin != nil {
+			rg.Min = *req.YearMin
+		}
+		if req.YearMax != nil {
+			rg.Max = *req.YearMax
+		}
+		q.Must = append(q.Must, search.Clause{Field: "year", Range: rg})
+	}
+	res := s.Search(c, q)
+	resp := SearchResponse{Total: res.Total, Facets: res.Facets}
+	for _, h := range res.Hits {
+		resp.IDs = append(resp.IDs, h.Doc.ID)
+		resp.Docs = append(resp.Docs, h.Doc.Fields)
+	}
+	rpc.WriteJSON(w, http.StatusOK, resp)
+}
+
+// RunRequest is the POST /api/run body.
+type RunRequest struct {
+	Input    any    `json:"input,omitempty"`
+	Inputs   []any  `json:"inputs,omitempty"` // batch mode when non-empty
+	Async    bool   `json:"async,omitempty"`
+	NoMemo   bool   `json:"no_memo,omitempty"`
+	Coalesce bool   `json:"coalesce,omitempty"`
+	Executor string `json:"executor,omitempty"`
+}
+
+func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	var req RunRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	opts := RunOptions{Executor: req.Executor, NoMemo: req.NoMemo}
+
+	switch {
+	case req.Async:
+		taskID, err := s.RunAsync(c, id, req.Input, opts)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		rpc.WriteJSON(w, http.StatusAccepted, map[string]string{"task_id": taskID})
+	case len(req.Inputs) > 0:
+		res, err := s.RunBatch(c, id, req.Inputs, opts)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		rpc.WriteJSON(w, http.StatusOK, res)
+	case req.Coalesce:
+		res, err := s.RunCoalesced(c, id, req.Input, opts)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		rpc.WriteJSON(w, http.StatusOK, res)
+	default:
+		res, err := s.Run(c, id, req.Input, opts)
+		if err != nil {
+			writeServiceError(w, err)
+			return
+		}
+		rpc.WriteJSON(w, http.StatusOK, res)
+	}
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.caller(w, r); !ok {
+		return
+	}
+	at, err := s.TaskStatus(r.PathValue("task"))
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, at)
+}
+
+// DeployRequest is the POST /api/deploy body.
+type DeployRequest struct {
+	Replicas int    `json:"replicas"`
+	Executor string `json:"executor,omitempty"`
+}
+
+func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	var req DeployRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	if err := s.Deploy(c, id, req.Replicas, req.Executor); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "deployed"})
+}
+
+func (s *Service) handleScale(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.caller(w, r)
+	if !ok {
+		return
+	}
+	var req DeployRequest
+	if err := rpc.ReadJSON(r, &req); err != nil {
+		rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	if err := s.Scale(c, id, req.Replicas, req.Executor); err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "scaled"})
+}
+
+func (s *Service) handleTMs(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.caller(w, r); !ok {
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]any{"task_managers": s.TaskManagers()})
+}
+
+// type aliases for readability.
+type (
+	docAlias            = schema.Document
+	servablePublication = schema.Publication
+)

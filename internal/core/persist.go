@@ -1,0 +1,114 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/servable"
+)
+
+// Repository persistence: the DLHub service is long-lived — published
+// models must survive restarts. Snapshot captures the repository state
+// (documents, versions, uploaded components, TM placements); Load
+// restores it and rebuilds the search index. The gob file is the
+// single-node stand-in for the hosted service's backing store.
+
+// snapshot is the serialized repository state.
+type snapshot struct {
+	Docs       map[string]*schema.Document
+	Versions   map[string][]*schema.Document
+	Components map[string]map[string][]byte
+	Placements map[string][]string
+}
+
+// SaveSnapshot writes the repository to dir/repository.gob atomically.
+func (s *Service) SaveSnapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	snap := snapshot{
+		Docs:       make(map[string]*schema.Document, len(s.docs)),
+		Versions:   make(map[string][]*schema.Document, len(s.versions)),
+		Components: make(map[string]map[string][]byte, len(s.packages)),
+		Placements: make(map[string][]string, len(s.placements)),
+	}
+	for id, doc := range s.docs {
+		snap.Docs[id] = doc
+	}
+	for id, vs := range s.versions {
+		snap.Versions[id] = append([]*schema.Document(nil), vs...)
+	}
+	for id, pkg := range s.packages {
+		snap.Components[id] = pkg.Components
+	}
+	for id, tms := range s.placements {
+		snap.Placements[id] = append([]string(nil), tms...)
+	}
+	s.mu.RUnlock()
+
+	tmp, err := os.CreateTemp(dir, "repository-*.gob.tmp")
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return fmt.Errorf("core: snapshot encode: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "repository.gob"))
+}
+
+// LoadSnapshot restores a repository saved by SaveSnapshot, replacing
+// current state and rebuilding the search index.
+func (s *Service) LoadSnapshot(dir string) error {
+	f, err := os.Open(filepath.Join(dir, "repository.gob"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var snap snapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return fmt.Errorf("core: snapshot decode: %w", err)
+	}
+
+	s.mu.Lock()
+	s.docs = make(map[string]*schema.Document, len(snap.Docs))
+	s.versions = make(map[string][]*schema.Document, len(snap.Versions))
+	s.packages = make(map[string]*servable.Package, len(snap.Components))
+	s.placements = make(map[string][]string, len(snap.Placements))
+	for id, doc := range snap.Docs {
+		s.docs[id] = doc
+	}
+	for id, vs := range snap.Versions {
+		s.versions[id] = vs
+	}
+	for id, comps := range snap.Components {
+		s.packages[id] = &servable.Package{Doc: snap.Docs[id], Components: comps}
+	}
+	for id, tms := range snap.Placements {
+		s.placements[id] = tms
+	}
+	docs := make([]*schema.Document, 0, len(s.docs))
+	for _, doc := range s.docs {
+		docs = append(docs, doc)
+	}
+	s.mu.Unlock()
+
+	// Rebuild the index outside the lock.
+	for _, doc := range docs {
+		s.index.Ingest(search.Doc{
+			ID:        doc.ID,
+			Fields:    schema.Flatten(doc),
+			VisibleTo: doc.Publication.VisibleTo,
+		})
+	}
+	return nil
+}

@@ -1,0 +1,137 @@
+package core_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/search"
+	"repro/internal/servable"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// Populate a service: two servables, one with two versions and
+	// components.
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	cifar, err := servable.CIFAR10Package(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := ms.Publish(core.Anonymous, cifar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Publish(core.Anonymous, servable.NoopPackage()); err != nil {
+		t.Fatal(err)
+	}
+	cifar2, _ := servable.CIFAR10Package(2)
+	if _, err := ms.Publish(core.Anonymous, cifar2); err != nil { // version 2
+		t.Fatal(err)
+	}
+	if err := ms.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	ms.Close()
+
+	// A fresh service restores everything.
+	ms2 := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms2.Close()
+	if err := ms2.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := ms2.Get(core.Anonymous, id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 2 {
+		t.Fatalf("latest version lost: %d", doc.Version)
+	}
+	versions, err := ms2.Versions(core.Anonymous, id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 2 {
+		t.Fatalf("version history lost: %d", len(versions))
+	}
+	// Search index rebuilt.
+	res := ms2.Search(core.Anonymous, search.Query{Must: []search.Clause{{FreeText: "cifar convolutional"}}})
+	if res.Total != 1 {
+		t.Fatalf("index not rebuilt: %d hits", res.Total)
+	}
+}
+
+func TestSnapshotServesAfterRestore(t *testing.T) {
+	dir := t.TempDir()
+	// Save from one deployment...
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	id, err := ms.Publish(core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	ms.Close()
+
+	// ...restore into a full testbed and serve the restored servable.
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if err := tb.MS.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The package (components included) survived, so deploy works.
+	if err := tb.MS.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.MS.Run(core.Anonymous, id, "NaCl", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.Output.(map[string]any); len(m) != 2 {
+		t.Fatalf("restored servable broken: %v", m)
+	}
+}
+
+func TestLoadSnapshotErrors(t *testing.T) {
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	if err := ms.LoadSnapshot(t.TempDir()); err == nil {
+		t.Fatal("missing snapshot should error")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "repository.gob"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.LoadSnapshot(dir); err == nil {
+		t.Fatal("corrupt snapshot should error")
+	}
+}
+
+func TestSnapshotAtomicNoTempLeftovers(t *testing.T) {
+	dir := t.TempDir()
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	ms.Publish(core.Anonymous, servable.NoopPackage()) //nolint:errcheck
+	if err := ms.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "repository.gob" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}

@@ -1,0 +1,709 @@
+// Package core implements the DLHub Management Service (§IV-A), "the
+// user-facing interface to DLHub. It enables users to publish models,
+// query available models, execute tasks (e.g., inference), construct
+// pipelines, and monitor the status of tasks", with "advanced
+// functionality to build models, optimize task performance, route
+// workloads to suitable executors, batch tasks, and cache results."
+//
+// The service owns the model repository (validation, versioning,
+// container building, search indexing), the ZeroMQ-style task queue to
+// registered Task Managers, synchronous and asynchronous task
+// execution, batching, pipelines and access control via the auth
+// substrate. The REST API in http.go wraps the methods here; benches
+// and tests may also drive the service in-process.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/container"
+	"repro/internal/queue"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/servable"
+	"repro/internal/taskmanager"
+	"repro/internal/transfer"
+)
+
+// Errors.
+var (
+	ErrNotFound      = errors.New("core: servable not found")
+	ErrForbidden     = errors.New("core: access denied")
+	ErrNoTaskManager = errors.New("core: no task manager registered")
+	ErrTaskNotFound  = errors.New("core: task not found")
+	ErrTimeout       = errors.New("core: task timed out")
+)
+
+// Config configures the Management Service.
+type Config struct {
+	// Auth enables authentication; nil runs the service open (benches).
+	Auth *auth.Service
+	// RunScope is the Globus Auth scope required to invoke servables.
+	RunScope string
+	// Registry stores built servable container images.
+	Registry *container.Registry
+	// TaskTimeout bounds synchronous task execution (default 120s).
+	TaskTimeout time.Duration
+	// Transfer enables publish-by-reference: model components named as
+	// globus:// URIs are downloaded from endpoints at publication time
+	// (§IV-A). Nil disables reference resolution.
+	Transfer *transfer.Service
+	// TransferClientID is the downstream resource server used to mint
+	// dependent tokens for endpoint access (§IV-D); its scopes must
+	// include TransferScope.
+	TransferClientID string
+	// TransferScope is the scope requested on dependent tokens.
+	TransferScope string
+	// TMStaleAfter drops Task Managers from routing when no
+	// registration/heartbeat arrived within this window (0 disables
+	// liveness filtering).
+	TMStaleAfter time.Duration
+}
+
+// Service is the Management Service.
+type Service struct {
+	cfg     Config
+	broker  *queue.Broker
+	index   *search.Index
+	builder *container.Builder
+
+	mu       sync.RWMutex
+	docs     map[string]*schema.Document   // id -> latest
+	versions map[string][]*schema.Document // id -> all versions
+	packages map[string]*servable.Package  // id -> latest package
+	tms      []string
+	tmSeen   map[string]time.Time
+	tmRR     int
+	// placements maps servable ID -> Task Managers hosting it, so runs
+	// are routed to capable sites (§IV-A: the Management Service
+	// "route[s] workloads to suitable executors").
+	placements map[string][]string
+
+	taskMu sync.RWMutex
+	tasks  map[string]*AsyncTask
+
+	batchMu  sync.Mutex
+	batchers map[string]*batcher
+
+	stop     chan struct{}
+	regWG    sync.WaitGroup
+	timeFunc func() time.Time
+}
+
+// AsyncTask tracks an asynchronous invocation (§IV-A: "the Management
+// Service returns a unique task UUID that can be used subsequently to
+// monitor the status of the task and retrieve its result").
+type AsyncTask struct {
+	ID       string             `json:"id"`
+	Status   string             `json:"status"` // pending | completed | failed
+	Reply    *taskmanager.Reply `json:"reply,omitempty"`
+	Error    string             `json:"error,omitempty"`
+	Created  time.Time          `json:"created"`
+	Finished time.Time          `json:"finished,omitempty"`
+}
+
+// New creates a Management Service with its own broker.
+func New(cfg Config) *Service {
+	if cfg.TaskTimeout <= 0 {
+		cfg.TaskTimeout = 120 * time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = container.NewRegistry()
+	}
+	s := &Service{
+		cfg: cfg,
+		// Visibility must exceed the longest single task (large batch
+		// chunks in the Fig. 7 sweeps run for minutes at one replica);
+		// redelivery is for lost Task Managers, not slow ones.
+		broker:     queue.NewBroker(10 * time.Minute),
+		index:      search.NewIndex(),
+		builder:    container.NewBuilder(cfg.Registry),
+		docs:       make(map[string]*schema.Document),
+		versions:   make(map[string][]*schema.Document),
+		packages:   make(map[string]*servable.Package),
+		tasks:      make(map[string]*AsyncTask),
+		placements: make(map[string][]string),
+		tmSeen:     make(map[string]time.Time),
+		stop:       make(chan struct{}),
+		timeFunc:   time.Now,
+	}
+	s.regWG.Add(1)
+	go s.registrationLoop()
+	return s
+}
+
+// Broker exposes the service's queue broker so Task Managers (local or
+// remote via queue.Server) can connect to it.
+func (s *Service) Broker() *queue.Broker { return s.broker }
+
+// Close shuts the service down.
+func (s *Service) Close() {
+	close(s.stop)
+	s.regWG.Wait()
+	s.broker.Close()
+}
+
+// registrationLoop consumes TM registrations.
+func (s *Service) registrationLoop() {
+	defer s.regWG.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		msg, ok := s.broker.Pull(taskmanager.RegisterQueue, 300*time.Millisecond)
+		if !ok {
+			continue
+		}
+		var reg taskmanager.Registration
+		if err := jsonUnmarshal(msg.Body, &reg); err == nil && reg.TMID != "" {
+			s.mu.Lock()
+			present := false
+			for _, id := range s.tms {
+				if id == reg.TMID {
+					present = true
+					break
+				}
+			}
+			if !present {
+				s.tms = append(s.tms, reg.TMID)
+			}
+			s.tmSeen[reg.TMID] = s.timeFunc()
+			s.mu.Unlock()
+		}
+		s.broker.Ack(taskmanager.RegisterQueue, msg.ID)
+	}
+}
+
+// TaskManagers lists registered TMs.
+func (s *Service) TaskManagers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.tms...)
+}
+
+// WaitForTM blocks until at least n Task Managers are registered.
+func (s *Service) WaitForTM(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(s.TaskManagers()) >= n {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("%w: %d registered after %v", ErrNoTaskManager, len(s.TaskManagers()), timeout)
+}
+
+// pickTM selects a Task Manager round-robin. When servableID is known
+// to be placed on specific TMs, only those are considered.
+func (s *Service) pickTM(servableID string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	candidates := s.tms
+	if servableID != "" {
+		if placed := s.placements[servableID]; len(placed) > 0 {
+			candidates = placed
+		}
+	}
+	candidates = s.liveLocked(candidates)
+	if len(candidates) == 0 {
+		return "", ErrNoTaskManager
+	}
+	tm := candidates[s.tmRR%len(candidates)]
+	s.tmRR++
+	return tm, nil
+}
+
+// liveLocked filters TMs by heartbeat freshness; with liveness disabled
+// (TMStaleAfter == 0) every candidate passes. Caller holds s.mu.
+func (s *Service) liveLocked(candidates []string) []string {
+	if s.cfg.TMStaleAfter <= 0 {
+		return candidates
+	}
+	cutoff := s.timeFunc().Add(-s.cfg.TMStaleAfter)
+	live := make([]string, 0, len(candidates))
+	for _, id := range candidates {
+		if seen, ok := s.tmSeen[id]; ok && seen.After(cutoff) {
+			live = append(live, id)
+		}
+	}
+	return live
+}
+
+// LiveTaskManagers lists TMs passing the liveness filter.
+func (s *Service) LiveTaskManagers() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.liveLocked(s.tms)
+}
+
+// recordPlacement remembers that tmID hosts servableID.
+func (s *Service) recordPlacement(servableID, tmID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.placements[servableID] {
+		if id == tmID {
+			return
+		}
+	}
+	s.placements[servableID] = append(s.placements[servableID], tmID)
+}
+
+// --- identity ---------------------------------------------------------------
+
+// Caller is a resolved request identity.
+type Caller struct {
+	IdentityID string
+	Principals []string
+}
+
+// Anonymous is the unauthenticated caller: it matches the public
+// principal plus its own identity URN (so anonymous publishers can see
+// their own owner-only documents in search results).
+var Anonymous = Caller{
+	IdentityID: "urn:anonymous",
+	Principals: []string{auth.PublicPrincipal, "urn:anonymous"},
+}
+
+// ResolveCaller introspects a bearer token. With no Auth configured,
+// every caller is anonymous-with-public access.
+func (s *Service) ResolveCaller(bearer string) (Caller, error) {
+	if s.cfg.Auth == nil || bearer == "" {
+		return Anonymous, nil
+	}
+	tok, err := s.cfg.Auth.Authorize(bearer, s.cfg.RunScope)
+	if err != nil {
+		return Caller{}, err
+	}
+	return Caller{
+		IdentityID: tok.IdentityID,
+		Principals: s.cfg.Auth.Principals(tok.IdentityID),
+	}, nil
+}
+
+// --- repository --------------------------------------------------------------
+
+// Publish validates, versions, builds and indexes a servable package
+// (§IV-A "Servables"). It returns the assigned servable ID.
+func (s *Service) Publish(caller Caller, pkg *servable.Package) (string, error) {
+	doc := pkg.Doc
+	if err := schema.Validate(doc); err != nil {
+		return "", err
+	}
+	owner := caller.IdentityID
+	short := ownerShort(owner)
+	id := short + "/" + doc.Publication.Name
+
+	s.mu.Lock()
+	version := len(s.versions[id]) + 1
+	doc.ID = id
+	doc.Owner = owner
+	doc.Version = version
+	doc.PublishedAt = s.timeFunc()
+	if len(doc.Publication.VisibleTo) == 0 {
+		// Owner-only by default.
+		doc.Publication.VisibleTo = []string{owner}
+	}
+	s.docs[id] = doc
+	s.versions[id] = append(s.versions[id], doc)
+	s.packages[id] = pkg
+	s.mu.Unlock()
+
+	// Build the servable container and store it in the registry
+	// (pipelines are virtual — they have no container of their own).
+	if doc.Servable.Type != schema.TypePipeline {
+		if _, err := buildImage(s.builder, pkg); err != nil {
+			return "", fmt.Errorf("core: servable build failed: %w", err)
+		}
+	}
+
+	// Index for discovery.
+	s.index.Ingest(search.Doc{
+		ID:        id,
+		Fields:    schema.Flatten(doc),
+		VisibleTo: doc.Publication.VisibleTo,
+	})
+	return id, nil
+}
+
+func ownerShort(identityID string) string {
+	// urn:identity:<provider>:<user> -> <user>; anything else verbatim.
+	parts := strings.Split(identityID, ":")
+	return parts[len(parts)-1]
+}
+
+// UpdateMetadata modifies a published servable's metadata (the CLI
+// `update` command; also how CANDLE flips access control on release,
+// §VI-A).
+func (s *Service) UpdateMetadata(caller Caller, id string, update func(*schema.Publication)) error {
+	s.mu.Lock()
+	doc, ok := s.docs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if doc.Owner != caller.IdentityID {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: only the owner may update %s", ErrForbidden, id)
+	}
+	update(&doc.Publication)
+	if err := schema.Validate(doc); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	s.index.Ingest(search.Doc{ID: id, Fields: schema.Flatten(doc), VisibleTo: doc.Publication.VisibleTo})
+	return nil
+}
+
+// Get returns a servable document, enforcing visibility.
+func (s *Service) Get(caller Caller, id string) (*schema.Document, error) {
+	s.mu.RLock()
+	doc, ok := s.docs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if !visibleTo(doc, caller) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id) // hide existence
+	}
+	return doc, nil
+}
+
+// Versions lists all published versions of a servable.
+func (s *Service) Versions(caller Caller, id string) ([]*schema.Document, error) {
+	if _, err := s.Get(caller, id); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*schema.Document(nil), s.versions[id]...), nil
+}
+
+func visibleTo(doc *schema.Document, caller Caller) bool {
+	if doc.Owner == caller.IdentityID {
+		return true
+	}
+	for _, v := range doc.Publication.VisibleTo {
+		if v == auth.PublicPrincipal {
+			return true
+		}
+		for _, p := range caller.Principals {
+			if v == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Search runs an ACL-filtered query over the repository (§IV-A "Model
+// discovery").
+func (s *Service) Search(caller Caller, q search.Query) search.Result {
+	q.Principals = caller.Principals
+	return s.index.Search(q)
+}
+
+// buildImage builds the servable container exactly as §IV-A describes.
+func buildImage(b *container.Builder, pkg *servable.Package) (*container.Image, error) {
+	docData, err := jsonMarshal(pkg.Doc)
+	if err != nil {
+		return nil, err
+	}
+	files := []container.File{{Path: "/dlhub/doc.json", Data: docData}}
+	for name, data := range pkg.Components {
+		files = append(files, container.File{Path: "/dlhub/components/" + name, Data: data})
+	}
+	deps := map[string]string{"dlhub_sdk": "0.8.4"}
+	for k, v := range pkg.Doc.Servable.Dependencies {
+		deps[k] = v
+	}
+	return b.Build(container.BuildSpec{
+		Name:       "dlhub/" + strings.ReplaceAll(pkg.Doc.ID, "/", "-"),
+		Tag:        fmt.Sprintf("v%d", pkg.Doc.Version),
+		Deps:       deps,
+		Files:      files,
+		Entrypoint: "dlhub-shim",
+		Labels:     map[string]string{"dlhub.servable": pkg.Doc.ID},
+	})
+}
+
+// Dockerfile returns the rendered build recipe for a published
+// servable — the provenance artifact shown in the repository UI.
+func (s *Service) Dockerfile(caller Caller, id string) (string, error) {
+	doc, err := s.Get(caller, id)
+	if err != nil {
+		return "", err
+	}
+	s.mu.RLock()
+	pkg := s.packages[id]
+	s.mu.RUnlock()
+	deps := map[string]string{"dlhub_sdk": "0.8.4"}
+	for k, v := range doc.Servable.Dependencies {
+		deps[k] = v
+	}
+	var files []container.File
+	if pkg != nil {
+		for name := range pkg.Components {
+			files = append(files, container.File{Path: "/dlhub/components/" + name})
+		}
+	}
+	spec := container.BuildSpec{
+		Base: "python:3.7", Deps: deps, Files: files, Entrypoint: "dlhub-shim",
+	}
+	return spec.Dockerfile(), nil
+}
+
+// --- serving -----------------------------------------------------------------
+
+// RunOptions modifies task dispatch.
+type RunOptions struct {
+	// Executor routes to a specific serving system ("" = deployed
+	// default).
+	Executor string
+	// NoMemo disables memoization for this request (§V-B experiments
+	// "disable DLHub memoization mechanisms").
+	NoMemo bool
+	// Timeout overrides the service default.
+	Timeout time.Duration
+}
+
+// RunResult augments the TM reply with the MS-side request time (§V-A:
+// "Request time is captured at the Management Service and measures the
+// time from receipt of the task request to receipt of its result").
+type RunResult struct {
+	taskmanager.Reply
+	RequestMicros int64 `json:"request_us"`
+}
+
+// Run synchronously invokes a servable with one input.
+func (s *Service) Run(caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
+	doc, err := s.Get(caller, servableID)
+	if err != nil {
+		return RunResult{}, err
+	}
+	if doc.Servable.Type == schema.TypePipeline {
+		return s.runPipeline(caller, doc, input, opts)
+	}
+	task := taskmanager.Task{
+		ID:       queue.NewID(),
+		Kind:     "run",
+		Servable: servableID,
+		Executor: opts.Executor,
+		Input:    input,
+		NoMemo:   opts.NoMemo,
+	}
+	return s.dispatch(task, opts)
+}
+
+// RunBatch synchronously invokes a servable on many inputs in one task
+// (§V-B3 batching).
+func (s *Service) RunBatch(caller Caller, servableID string, inputs []any, opts RunOptions) (RunResult, error) {
+	if _, err := s.Get(caller, servableID); err != nil {
+		return RunResult{}, err
+	}
+	task := taskmanager.Task{
+		ID:       queue.NewID(),
+		Kind:     "run_batch",
+		Servable: servableID,
+		Executor: opts.Executor,
+		Inputs:   inputs,
+		NoMemo:   opts.NoMemo,
+	}
+	return s.dispatch(task, opts)
+}
+
+// runPipeline sends the entire step chain to one TM for server-side
+// chaining (§VI-D).
+func (s *Service) runPipeline(caller Caller, doc *schema.Document, input any, opts RunOptions) (RunResult, error) {
+	// The caller must be able to see every step.
+	steps := make([]string, len(doc.Servable.Steps))
+	for i, step := range doc.Servable.Steps {
+		stepDoc, err := s.Get(caller, step)
+		if err != nil {
+			return RunResult{}, fmt.Errorf("pipeline step %q: %w", step, err)
+		}
+		steps[i] = stepDoc.ID
+	}
+	task := taskmanager.Task{
+		ID:     queue.NewID(),
+		Kind:   "pipeline",
+		Input:  input,
+		Steps:  steps,
+		NoMemo: opts.NoMemo,
+	}
+	return s.dispatch(task, opts)
+}
+
+// dispatch pushes a task to a TM queue and waits for the reply.
+func (s *Service) dispatch(task taskmanager.Task, opts RunOptions) (RunResult, error) {
+	route := task.Servable
+	if route == "" && len(task.Steps) > 0 {
+		route = task.Steps[0]
+	}
+	tmID, err := s.pickTM(route)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return s.dispatchTo(tmID, task, opts)
+}
+
+// dispatchTo pushes a task to a specific TM queue and waits.
+func (s *Service) dispatchTo(tmID string, task taskmanager.Task, opts RunOptions) (RunResult, error) {
+	start := time.Now()
+	body, err := jsonMarshal(task)
+	if err != nil {
+		return RunResult{}, err
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.TaskTimeout
+	}
+	replyBody, ok := s.broker.Request(taskmanager.TaskQueue(tmID), body, timeout)
+	if !ok {
+		return RunResult{}, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	}
+	var reply taskmanager.Reply
+	if err := jsonUnmarshal(replyBody, &reply); err != nil {
+		return RunResult{}, fmt.Errorf("core: bad TM reply: %w", err)
+	}
+	res := RunResult{Reply: reply, RequestMicros: time.Since(start).Microseconds()}
+	if !reply.OK {
+		return res, fmt.Errorf("core: task failed: %s", reply.Error)
+	}
+	return res, nil
+}
+
+// RunAsync starts an asynchronous invocation and returns its task UUID.
+func (s *Service) RunAsync(caller Caller, servableID string, input any, opts RunOptions) (string, error) {
+	if _, err := s.Get(caller, servableID); err != nil {
+		return "", err
+	}
+	id := queue.NewID()
+	at := &AsyncTask{ID: id, Status: "pending", Created: s.timeFunc()}
+	s.taskMu.Lock()
+	s.tasks[id] = at
+	s.taskMu.Unlock()
+
+	go func() {
+		res, err := s.Run(caller, servableID, input, opts)
+		s.taskMu.Lock()
+		defer s.taskMu.Unlock()
+		at.Finished = s.timeFunc()
+		if err != nil {
+			at.Status = "failed"
+			at.Error = err.Error()
+			return
+		}
+		at.Status = "completed"
+		at.Reply = &res.Reply
+	}()
+	return id, nil
+}
+
+// TaskStatus fetches an async task's state.
+func (s *Service) TaskStatus(taskID string) (*AsyncTask, error) {
+	s.taskMu.RLock()
+	defer s.taskMu.RUnlock()
+	at, ok := s.tasks[taskID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTaskNotFound, taskID)
+	}
+	cp := *at
+	return &cp, nil
+}
+
+// --- deployment --------------------------------------------------------------
+
+// Deploy ships a published servable package to a Task Manager and
+// starts replicas on the named executor route.
+func (s *Service) Deploy(caller Caller, servableID string, replicas int, executorRoute string) error {
+	if _, err := s.Get(caller, servableID); err != nil {
+		return err
+	}
+	s.mu.RLock()
+	pkg := s.packages[servableID]
+	s.mu.RUnlock()
+	if pkg == nil {
+		return fmt.Errorf("%w: package for %s", ErrNotFound, servableID)
+	}
+	wire, err := taskmanager.EncodePackage(pkg)
+	if err != nil {
+		return err
+	}
+	task := taskmanager.Task{
+		ID:       queue.NewID(),
+		Kind:     "deploy",
+		Servable: servableID,
+		Executor: executorRoute,
+		Replicas: replicas,
+		Package:  wire,
+	}
+	// Route by servable so re-deploys land where the servable already
+	// lives, then record the placement.
+	tmID, err := s.pickTM(servableID)
+	if err != nil {
+		return err
+	}
+	if _, err := s.dispatchTo(tmID, task, RunOptions{Timeout: 5 * time.Minute}); err != nil {
+		return err
+	}
+	s.recordPlacement(servableID, tmID)
+	return nil
+}
+
+// ResolveComponents downloads globus:// component references through
+// the transfer service, acting on the caller's behalf via a dependent
+// token when auth is configured (§IV-A upload flow + §IV-D seamless
+// transfer). bearer is the caller's raw Authorization header value.
+func (s *Service) ResolveComponents(bearer string, refs map[string]string) (map[string][]byte, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	if s.cfg.Transfer == nil {
+		return nil, errors.New("core: publish-by-reference requires a transfer service")
+	}
+	token := strings.TrimPrefix(bearer, "Bearer ")
+	if s.cfg.Auth != nil && token != "" && s.cfg.TransferClientID != "" {
+		dep, err := s.cfg.Auth.DependentToken(token, s.cfg.TransferClientID, s.cfg.TransferScope)
+		if err != nil {
+			return nil, fmt.Errorf("core: dependent token: %w", err)
+		}
+		token = dep.Value
+	}
+	out := make(map[string][]byte, len(refs))
+	for name, uri := range refs {
+		ref, err := transfer.ParseReference(uri)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %s: %w", name, err)
+		}
+		data, err := s.cfg.Transfer.Fetch(token, ref.Endpoint, ref.Path)
+		if err != nil {
+			return nil, fmt.Errorf("core: component %s: %w", name, err)
+		}
+		out[name] = data
+	}
+	return out, nil
+}
+
+// Scale adjusts replica count on the deployed executor.
+func (s *Service) Scale(caller Caller, servableID string, replicas int, executorRoute string) error {
+	if _, err := s.Get(caller, servableID); err != nil {
+		return err
+	}
+	task := taskmanager.Task{
+		ID:       queue.NewID(),
+		Kind:     "scale",
+		Servable: servableID,
+		Executor: executorRoute,
+		Replicas: replicas,
+	}
+	_, err := s.dispatch(task, RunOptions{Timeout: 5 * time.Minute})
+	return err
+}

@@ -1,0 +1,228 @@
+// Package executor defines DLHub's pluggable executor model (§IV-C):
+// "DLHub aims to provide efficient model execution for a wide range of
+// model types. To achieve this goal it implements an arbitrary executor
+// model that currently supports three serving systems: TensorFlow
+// Serving, SageMaker, and a general-purpose Parsl executor."
+//
+// This package holds the Executor interface, the servable pod host (the
+// in-container process that exposes the standard execution interface
+// over the cluster network), and the Parsl executor itself. The
+// TF-Serving and SageMaker executors live in their own packages and
+// implement the same interface.
+package executor
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/k8s"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+// Errors.
+var (
+	ErrNotDeployed = errors.New("executor: servable not deployed")
+	ErrClosed      = errors.New("executor: closed")
+)
+
+// Result is the executor-independent output format of §IV-C: every
+// executor "translat[es] the results into a common DLHub
+// executor-independent format".
+type Result struct {
+	Output any `json:"output"`
+	// InferenceMicros is the time spent inside the servable (the
+	// paper's "inference time", measured at the servable).
+	InferenceMicros int64 `json:"inference_us"`
+}
+
+// Executor deploys servables and routes invocations to them.
+type Executor interface {
+	// Name identifies the serving system ("parsl", "tfserving", ...).
+	Name() string
+	// Deploy builds/loads the servable and starts replicas.
+	Deploy(pkg *servable.Package, replicas int) error
+	// Scale changes the replica count of a deployed servable.
+	Scale(servableID string, replicas int) error
+	// Invoke runs one input on a deployed servable.
+	Invoke(ctx context.Context, servableID string, input any) (Result, error)
+	// Undeploy stops all replicas of a servable.
+	Undeploy(servableID string) error
+	// Replicas reports the current replica count.
+	Replicas(servableID string) int
+	// Close shuts the executor down.
+	Close()
+}
+
+// --- servable pod host -------------------------------------------------------
+
+// PodServer is the process that runs inside every servable container:
+// it loads the servable from the image filesystem and serves the
+// standard execution interface on a TCP port (the DLHub shim).
+//
+// Python-hosted pods execute ONE request at a time: an IPythonParallel
+// engine is a single-threaded interpreter process, so concurrency comes
+// only from replicas — the mechanism Fig. 7 scales.
+type PodServer struct {
+	pythonHosted bool
+
+	mu    sync.Mutex
+	srv   *rpc.Server
+	addr  string
+	sv    *servable.Servable
+	runMu sync.Mutex // serializes execution for python-hosted pods
+}
+
+// NewPodProcessFactory returns a container.ProcessFactory that starts a
+// PodServer for each container instance. Images built by the repository
+// bake the servable document under /dlhub/doc.json and components under
+// /dlhub/components/<name>.
+func NewPodProcessFactory(pythonHosted bool) container.ProcessFactory {
+	return func() container.Process { return &PodServer{pythonHosted: pythonHosted} }
+}
+
+// Start implements container.Process: load the servable and listen.
+func (p *PodServer) Start(fs map[string][]byte, env map[string]string) error {
+	docData, ok := fs["/dlhub/doc.json"]
+	if !ok {
+		return fmt.Errorf("executor: image missing /dlhub/doc.json")
+	}
+	var doc schema.Document
+	if err := json.Unmarshal(docData, &doc); err != nil {
+		return fmt.Errorf("executor: bad servable doc: %w", err)
+	}
+	components := map[string][]byte{}
+	const prefix = "/dlhub/components/"
+	for path, data := range fs {
+		if len(path) > len(prefix) && path[:len(prefix)] == prefix {
+			components[path[len(prefix):]] = data
+		}
+	}
+	sv, err := servable.Load(&doc, components, p.pythonHosted)
+	if err != nil {
+		return err
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sv.Close()
+		return err
+	}
+	srv := rpc.NewServer()
+	srv.Handle("run", func(_ context.Context, payload []byte) ([]byte, error) {
+		var input any
+		if err := json.Unmarshal(payload, &input); err != nil {
+			return nil, fmt.Errorf("bad input: %w", err)
+		}
+		if p.pythonHosted {
+			p.runMu.Lock()
+			defer p.runMu.Unlock()
+		}
+		start := time.Now()
+		out, err := sv.Run(input)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(Result{Output: out, InferenceMicros: time.Since(start).Microseconds()})
+	})
+	go srv.Serve(l) //nolint:errcheck — closed on Stop
+
+	p.mu.Lock()
+	p.srv = srv
+	p.addr = l.Addr().String()
+	p.sv = sv
+	p.mu.Unlock()
+	return nil
+}
+
+// Stop implements container.Process.
+func (p *PodServer) Stop() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.srv != nil {
+		p.srv.Close()
+	}
+	if p.sv != nil {
+		p.sv.Close()
+	}
+}
+
+// Addr returns the pod's serving address.
+func (p *PodServer) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addr
+}
+
+// PodAddr extracts the serving address from a running pod whose
+// container process is a *PodServer (or any Addr() provider).
+func PodAddr(pod *k8s.Pod) (string, error) {
+	ctr := pod.Container()
+	if ctr == nil {
+		return "", fmt.Errorf("executor: pod %s has no container", pod.Name)
+	}
+	type addresser interface{ Addr() string }
+	a, ok := ctr.Proc.(addresser)
+	if !ok {
+		return "", fmt.Errorf("executor: pod %s process does not serve", pod.Name)
+	}
+	return a.Addr(), nil
+}
+
+// DialPod connects to a pod's server through the TM<->cluster link.
+func DialPod(pod *k8s.Pod, link netsim.Profile) (*rpc.Client, error) {
+	addr, err := PodAddr(pod)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewClient(netsim.Wrap(conn, link)), nil
+}
+
+// --- image packaging ----------------------------------------------------------
+
+// BuildServableImage bakes a servable package into a container image
+// using the given builder, exactly as the Management Service does at
+// publication time (§IV-A): DLHub dependencies + user dependencies +
+// model components + doc, entrypoint = the DLHub shim.
+func BuildServableImage(b *container.Builder, pkg *servable.Package, entrypoint string) (*container.Image, error) {
+	docData, err := json.Marshal(pkg.Doc)
+	if err != nil {
+		return nil, err
+	}
+	files := []container.File{{Path: "/dlhub/doc.json", Data: docData}}
+	for name, data := range pkg.Components {
+		files = append(files, container.File{Path: "/dlhub/components/" + name, Data: data})
+	}
+	deps := map[string]string{"dlhub_sdk": "0.8.4", "parsl": "0.7.2"}
+	for k, v := range pkg.Doc.Servable.Dependencies {
+		deps[k] = v
+	}
+	spec := container.BuildSpec{
+		Name:       "servables/" + pkg.Doc.Publication.Name,
+		Tag:        fmt.Sprintf("v%d", max(1, pkg.Doc.Version)),
+		Deps:       deps,
+		Files:      files,
+		Entrypoint: entrypoint,
+		Labels:     map[string]string{"dlhub.servable": pkg.Doc.ID},
+	}
+	return b.Build(spec)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

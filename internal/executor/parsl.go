@@ -1,0 +1,315 @@
+package executor
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/k8s"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/servable"
+	"repro/internal/simconst"
+)
+
+// Parsl is the general-purpose executor of §IV-C: "Parsl then deploys
+// IPythonParallel (IPP) engines in each servable container and connects
+// back to the Task Manager to retrieve servable execution requests.
+// Parsl dispatches requests to the appropriate containers using IPP,
+// load balancing them automatically across the available pods."
+//
+// Servables run Python-hosted (they are IPython engines). Dispatch runs
+// through a single routing loop per executor, charging DispatchOverhead
+// per task — the serialization point whose saturation Fig. 7 measures
+// ("task dispatch activities eventually come to dominate execution
+// time").
+type Parsl struct {
+	cluster *k8s.Cluster
+	builder *container.Builder
+	link    netsim.Profile // TM <-> cluster
+
+	mu     sync.Mutex
+	deps   map[string]*parslDeployment
+	closed bool
+
+	tasks chan *parslTask
+	done  chan struct{}
+	wg    sync.WaitGroup
+}
+
+type parslDeployment struct {
+	id      string
+	image   string
+	pkg     *servable.Package
+	epMu    sync.Mutex
+	engines []*engine
+	rr      int
+}
+
+// engine is one IPP engine: a connection to a pod plus an in-flight
+// counter for least-busy load balancing.
+type engine struct {
+	pod      *k8s.Pod
+	client   *rpc.Client
+	inflight int
+}
+
+type parslTask struct {
+	dep     *parslDeployment
+	payload []byte
+	ctx     context.Context
+	done    chan taskOutcome
+}
+
+type taskOutcome struct {
+	data []byte
+	err  error
+}
+
+// NewParsl creates a Parsl executor on a cluster. link shapes the
+// TM<->pod connections (0.17 ms RTT in the paper's testbed).
+func NewParsl(cluster *k8s.Cluster, builder *container.Builder, link netsim.Profile) *Parsl {
+	p := &Parsl{
+		cluster: cluster,
+		builder: builder,
+		link:    link,
+		deps:    make(map[string]*parslDeployment),
+		tasks:   make(chan *parslTask, 4096),
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.dispatchLoop()
+	return p
+}
+
+// Name implements Executor.
+func (p *Parsl) Name() string { return "parsl" }
+
+// dispatchLoop is the single-threaded IPP router: it pays the dispatch
+// overhead per task, then hands the task to the least-busy engine.
+// Because routing is serialized, total throughput is capped at
+// 1/DispatchOverhead regardless of replica count — the Fig. 7 ceiling.
+func (p *Parsl) dispatchLoop() {
+	defer p.wg.Done()
+	for {
+		var task *parslTask
+		select {
+		case <-p.done:
+			return
+		case task = <-p.tasks:
+		}
+		// Routing work: engine selection, serialization into the IPP
+		// channel, completion bookkeeping.
+		time.Sleep(simconst.D(simconst.DispatchOverhead))
+
+		eng := task.dep.pickEngine()
+		if eng == nil {
+			task.done <- taskOutcome{err: fmt.Errorf("%w: %s has no engines", ErrNotDeployed, task.dep.id)}
+			continue
+		}
+		go func(task *parslTask, eng *engine) {
+			data, err := eng.client.Call(task.ctx, "run", task.payload)
+			task.dep.release(eng)
+			task.done <- taskOutcome{data: data, err: err}
+		}(task, eng)
+	}
+}
+
+// pickEngine returns the least-busy engine and bumps its counter.
+func (d *parslDeployment) pickEngine() *engine {
+	d.epMu.Lock()
+	defer d.epMu.Unlock()
+	if len(d.engines) == 0 {
+		return nil
+	}
+	best := -1
+	for i := range d.engines {
+		idx := (d.rr + i) % len(d.engines)
+		if best == -1 || d.engines[idx].inflight < d.engines[best].inflight {
+			best = idx
+		}
+	}
+	d.rr = (best + 1) % len(d.engines)
+	d.engines[best].inflight++
+	return d.engines[best]
+}
+
+func (d *parslDeployment) release(e *engine) {
+	d.epMu.Lock()
+	e.inflight--
+	d.epMu.Unlock()
+}
+
+// Deploy implements Executor: build the image (if needed), create a
+// k8s deployment, connect an engine to every pod.
+func (p *Parsl) Deploy(pkg *servable.Package, replicas int) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
+	if _, exists := p.deps[pkg.Doc.ID]; exists {
+		p.mu.Unlock()
+		return p.Scale(pkg.Doc.ID, replicas)
+	}
+	p.mu.Unlock()
+
+	img, err := BuildServableImage(p.builder, pkg, "dlhub-ipp-engine")
+	if err != nil {
+		return err
+	}
+	depName := "parsl-" + pkg.Doc.Publication.Name
+	if _, err := p.cluster.CreateDeployment(depName, k8s.PodSpec{
+		Image:    img.Ref(),
+		Requests: k8s.Resources{MilliCPU: 1000, MemMB: 2048},
+	}, replicas); err != nil {
+		return err
+	}
+	d := &parslDeployment{id: pkg.Doc.ID, image: depName, pkg: pkg}
+	if err := p.connectEngines(d); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.deps[pkg.Doc.ID] = d
+	p.mu.Unlock()
+	return nil
+}
+
+// connectEngines reconciles engine connections with current pods.
+func (p *Parsl) connectEngines(d *parslDeployment) error {
+	pods := p.cluster.PodsMatching(map[string]string{"deployment": d.image})
+	d.epMu.Lock()
+	defer d.epMu.Unlock()
+
+	current := map[string]*engine{}
+	for _, e := range d.engines {
+		current[e.pod.Name] = e
+	}
+	var next []*engine
+	for _, pod := range pods {
+		if e, ok := current[pod.Name]; ok {
+			next = append(next, e)
+			delete(current, pod.Name)
+			continue
+		}
+		client, err := DialPod(pod, p.link)
+		if err != nil {
+			return fmt.Errorf("executor: engine for %s: %w", pod.Name, err)
+		}
+		next = append(next, &engine{pod: pod, client: client})
+	}
+	for _, stale := range current {
+		stale.client.Close()
+	}
+	d.engines = next
+	return nil
+}
+
+// Scale implements Executor.
+func (p *Parsl) Scale(servableID string, replicas int) error {
+	p.mu.Lock()
+	d, ok := p.deps[servableID]
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotDeployed, servableID)
+	}
+	if err := p.cluster.Scale(d.image, replicas); err != nil {
+		return err
+	}
+	return p.connectEngines(d)
+}
+
+// Replicas implements Executor.
+func (p *Parsl) Replicas(servableID string) int {
+	p.mu.Lock()
+	d, ok := p.deps[servableID]
+	p.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	d.epMu.Lock()
+	defer d.epMu.Unlock()
+	return len(d.engines)
+}
+
+// Invoke implements Executor: enqueue for the dispatcher and wait.
+func (p *Parsl) Invoke(ctx context.Context, servableID string, input any) (Result, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Result{}, ErrClosed
+	}
+	d, ok := p.deps[servableID]
+	p.mu.Unlock()
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %s", ErrNotDeployed, servableID)
+	}
+	payload, err := json.Marshal(input)
+	if err != nil {
+		return Result{}, fmt.Errorf("executor: cannot marshal input: %w", err)
+	}
+	task := &parslTask{dep: d, payload: payload, ctx: ctx, done: make(chan taskOutcome, 1)}
+	select {
+	case p.tasks <- task:
+	case <-p.done:
+		return Result{}, ErrClosed
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	select {
+	case out := <-task.done:
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		var res Result
+		if err := json.Unmarshal(out.data, &res); err != nil {
+			return Result{}, fmt.Errorf("executor: bad pod response: %w", err)
+		}
+		return res, nil
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+}
+
+// Undeploy implements Executor.
+func (p *Parsl) Undeploy(servableID string) error {
+	p.mu.Lock()
+	d, ok := p.deps[servableID]
+	if ok {
+		delete(p.deps, servableID)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotDeployed, servableID)
+	}
+	d.epMu.Lock()
+	for _, e := range d.engines {
+		e.client.Close()
+	}
+	d.engines = nil
+	d.epMu.Unlock()
+	return p.cluster.DeleteDeployment(d.image)
+}
+
+// Close implements Executor.
+func (p *Parsl) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	ids := make([]string, 0, len(p.deps))
+	for id := range p.deps {
+		ids = append(ids, id)
+	}
+	p.mu.Unlock()
+	for _, id := range ids {
+		p.Undeploy(id) //nolint:errcheck — best-effort shutdown
+	}
+	close(p.done)
+	p.wg.Wait()
+}

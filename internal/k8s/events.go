@@ -1,0 +1,98 @@
+package k8s
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Events give the control plane an audit trail and let components watch
+// cluster activity (the kubectl-get-events / watch-API slice of
+// Kubernetes that operators rely on when debugging deployments).
+
+// EventType classifies a cluster event.
+type EventType string
+
+// Cluster event types.
+const (
+	EventPodScheduled     EventType = "PodScheduled"
+	EventPodStarted       EventType = "PodStarted"
+	EventPodFailed        EventType = "PodFailed"
+	EventPodDeleted       EventType = "PodDeleted"
+	EventDeploymentScaled EventType = "DeploymentScaled"
+)
+
+// Event is one recorded cluster occurrence.
+type Event struct {
+	Type   EventType
+	Object string // pod or deployment name
+	Detail string
+	At     time.Time
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%s %s %s: %s", e.At.Format(time.RFC3339), e.Type, e.Object, e.Detail)
+}
+
+// eventLog is the cluster's bounded event history plus watchers.
+type eventLog struct {
+	mu       sync.Mutex
+	events   []Event
+	watchers []chan Event
+	limit    int
+}
+
+func newEventLog(limit int) *eventLog {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &eventLog{limit: limit}
+}
+
+func (l *eventLog) record(t EventType, object, format string, args ...any) {
+	ev := Event{Type: t, Object: object, Detail: fmt.Sprintf(format, args...), At: time.Now()}
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	if len(l.events) > l.limit {
+		l.events = l.events[len(l.events)-l.limit:]
+	}
+	watchers := append([]chan Event(nil), l.watchers...)
+	l.mu.Unlock()
+	for _, ch := range watchers {
+		select {
+		case ch <- ev:
+		default: // slow watcher: drop rather than block the control plane
+		}
+	}
+}
+
+// Events returns a copy of the recorded history, oldest first.
+func (c *Cluster) Events() []Event {
+	c.log.mu.Lock()
+	defer c.log.mu.Unlock()
+	return append([]Event(nil), c.log.events...)
+}
+
+// Watch subscribes to future events. The returned cancel function must
+// be called to release the watcher. Slow consumers miss events rather
+// than stalling the cluster.
+func (c *Cluster) Watch(buffer int) (<-chan Event, func()) {
+	if buffer <= 0 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	c.log.mu.Lock()
+	c.log.watchers = append(c.log.watchers, ch)
+	c.log.mu.Unlock()
+	cancel := func() {
+		c.log.mu.Lock()
+		defer c.log.mu.Unlock()
+		for i, w := range c.log.watchers {
+			if w == ch {
+				c.log.watchers = append(c.log.watchers[:i], c.log.watchers[i+1:]...)
+				break
+			}
+		}
+	}
+	return ch, cancel
+}

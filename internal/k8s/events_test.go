@@ -1,0 +1,126 @@
+package k8s
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRecordLifecycle(t *testing.T) {
+	c := newTestCluster(t, 2, Resources{MilliCPU: 32000, MemMB: 64 * 1024})
+	if _, err := c.CreateDeployment("d", PodSpec{Image: "model", Requests: Resources{MilliCPU: 100}}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scale("d", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteDeployment("d"); err != nil {
+		t.Fatal(err)
+	}
+
+	counts := map[EventType]int{}
+	for _, ev := range c.Events() {
+		counts[ev.Type]++
+		if ev.Object == "" || ev.At.IsZero() {
+			t.Fatalf("malformed event: %+v", ev)
+		}
+	}
+	if counts[EventPodScheduled] != 3 || counts[EventPodStarted] != 3 {
+		t.Fatalf("want 3 scheduled/started, got %v", counts)
+	}
+	if counts[EventPodDeleted] != 3 {
+		t.Fatalf("want 3 deleted, got %v", counts)
+	}
+	if counts[EventDeploymentScaled] != 1 {
+		t.Fatalf("want 1 scale event, got %v", counts)
+	}
+}
+
+func TestEventsFailureRecorded(t *testing.T) {
+	c := newTestCluster(t, 1, Resources{MilliCPU: 32000, MemMB: 64 * 1024})
+	// Unknown image -> container start fails -> PodFailed event.
+	if _, err := c.RunPod("bad", PodSpec{Image: "ghost"}); err == nil {
+		t.Fatal("run with unknown image should fail")
+	}
+	found := false
+	for _, ev := range c.Events() {
+		if ev.Type == EventPodFailed && ev.Object == "bad" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("PodFailed event missing: %v", c.Events())
+	}
+}
+
+func TestWatchDeliversEvents(t *testing.T) {
+	c := newTestCluster(t, 1, Resources{MilliCPU: 32000, MemMB: 64 * 1024})
+	ch, cancel := c.Watch(16)
+	defer cancel()
+
+	if _, err := c.RunPod("p", PodSpec{Image: "model"}); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	deadline := time.After(2 * time.Second)
+	for len(got) < 2 {
+		select {
+		case ev := <-ch:
+			got = append(got, ev)
+		case <-deadline:
+			t.Fatalf("watcher starved: got %v", got)
+		}
+	}
+	if got[0].Type != EventPodScheduled || got[1].Type != EventPodStarted {
+		t.Fatalf("unexpected event order: %v", got)
+	}
+	if got[0].String() == "" {
+		t.Fatal("event String should render")
+	}
+}
+
+func TestWatchCancelStopsDelivery(t *testing.T) {
+	c := newTestCluster(t, 1, Resources{MilliCPU: 32000, MemMB: 64 * 1024})
+	ch, cancel := c.Watch(1)
+	cancel()
+	c.RunPod("p", PodSpec{Image: "model"}) //nolint:errcheck
+	select {
+	case ev := <-ch:
+		t.Fatalf("cancelled watcher received %v", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestSlowWatcherDoesNotBlockCluster(t *testing.T) {
+	c := newTestCluster(t, 1, Resources{MilliCPU: 32000, MemMB: 64 * 1024})
+	_, cancel := c.Watch(1) // buffer 1, never drained
+	defer cancel()
+	// Many events; the cluster must not stall.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			name := string(rune('a' + i))
+			c.RunPod(name, PodSpec{Image: "model"}) //nolint:errcheck
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("slow watcher blocked the control plane")
+	}
+}
+
+func TestEventLogBounded(t *testing.T) {
+	l := newEventLog(3)
+	for i := 0; i < 10; i++ {
+		l.record(EventPodStarted, "p", "n=%d", i)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.events) != 3 {
+		t.Fatalf("log should be bounded at 3, got %d", len(l.events))
+	}
+	if l.events[2].Detail != "n=9" {
+		t.Fatalf("should keep newest events: %v", l.events)
+	}
+}

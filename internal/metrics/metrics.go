@@ -1,0 +1,230 @@
+// Package metrics provides the measurement vocabulary of the paper's
+// evaluation (§V): per-request timers for inference/invocation/request
+// times, percentile summaries (median with 5th/95th percentile error
+// bars, as in Figs. 3-4), throughput series (Fig. 7) and makespan.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one observed duration.
+type Sample struct {
+	When  time.Time
+	Value time.Duration
+}
+
+// Series is a concurrency-safe collection of duration samples for one
+// named quantity (e.g. "invocation_time" of one servable).
+type Series struct {
+	Name string
+
+	mu      sync.Mutex
+	samples []time.Duration
+}
+
+// NewSeries returns an empty series with the given name.
+func NewSeries(name string) *Series {
+	return &Series{Name: name}
+}
+
+// Add records one sample.
+func (s *Series) Add(d time.Duration) {
+	s.mu.Lock()
+	s.samples = append(s.samples, d)
+	s.mu.Unlock()
+}
+
+// Time runs fn and records its wall-clock duration. It returns fn's error.
+func (s *Series) Time(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	s.Add(time.Since(start))
+	return err
+}
+
+// Len reports the number of samples recorded.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Snapshot returns a copy of the recorded samples.
+func (s *Series) Snapshot() []time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]time.Duration, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Stats computes the summary used throughout §V.
+func (s *Series) Stats() Stats {
+	return Compute(s.Snapshot())
+}
+
+// Stats summarizes a sample set the way the paper reports results:
+// median with 5th/95th percentile error bars, plus mean/min/max.
+type Stats struct {
+	N      int
+	Median time.Duration
+	P5     time.Duration
+	P95    time.Duration
+	Mean   time.Duration
+	Min    time.Duration
+	Max    time.Duration
+	Stddev time.Duration
+}
+
+// Compute summarizes samples. An empty input yields a zero Stats.
+func Compute(samples []time.Duration) Stats {
+	if len(samples) == 0 {
+		return Stats{}
+	}
+	sorted := make([]time.Duration, len(samples))
+	copy(sorted, samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum float64
+	for _, d := range sorted {
+		sum += float64(d)
+	}
+	mean := sum / float64(len(sorted))
+	var sq float64
+	for _, d := range sorted {
+		diff := float64(d) - mean
+		sq += diff * diff
+	}
+	std := math.Sqrt(sq / float64(len(sorted)))
+
+	return Stats{
+		N:      len(sorted),
+		Median: Percentile(sorted, 50),
+		P5:     Percentile(sorted, 5),
+		P95:    Percentile(sorted, 95),
+		Mean:   time.Duration(mean),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Stddev: time.Duration(std),
+	}
+}
+
+// Percentile returns the p-th percentile (0-100) of an ascending-sorted
+// slice using linear interpolation between closest ranks.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+func (st Stats) String() string {
+	return fmt.Sprintf("n=%d median=%s p5=%s p95=%s mean=%s",
+		st.N, st.Median.Round(time.Microsecond), st.P5.Round(time.Microsecond),
+		st.P95.Round(time.Microsecond), st.Mean.Round(time.Microsecond))
+}
+
+// Millis renders a duration as fractional milliseconds, the unit the
+// paper's figures use.
+func Millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Throughput is requests per second for n requests completed in makespan.
+func Throughput(n int, makespan time.Duration) float64 {
+	if makespan <= 0 {
+		return 0
+	}
+	return float64(n) / makespan.Seconds()
+}
+
+// Collector groups several named series, e.g. the request/invocation/
+// inference decomposition captured at the three measurement points of
+// §V-A.
+type Collector struct {
+	mu     sync.Mutex
+	series map[string]*Series
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{series: make(map[string]*Series)}
+}
+
+// Series returns the named series, creating it if needed.
+func (c *Collector) Series(name string) *Series {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.series[name]
+	if !ok {
+		s = NewSeries(name)
+		c.series[name] = s
+	}
+	return s
+}
+
+// Names returns the sorted names of all series.
+func (c *Collector) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.series))
+	for n := range c.series {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Histogram buckets durations into fixed-width bins for quick textual
+// distribution inspection.
+type Histogram struct {
+	Width   time.Duration
+	Buckets map[int]int
+
+	mu sync.Mutex
+}
+
+// NewHistogram creates a histogram with the given bucket width.
+func NewHistogram(width time.Duration) *Histogram {
+	if width <= 0 {
+		width = time.Millisecond
+	}
+	return &Histogram{Width: width, Buckets: make(map[int]int)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(d time.Duration) {
+	h.mu.Lock()
+	h.Buckets[int(d/h.Width)]++
+	h.mu.Unlock()
+}
+
+// Total returns the number of observations recorded.
+func (h *Histogram) Total() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, c := range h.Buckets {
+		n += c
+	}
+	return n
+}

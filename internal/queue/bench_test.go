@@ -1,0 +1,61 @@
+package queue
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkPushPullAck(b *testing.B) {
+	br := NewBroker(time.Minute)
+	defer br.Close()
+	body := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Push("bench", body, "", "")
+		msg, ok := br.Pull("bench", 0)
+		if !ok {
+			b.Fatal("message missing")
+		}
+		br.Ack("bench", msg.ID)
+	}
+}
+
+func BenchmarkRequestReply(b *testing.B) {
+	br := NewBroker(time.Minute)
+	defer br.Close()
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			msg, ok := br.Pull("svc", 50*time.Millisecond)
+			if ok {
+				br.Reply(msg, msg.Body)
+			}
+		}
+	}()
+	defer close(stop)
+	body := make([]byte, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := br.Request("svc", body, 5*time.Second); !ok {
+			b.Fatal("request timed out")
+		}
+	}
+}
+
+func BenchmarkConcurrentProducersConsumers(b *testing.B) {
+	br := NewBroker(time.Minute)
+	defer br.Close()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			br.Push("par", []byte("x"), "", "")
+			if msg, ok := br.Pull("par", time.Second); ok {
+				br.Ack("par", msg.ID)
+			}
+		}
+	})
+}

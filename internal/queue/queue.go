@@ -1,0 +1,299 @@
+// Package queue implements the ZeroMQ-style task conduit of §IV-A: the
+// Management Service "uses a ZeroMQ queue to send tasks to registered
+// Task Managers for execution. The queue provides a reliable messaging
+// model that ensures tasks are received and executed."
+//
+// The broker hosts named queues. Producers push messages; consumers pull
+// and must acknowledge within a visibility timeout or the message is
+// redelivered (at-least-once semantics). Request/reply is layered on top
+// with per-message ReplyTo queues, mirroring the paper's flow where Task
+// Managers "retrieve waiting tasks from the queue, unpackage the
+// request, execute the task, and return the results via the same queue."
+package queue
+
+import (
+	"container/list"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Message is one queued envelope.
+type Message struct {
+	// ID is assigned by the broker on enqueue.
+	ID string `json:"id"`
+	// Queue the message was published to.
+	Queue string `json:"queue"`
+	// ReplyTo names the queue where a reply should be pushed ("" if
+	// no reply is expected).
+	ReplyTo string `json:"reply_to,omitempty"`
+	// CorrelationID links a reply to its request.
+	CorrelationID string `json:"correlation_id,omitempty"`
+	// Body is the opaque payload.
+	Body []byte `json:"body"`
+	// Attempt counts deliveries (1 on first delivery).
+	Attempt int `json:"attempt"`
+}
+
+// NewID returns a random 128-bit hex identifier.
+func NewID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("queue: crypto/rand failed: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type pendingMsg struct {
+	msg      Message
+	deadline time.Time
+}
+
+type namedQueue struct {
+	mu      sync.Mutex
+	ready   *list.List // of Message
+	pending map[string]*pendingMsg
+	waiters *list.List // of chan Message
+}
+
+func newNamedQueue() *namedQueue {
+	return &namedQueue{ready: list.New(), pending: make(map[string]*pendingMsg), waiters: list.New()}
+}
+
+// Broker is an in-process message broker. Remote access goes through
+// the rpc-based Endpoint in transport.go; in-process components (tests,
+// single-binary deployments) use it directly.
+type Broker struct {
+	mu     sync.RWMutex
+	queues map[string]*namedQueue
+
+	visibility time.Duration
+	stopSweep  chan struct{}
+	sweepOnce  sync.Once
+}
+
+// NewBroker creates a broker whose unacknowledged deliveries become
+// visible again after the given timeout.
+func NewBroker(visibility time.Duration) *Broker {
+	if visibility <= 0 {
+		visibility = 30 * time.Second
+	}
+	b := &Broker{
+		queues:     make(map[string]*namedQueue),
+		visibility: visibility,
+		stopSweep:  make(chan struct{}),
+	}
+	go b.sweeper()
+	return b
+}
+
+// Close stops the redelivery sweeper.
+func (b *Broker) Close() { b.sweepOnce.Do(func() { close(b.stopSweep) }) }
+
+func (b *Broker) queue(name string) *namedQueue {
+	b.mu.RLock()
+	q, ok := b.queues[name]
+	b.mu.RUnlock()
+	if ok {
+		return q
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if q, ok = b.queues[name]; ok {
+		return q
+	}
+	q = newNamedQueue()
+	b.queues[name] = q
+	return q
+}
+
+// Push enqueues body on the named queue and returns the message ID.
+func (b *Broker) Push(queueName string, body []byte, replyTo, correlationID string) string {
+	msg := Message{
+		ID:            NewID(),
+		Queue:         queueName,
+		ReplyTo:       replyTo,
+		CorrelationID: correlationID,
+		Body:          body,
+	}
+	b.deliver(b.queue(queueName), msg)
+	return msg.ID
+}
+
+func (b *Broker) deliver(q *namedQueue, msg Message) {
+	q.mu.Lock()
+	// Hand directly to a waiting consumer when one is parked.
+	for q.waiters.Len() > 0 {
+		front := q.waiters.Front()
+		ch := front.Value.(chan Message)
+		q.waiters.Remove(front)
+		msg.Attempt++
+		q.pending[msg.ID] = &pendingMsg{msg: msg, deadline: time.Now().Add(b.visibility)}
+		q.mu.Unlock()
+		ch <- msg
+		return
+	}
+	q.ready.PushBack(msg)
+	q.mu.Unlock()
+}
+
+// Pull waits up to timeout for a message on the named queue. ok is false
+// on timeout. Delivered messages must be Ack'd before the visibility
+// timeout or they are requeued.
+func (b *Broker) Pull(queueName string, timeout time.Duration) (Message, bool) {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	if q.ready.Len() > 0 {
+		front := q.ready.Front()
+		msg := front.Value.(Message)
+		q.ready.Remove(front)
+		msg.Attempt++
+		q.pending[msg.ID] = &pendingMsg{msg: msg, deadline: time.Now().Add(b.visibility)}
+		q.mu.Unlock()
+		return msg, true
+	}
+	if timeout <= 0 {
+		q.mu.Unlock()
+		return Message{}, false
+	}
+	ch := make(chan Message, 1)
+	elem := q.waiters.PushBack(ch)
+	q.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case msg := <-ch:
+		return msg, true
+	case <-timer.C:
+		q.mu.Lock()
+		// Remove our waiter; a concurrent deliver may have already
+		// removed it and sent — check the channel once more.
+		q.waiters.Remove(elem)
+		q.mu.Unlock()
+		select {
+		case msg := <-ch:
+			return msg, true
+		default:
+			return Message{}, false
+		}
+	}
+}
+
+// Ack confirms processing of a delivered message, removing it from the
+// redelivery set. It reports whether the message was pending.
+func (b *Broker) Ack(queueName, msgID string) bool {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if _, ok := q.pending[msgID]; !ok {
+		return false
+	}
+	delete(q.pending, msgID)
+	return true
+}
+
+// Nack returns a delivered message to the queue immediately.
+func (b *Broker) Nack(queueName, msgID string) bool {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	p, ok := q.pending[msgID]
+	if !ok {
+		q.mu.Unlock()
+		return false
+	}
+	delete(q.pending, msgID)
+	q.mu.Unlock()
+	b.deliver(q, p.msg)
+	return true
+}
+
+// Len reports ready (not in-flight) messages on a queue.
+func (b *Broker) Len(queueName string) int {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.ready.Len()
+}
+
+// InFlight reports delivered-but-unacknowledged messages on a queue.
+func (b *Broker) InFlight(queueName string) int {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending)
+}
+
+// sweeper periodically requeues messages whose visibility expired.
+func (b *Broker) sweeper() {
+	interval := b.visibility / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-b.stopSweep:
+			return
+		case <-ticker.C:
+			b.sweep(time.Now())
+		}
+	}
+}
+
+func (b *Broker) sweep(now time.Time) {
+	b.mu.RLock()
+	queues := make([]*namedQueue, 0, len(b.queues))
+	for _, q := range b.queues {
+		queues = append(queues, q)
+	}
+	b.mu.RUnlock()
+	for _, q := range queues {
+		var expired []Message
+		q.mu.Lock()
+		for id, p := range q.pending {
+			if now.After(p.deadline) {
+				expired = append(expired, p.msg)
+				delete(q.pending, id)
+			}
+		}
+		q.mu.Unlock()
+		for _, msg := range expired {
+			b.deliver(q, msg)
+		}
+	}
+}
+
+// Request pushes body on queueName with a fresh reply queue, then waits
+// for the reply. It is the synchronous-invocation primitive of §IV-A.
+func (b *Broker) Request(queueName string, body []byte, timeout time.Duration) ([]byte, bool) {
+	replyQ := "reply." + NewID()
+	corr := NewID()
+	b.Push(queueName, body, replyQ, corr)
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false
+		}
+		msg, ok := b.Pull(replyQ, remaining)
+		if !ok {
+			return nil, false
+		}
+		b.Ack(replyQ, msg.ID)
+		if msg.CorrelationID == corr {
+			return msg.Body, true
+		}
+	}
+}
+
+// Reply pushes a response for msg onto its ReplyTo queue and acks the
+// original. It is a no-op for messages with no ReplyTo.
+func (b *Broker) Reply(msg Message, body []byte) {
+	if msg.ReplyTo != "" {
+		b.Push(msg.ReplyTo, body, "", msg.CorrelationID)
+	}
+	b.Ack(msg.Queue, msg.ID)
+}

@@ -1,0 +1,316 @@
+package queue
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPushPull(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	id := b.Push("tasks", []byte("work"), "", "")
+	if id == "" {
+		t.Fatal("Push should return an ID")
+	}
+	msg, ok := b.Pull("tasks", 0)
+	if !ok {
+		t.Fatal("Pull should find the message")
+	}
+	if string(msg.Body) != "work" || msg.ID != id || msg.Attempt != 1 {
+		t.Fatalf("wrong message: %+v", msg)
+	}
+	if !b.Ack("tasks", msg.ID) {
+		t.Fatal("Ack should succeed")
+	}
+}
+
+func TestPullTimeout(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	start := time.Now()
+	_, ok := b.Pull("empty", 50*time.Millisecond)
+	if ok {
+		t.Fatal("Pull on empty queue should time out")
+	}
+	if time.Since(start) < 45*time.Millisecond {
+		t.Fatal("Pull returned before timeout")
+	}
+}
+
+func TestPullWakesWaiter(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	done := make(chan Message, 1)
+	go func() {
+		msg, ok := b.Pull("tasks", 2*time.Second)
+		if ok {
+			done <- msg
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	b.Push("tasks", []byte("late"), "", "")
+	select {
+	case msg := <-done:
+		if string(msg.Body) != "late" {
+			t.Fatalf("wrong body %q", msg.Body)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken")
+	}
+}
+
+func TestVisibilityTimeoutRedelivers(t *testing.T) {
+	b := NewBroker(50 * time.Millisecond)
+	defer b.Close()
+	b.Push("tasks", []byte("flaky"), "", "")
+	msg, ok := b.Pull("tasks", 0)
+	if !ok {
+		t.Fatal("first delivery missing")
+	}
+	// Do not ack; expect redelivery.
+	msg2, ok := b.Pull("tasks", time.Second)
+	if !ok {
+		t.Fatal("message was not redelivered")
+	}
+	if msg2.ID != msg.ID {
+		t.Fatal("redelivered message has different ID")
+	}
+	if msg2.Attempt != 2 {
+		t.Fatalf("attempt should be 2, got %d", msg2.Attempt)
+	}
+	b.Ack("tasks", msg2.ID)
+	if _, ok := b.Pull("tasks", 100*time.Millisecond); ok {
+		t.Fatal("acked message should not be redelivered")
+	}
+}
+
+func TestNackImmediateRequeue(t *testing.T) {
+	b := NewBroker(time.Hour)
+	defer b.Close()
+	b.Push("tasks", []byte("retry-me"), "", "")
+	msg, _ := b.Pull("tasks", 0)
+	if !b.Nack("tasks", msg.ID) {
+		t.Fatal("Nack should succeed")
+	}
+	msg2, ok := b.Pull("tasks", 0)
+	if !ok || string(msg2.Body) != "retry-me" {
+		t.Fatal("nacked message should be immediately available")
+	}
+}
+
+func TestAckUnknown(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	if b.Ack("tasks", "nope") {
+		t.Fatal("Ack of unknown message should be false")
+	}
+	if b.Nack("tasks", "nope") {
+		t.Fatal("Nack of unknown message should be false")
+	}
+}
+
+func TestFIFOOrdering(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	for i := 0; i < 20; i++ {
+		b.Push("tasks", []byte{byte(i)}, "", "")
+	}
+	for i := 0; i < 20; i++ {
+		msg, ok := b.Pull("tasks", 0)
+		if !ok || msg.Body[0] != byte(i) {
+			t.Fatalf("FIFO violated at %d: %+v", i, msg)
+		}
+		b.Ack("tasks", msg.ID)
+	}
+}
+
+func TestRequestReply(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	go func() {
+		msg, ok := b.Pull("svc", 2*time.Second)
+		if !ok {
+			return
+		}
+		b.Reply(msg, append([]byte("echo:"), msg.Body...))
+	}()
+	out, ok := b.Request("svc", []byte("hi"), 2*time.Second)
+	if !ok {
+		t.Fatal("Request timed out")
+	}
+	if string(out) != "echo:hi" {
+		t.Fatalf("wrong reply %q", out)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	if _, ok := b.Request("nobody-home", []byte("x"), 50*time.Millisecond); ok {
+		t.Fatal("Request with no consumer should time out")
+	}
+}
+
+// Property: every pushed message is eventually delivered exactly once
+// when consumers ack promptly (at-least-once collapses to exactly-once
+// without failures).
+func TestAllMessagesDelivered(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	const n = 200
+	const consumers = 8
+	seen := make(map[string]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				msg, ok := b.Pull("bulk", 200*time.Millisecond)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				seen[string(msg.Body)]++
+				mu.Unlock()
+				b.Ack("bulk", msg.ID)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		b.Push("bulk", []byte(fmt.Sprintf("m%d", i)), "", "")
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("delivered %d distinct messages, want %d", len(seen), n)
+	}
+	for k, v := range seen {
+		if v != 1 {
+			t.Fatalf("message %s delivered %d times", k, v)
+		}
+	}
+}
+
+func TestQueueIsolation(t *testing.T) {
+	b := NewBroker(time.Second)
+	defer b.Close()
+	b.Push("a", []byte("for-a"), "", "")
+	if _, ok := b.Pull("b", 0); ok {
+		t.Fatal("queue b should be empty")
+	}
+	if msg, ok := b.Pull("a", 0); !ok || string(msg.Body) != "for-a" {
+		t.Fatal("queue a should hold its message")
+	}
+}
+
+func TestLenAndInFlight(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	b.Push("q", []byte("1"), "", "")
+	b.Push("q", []byte("2"), "", "")
+	if b.Len("q") != 2 || b.InFlight("q") != 0 {
+		t.Fatalf("want 2 ready/0 inflight, got %d/%d", b.Len("q"), b.InFlight("q"))
+	}
+	msg, _ := b.Pull("q", 0)
+	if b.Len("q") != 1 || b.InFlight("q") != 1 {
+		t.Fatalf("want 1 ready/1 inflight, got %d/%d", b.Len("q"), b.InFlight("q"))
+	}
+	b.Ack("q", msg.ID)
+	if b.InFlight("q") != 0 {
+		t.Fatal("ack should clear inflight")
+	}
+}
+
+func TestNewIDUnique(t *testing.T) {
+	f := func(_ int) bool { return NewID() != NewID() }
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- transport tests ---------------------------------------------------
+
+func startTransport(t *testing.T, b *Broker) *Client {
+	t.Helper()
+	srv := NewServer(b)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck
+	t.Cleanup(func() { srv.Close() })
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestTransportPushPullAck(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	c := startTransport(t, b)
+
+	id, err := c.Push("remote", []byte("payload"), "", "")
+	if err != nil || id == "" {
+		t.Fatalf("push failed: %v", err)
+	}
+	msg, ok, err := c.Pull("remote", time.Second)
+	if err != nil || !ok {
+		t.Fatalf("pull failed: ok=%v err=%v", ok, err)
+	}
+	if !bytes.Equal(msg.Body, []byte("payload")) {
+		t.Fatalf("wrong body %q", msg.Body)
+	}
+	if err := c.Ack("remote", msg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if b.InFlight("remote") != 0 {
+		t.Fatal("remote ack not applied")
+	}
+}
+
+func TestTransportRequestReply(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	c := startTransport(t, b)
+
+	// Remote consumer loop over a second client.
+	consumer := startTransport(t, b)
+	go func() {
+		msg, ok, err := consumer.Pull("svc", 2*time.Second)
+		if err != nil || !ok {
+			return
+		}
+		consumer.Reply(msg, []byte("pong")) //nolint:errcheck
+	}()
+
+	out, ok, err := c.Request("svc", []byte("ping"), 2*time.Second)
+	if err != nil || !ok {
+		t.Fatalf("request failed: ok=%v err=%v", ok, err)
+	}
+	if string(out) != "pong" {
+		t.Fatalf("wrong reply %q", out)
+	}
+}
+
+func TestTransportPullTimeout(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	c := startTransport(t, b)
+	_, ok, err := c.Pull("empty", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("pull on empty remote queue should time out")
+	}
+}

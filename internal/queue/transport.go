@@ -1,0 +1,197 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// Transport exposes a Broker over the binary RPC protocol so that the
+// Management Service (EC2) and Task Managers (Cooley) can share it
+// across netsim-shaped links, as in the paper's deployment.
+
+// Server wraps a broker for remote access.
+type Server struct {
+	broker *Broker
+	rpc    *rpc.Server
+}
+
+// NewServer returns a broker RPC server ready to Serve.
+func NewServer(b *Broker) *Server {
+	s := &Server{broker: b, rpc: rpc.NewServer()}
+	s.rpc.Handle("queue.push", s.handlePush)
+	s.rpc.Handle("queue.pull", s.handlePull)
+	s.rpc.Handle("queue.ack", s.handleAck)
+	s.rpc.Handle("queue.nack", s.handleNack)
+	return s
+}
+
+// Serve accepts connections on l until Close.
+func (s *Server) Serve(l net.Listener) error { return s.rpc.Serve(l) }
+
+// Close stops the RPC server (the broker itself is owned by the caller).
+func (s *Server) Close() error { return s.rpc.Close() }
+
+type pushReq struct {
+	Queue         string `json:"queue"`
+	Body          []byte `json:"body"`
+	ReplyTo       string `json:"reply_to"`
+	CorrelationID string `json:"correlation_id"`
+}
+
+type pullReq struct {
+	Queue     string `json:"queue"`
+	TimeoutMS int64  `json:"timeout_ms"`
+}
+
+type pullResp struct {
+	OK  bool    `json:"ok"`
+	Msg Message `json:"msg"`
+}
+
+type ackReq struct {
+	Queue string `json:"queue"`
+	MsgID string `json:"msg_id"`
+}
+
+func (s *Server) handlePush(_ context.Context, payload []byte) ([]byte, error) {
+	var req pushReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("queue: bad push request: %w", err)
+	}
+	id := s.broker.Push(req.Queue, req.Body, req.ReplyTo, req.CorrelationID)
+	return json.Marshal(map[string]string{"id": id})
+}
+
+func (s *Server) handlePull(_ context.Context, payload []byte) ([]byte, error) {
+	var req pullReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("queue: bad pull request: %w", err)
+	}
+	msg, ok := s.broker.Pull(req.Queue, time.Duration(req.TimeoutMS)*time.Millisecond)
+	return json.Marshal(pullResp{OK: ok, Msg: msg})
+}
+
+func (s *Server) handleAck(_ context.Context, payload []byte) ([]byte, error) {
+	var req ackReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("queue: bad ack request: %w", err)
+	}
+	ok := s.broker.Ack(req.Queue, req.MsgID)
+	return json.Marshal(map[string]bool{"ok": ok})
+}
+
+func (s *Server) handleNack(_ context.Context, payload []byte) ([]byte, error) {
+	var req ackReq
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("queue: bad nack request: %w", err)
+	}
+	ok := s.broker.Nack(req.Queue, req.MsgID)
+	return json.Marshal(map[string]bool{"ok": ok})
+}
+
+// Client gives remote components the Broker API over a (possibly
+// netsim-shaped) connection.
+type Client struct {
+	rc *rpc.Client
+}
+
+// NewClient wraps an established connection to a queue Server.
+func NewClient(conn net.Conn) *Client { return &Client{rc: rpc.NewClient(conn)} }
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.rc.Close() }
+
+// Push enqueues remotely; it returns the broker-assigned message ID.
+func (c *Client) Push(queueName string, body []byte, replyTo, correlationID string) (string, error) {
+	payload, err := json.Marshal(pushReq{Queue: queueName, Body: body, ReplyTo: replyTo, CorrelationID: correlationID})
+	if err != nil {
+		return "", err
+	}
+	out, err := c.rc.Call(context.Background(), "queue.push", payload)
+	if err != nil {
+		return "", err
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return "", err
+	}
+	return resp["id"], nil
+}
+
+// Pull long-polls the remote queue. ok is false on timeout.
+func (c *Client) Pull(queueName string, timeout time.Duration) (Message, bool, error) {
+	payload, err := json.Marshal(pullReq{Queue: queueName, TimeoutMS: timeout.Milliseconds()})
+	if err != nil {
+		return Message{}, false, err
+	}
+	// Give the RPC itself headroom beyond the poll timeout.
+	ctx, cancel := context.WithTimeout(context.Background(), timeout+10*time.Second)
+	defer cancel()
+	out, err := c.rc.Call(ctx, "queue.pull", payload)
+	if err != nil {
+		return Message{}, false, err
+	}
+	var resp pullResp
+	if err := json.Unmarshal(out, &resp); err != nil {
+		return Message{}, false, err
+	}
+	return resp.Msg, resp.OK, nil
+}
+
+// Ack confirms processing of a delivered message.
+func (c *Client) Ack(queueName, msgID string) error {
+	payload, _ := json.Marshal(ackReq{Queue: queueName, MsgID: msgID})
+	_, err := c.rc.Call(context.Background(), "queue.ack", payload)
+	return err
+}
+
+// Nack requeues a delivered message immediately.
+func (c *Client) Nack(queueName, msgID string) error {
+	payload, _ := json.Marshal(ackReq{Queue: queueName, MsgID: msgID})
+	_, err := c.rc.Call(context.Background(), "queue.nack", payload)
+	return err
+}
+
+// Reply pushes a response onto msg's ReplyTo queue and acks the original.
+func (c *Client) Reply(msg Message, body []byte) error {
+	if msg.ReplyTo != "" {
+		if _, err := c.Push(msg.ReplyTo, body, "", msg.CorrelationID); err != nil {
+			return err
+		}
+	}
+	return c.Ack(msg.Queue, msg.ID)
+}
+
+// Request pushes body and waits for the correlated reply.
+func (c *Client) Request(queueName string, body []byte, timeout time.Duration) ([]byte, bool, error) {
+	replyQ := "reply." + NewID()
+	corr := NewID()
+	if _, err := c.Push(queueName, body, replyQ, corr); err != nil {
+		return nil, false, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, false, nil
+		}
+		msg, ok, err := c.Pull(replyQ, remaining)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		if err := c.Ack(replyQ, msg.ID); err != nil {
+			return nil, false, err
+		}
+		if msg.CorrelationID == corr {
+			return msg.Body, true, nil
+		}
+	}
+}

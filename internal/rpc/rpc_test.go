@@ -1,0 +1,322 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func startServer(t *testing.T, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l) //nolint:errcheck
+	t.Cleanup(func() { s.Close() })
+	return l.Addr().String()
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{typ: frameRequest, id: 42, method: "predict", payload: []byte("data")}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.typ != in.typ || out.id != in.id || out.method != in.method || !bytes.Equal(out.payload, in.payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(id uint64, method string, payload []byte) bool {
+		if len(method) > 1000 {
+			method = method[:1000]
+		}
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, frame{typ: frameResponse, id: id, method: method, payload: payload}); err != nil {
+			return false
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.id == id && out.method == method && bytes.Equal(out.payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	if err := writeFrame(&bytes.Buffer{}, frame{payload: make([]byte, MaxFrameSize)}); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// Corrupt header claiming a giant frame.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge on read, got %v", err)
+	}
+}
+
+func TestCallEcho(t *testing.T) {
+	s := NewServer()
+	s.Handle("echo", func(_ context.Context, p []byte) ([]byte, error) { return p, nil })
+	addr := startServer(t, s)
+
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out, err := c.Call(context.Background(), "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "ping" {
+		t.Fatalf("echo returned %q", out)
+	}
+}
+
+func TestCallUnknownMethod(t *testing.T) {
+	addr := startServer(t, NewServer())
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Call(context.Background(), "nope", nil)
+	var re RemoteError
+	if !errors.As(err, &re) || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("want RemoteError about unknown method, got %v", err)
+	}
+}
+
+func TestCallHandlerError(t *testing.T) {
+	s := NewServer()
+	s.Handle("fail", func(_ context.Context, _ []byte) ([]byte, error) {
+		return nil, errors.New("model exploded")
+	})
+	addr := startServer(t, s)
+	c, _ := Dial(addr)
+	defer c.Close()
+	_, err := c.Call(context.Background(), "fail", nil)
+	if err == nil || !strings.Contains(err.Error(), "model exploded") {
+		t.Fatalf("want remote error, got %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplexed(t *testing.T) {
+	s := NewServer()
+	s.Handle("slow", func(_ context.Context, p []byte) ([]byte, error) {
+		time.Sleep(20 * time.Millisecond)
+		return p, nil
+	})
+	addr := startServer(t, s)
+	c, _ := Dial(addr)
+	defer c.Close()
+
+	const n = 16
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			want := fmt.Sprintf("req-%d", i)
+			out, err := c.Call(context.Background(), "slow", []byte(want))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if string(out) != want {
+				errs[i] = fmt.Errorf("response mismatch: %q != %q", out, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// If calls were serialized this would take >= 320ms.
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("calls not multiplexed: %v for %d concurrent 20ms calls", elapsed, n)
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	s := NewServer()
+	s.Handle("hang", func(_ context.Context, _ []byte) ([]byte, error) {
+		time.Sleep(5 * time.Second)
+		return nil, nil
+	})
+	addr := startServer(t, s)
+	c, _ := Dial(addr)
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Call(ctx, "hang", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline exceeded, got %v", err)
+	}
+}
+
+func TestClientClosePendingCallsFail(t *testing.T) {
+	s := NewServer()
+	s.Handle("hang", func(_ context.Context, _ []byte) ([]byte, error) {
+		time.Sleep(5 * time.Second)
+		return nil, nil
+	})
+	addr := startServer(t, s)
+	c, _ := Dial(addr)
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(context.Background(), "hang", nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pending call should fail after close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call did not return after close")
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	addr := startServer(t, NewServer())
+	c, _ := Dial(addr)
+	c.Close()
+	if _, err := c.Call(context.Background(), "x", nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("want ErrClientClosed, got %v", err)
+	}
+}
+
+func TestEncodeDecodeFloats(t *testing.T) {
+	in := []float32{0, 1.5, -3.25, 1e-8, 3e8}
+	out, err := DecodeFloats(EncodeFloats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("length mismatch %d != %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("element %d: %v != %v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestDecodeFloatsCorrupt(t *testing.T) {
+	if _, err := DecodeFloats([]byte{1, 2}); err == nil {
+		t.Fatal("short payload should fail")
+	}
+	// Declares 100 floats but provides none.
+	bad := EncodeFloats(nil)
+	bad[0] = 100
+	if _, err := DecodeFloats(bad); err == nil {
+		t.Fatal("length overrun should fail")
+	}
+}
+
+func TestFloatsRoundTripProperty(t *testing.T) {
+	f := func(in []float32) bool {
+		out, err := DecodeFloats(EncodeFloats(in))
+		if err != nil || len(out) != len(in) {
+			return false
+		}
+		for i := range in {
+			// NaN != NaN; compare bit patterns.
+			if in[i] != out[i] && !(in[i] != in[i] && out[i] != out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRESTHelpers(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			var in map[string]any
+			if err := ReadJSON(r, &in); err != nil {
+				WriteError(w, 400, "bad body: %v", err)
+				return
+			}
+			WriteJSON(w, 200, map[string]any{"echo": in["msg"]})
+		case "/err":
+			WriteError(w, 500, "kaboom %d", 7)
+		case "/get":
+			WriteJSON(w, 200, map[string]int{"n": 3})
+		}
+	}))
+	defer srv.Close()
+
+	var out map[string]any
+	if err := PostJSON(srv.Client(), srv.URL+"/ok", map[string]string{"msg": "hi"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["echo"] != "hi" {
+		t.Fatalf("echo = %v", out["echo"])
+	}
+
+	err := PostJSON(srv.Client(), srv.URL+"/err", map[string]string{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "kaboom 7") {
+		t.Fatalf("want kaboom error envelope, got %v", err)
+	}
+
+	var got map[string]int
+	if err := GetJSON(srv.Client(), srv.URL+"/get", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["n"] != 3 {
+		t.Fatalf("GetJSON got %v", got)
+	}
+}
+
+func TestServerCloseUnblocksServe(t *testing.T) {
+	s := NewServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	time.Sleep(10 * time.Millisecond)
+	s.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("want net.ErrClosed, got %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+}

@@ -1,0 +1,171 @@
+package schema
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func validDoc() *Document {
+	return &Document{
+		Publication: Publication{
+			Name:    "cifar10",
+			Title:   "CIFAR-10 CNN",
+			Authors: []string{"Chard, Ryan"},
+		},
+		Servable: Servable{
+			Type:            TypeKeras,
+			ModelComponents: map[string]string{"weights": "model.wt"},
+			Input:           DataType{Kind: "ndarray", Shape: []int{32, 32, 3}},
+			Output:          DataType{Kind: "list", ItemKind: "float"},
+		},
+	}
+}
+
+func TestValidateHappyPath(t *testing.T) {
+	if err := Validate(validDoc()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateNameRules(t *testing.T) {
+	bad := []string{"", "UPPER", "-leading", "has space", strings.Repeat("x", 80)}
+	for _, name := range bad {
+		d := validDoc()
+		d.Publication.Name = name
+		if err := Validate(d); !errors.Is(err, ErrInvalid) {
+			t.Errorf("name %q should be invalid", name)
+		}
+	}
+	good := []string{"a", "model-1", "my.model_2"}
+	for _, name := range good {
+		d := validDoc()
+		d.Publication.Name = name
+		if err := Validate(d); err != nil {
+			t.Errorf("name %q should be valid: %v", name, err)
+		}
+	}
+}
+
+func TestValidateMissingFields(t *testing.T) {
+	d := validDoc()
+	d.Publication.Title = ""
+	d.Publication.Authors = nil
+	err := Validate(d)
+	if !errors.Is(err, ErrInvalid) {
+		t.Fatal("want invalid")
+	}
+	if !strings.Contains(err.Error(), "title") || !strings.Contains(err.Error(), "authors") {
+		t.Fatalf("error should list all problems: %v", err)
+	}
+}
+
+func TestValidateTypeSpecific(t *testing.T) {
+	d := validDoc()
+	d.Servable.Type = TypePythonFunction
+	d.Servable.Entry = "nocolon"
+	if err := Validate(d); !errors.Is(err, ErrInvalid) {
+		t.Fatal("python_function without module:function entry should fail")
+	}
+	d.Servable.Entry = "app:predict"
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+
+	p := validDoc()
+	p.Servable.Type = TypePipeline
+	p.Servable.Steps = []string{"only-one"}
+	if err := Validate(p); !errors.Is(err, ErrInvalid) {
+		t.Fatal("pipeline with one step should fail")
+	}
+	p.Servable.Steps = []string{"a", "b", "c"}
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+
+	k := validDoc()
+	k.Servable.ModelComponents = nil
+	if err := Validate(k); !errors.Is(err, ErrInvalid) {
+		t.Fatal("keras without components should fail")
+	}
+
+	u := validDoc()
+	u.Servable.Type = "caffe2"
+	if err := Validate(u); !errors.Is(err, ErrInvalid) {
+		t.Fatal("unknown type should fail")
+	}
+}
+
+func TestValidateDataTypes(t *testing.T) {
+	d := validDoc()
+	d.Servable.Input = DataType{Kind: "tensor9"}
+	if err := Validate(d); !errors.Is(err, ErrInvalid) {
+		t.Fatal("unknown kind should fail")
+	}
+	d.Servable.Input = DataType{Kind: "ndarray", Shape: []int{0}}
+	if err := Validate(d); !errors.Is(err, ErrInvalid) {
+		t.Fatal("zero axis should fail")
+	}
+	d.Servable.Input = DataType{Kind: "ndarray", Shape: []int{-1, 3}}
+	if err := Validate(d); err != nil {
+		t.Fatalf("-1 free axis should be allowed: %v", err)
+	}
+	d.Servable.Input = DataType{}
+	if err := Validate(d); !errors.Is(err, ErrInvalid) {
+		t.Fatal("missing kind should fail")
+	}
+}
+
+func TestFlatten(t *testing.T) {
+	d := validDoc()
+	d.ID = "rchard/cifar10"
+	d.Owner = "urn:identity:orcid:rchard"
+	d.Version = 3
+	d.PublishedAt = time.Unix(1700000000, 0)
+	d.Publication.Domains = []string{"vision"}
+	m := Flatten(d)
+
+	if m["id"] != "rchard/cifar10" || m["type"] != "keras" || m["version"] != 3 {
+		t.Fatalf("flatten wrong: %v", m)
+	}
+	if m["published_at"] != int64(1700000000) {
+		t.Fatalf("published_at should be unix seconds, got %v", m["published_at"])
+	}
+	if _, ok := m["identifier"]; ok {
+		t.Fatal("empty strings should be dropped")
+	}
+	if _, ok := m["steps"]; ok {
+		t.Fatal("empty steps should be dropped")
+	}
+	doms, ok := m["domains"].([]string)
+	if !ok || doms[0] != "vision" {
+		t.Fatalf("domains wrong: %v", m["domains"])
+	}
+}
+
+func TestDocumentJSONRoundTrip(t *testing.T) {
+	d := validDoc()
+	d.Servable.Hyperparameters = map[string]json.RawMessage{"lr": json.RawMessage("0.001")}
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Document
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Publication.Name != d.Publication.Name || back.Servable.Type != d.Servable.Type {
+		t.Fatal("round trip lost data")
+	}
+	if string(back.Servable.Hyperparameters["lr"]) != "0.001" {
+		t.Fatal("hyperparameters lost")
+	}
+}
+
+func TestValidTypesComplete(t *testing.T) {
+	if len(ValidTypes()) != 5 {
+		t.Fatalf("expected 5 model types, got %d", len(ValidTypes()))
+	}
+}

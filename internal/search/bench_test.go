@@ -1,0 +1,75 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+)
+
+// corpus builds an n-document index shaped like a model repository.
+func corpus(n int) *Index {
+	ix := NewIndex()
+	domains := []string{"materials science", "cancer research", "cosmology", "neuroanatomy", "genomics"}
+	types := []string{"keras", "tensorflow", "sklearn", "python_function"}
+	for i := 0; i < n; i++ {
+		ix.Ingest(Doc{
+			ID: fmt.Sprintf("user%d/model%d", i%50, i),
+			Fields: map[string]any{
+				"title":       fmt.Sprintf("model %d for %s prediction", i, domains[i%len(domains)]),
+				"description": "a machine learning model predicting properties from structured scientific data",
+				"type":        types[i%len(types)],
+				"domains":     []string{domains[i%len(domains)]},
+				"year":        2014 + i%6,
+			},
+			VisibleTo: []string{"public"},
+		})
+	}
+	return ix
+}
+
+func BenchmarkIngest(b *testing.B) {
+	ix := NewIndex()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Ingest(Doc{
+			ID:        fmt.Sprintf("d%d", i),
+			Fields:    map[string]any{"title": "benchmark model ingest path", "year": 2019},
+			VisibleTo: []string{"public"},
+		})
+	}
+}
+
+func BenchmarkFreeTextSearch(b *testing.B) {
+	ix := corpus(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ix.Search(Query{Must: []Clause{{FreeText: "cancer prediction"}}, Limit: 10})
+		if r.Total == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkFacetedSearch(b *testing.B) {
+	ix := corpus(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ix.Search(Query{
+			Must:    []Clause{{Field: "type", Term: "keras"}},
+			FacetOn: []string{"domains", "year"},
+		})
+		if r.Total == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}
+
+func BenchmarkRangeQuery(b *testing.B) {
+	ix := corpus(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ix.Search(Query{Must: []Clause{{Field: "year", Range: &Range{Min: 2016, Max: 2018}}}})
+		if r.Total == 0 {
+			b.Fatal("no hits")
+		}
+	}
+}

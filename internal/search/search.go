@@ -1,0 +1,349 @@
+// Package search is the Globus-Search-like metadata index of §IV-A:
+// "DLHub's search interface supports fine-grained, access-controlled
+// queries over model metadata ... free text queries, partial matching,
+// range queries, faceted search, and more."
+//
+// Documents are flat maps of dotted field names to scalars or string
+// lists. The index maintains an inverted index for text fields, sorted
+// numeric postings for range queries, and a per-document principal list
+// ("visible_to") applied as a mandatory filter on every query.
+package search
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"unicode"
+)
+
+// Doc is an indexed document.
+type Doc struct {
+	ID     string
+	Fields map[string]any
+	// VisibleTo lists ACL principals that may see this document.
+	VisibleTo []string
+}
+
+// ErrNotFound is returned when a document ID is absent.
+var ErrNotFound = errors.New("search: document not found")
+
+// Index is a concurrency-safe in-memory search index.
+type Index struct {
+	mu   sync.RWMutex
+	docs map[string]*Doc
+	// inverted: field -> token -> docID set.
+	inverted map[string]map[string]map[string]bool
+	// numeric: field -> docID -> value (range queries scan; fine at
+	// repository scale).
+	numeric map[string]map[string]float64
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{
+		docs:     make(map[string]*Doc),
+		inverted: make(map[string]map[string]map[string]bool),
+		numeric:  make(map[string]map[string]float64),
+	}
+}
+
+// Tokenize lower-cases and splits on non-alphanumeric runes.
+func Tokenize(s string) []string {
+	return strings.FieldsFunc(strings.ToLower(s), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+}
+
+// Ingest adds or replaces a document.
+func (ix *Index) Ingest(doc Doc) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[doc.ID]; ok {
+		ix.removeLocked(doc.ID)
+	}
+	stored := &Doc{ID: doc.ID, Fields: make(map[string]any, len(doc.Fields)), VisibleTo: append([]string(nil), doc.VisibleTo...)}
+	for k, v := range doc.Fields {
+		stored.Fields[k] = v
+	}
+	ix.docs[doc.ID] = stored
+
+	for field, value := range stored.Fields {
+		switch v := value.(type) {
+		case string:
+			ix.indexTokens(field, v, doc.ID)
+		case []string:
+			for _, s := range v {
+				ix.indexTokens(field, s, doc.ID)
+			}
+		case int:
+			ix.indexNumber(field, float64(v), doc.ID)
+		case int64:
+			ix.indexNumber(field, float64(v), doc.ID)
+		case float64:
+			ix.indexNumber(field, v, doc.ID)
+		}
+	}
+}
+
+func (ix *Index) indexTokens(field, text, docID string) {
+	for _, tok := range Tokenize(text) {
+		byTok, ok := ix.inverted[field]
+		if !ok {
+			byTok = make(map[string]map[string]bool)
+			ix.inverted[field] = byTok
+		}
+		set, ok := byTok[tok]
+		if !ok {
+			set = make(map[string]bool)
+			byTok[tok] = set
+		}
+		set[docID] = true
+	}
+}
+
+func (ix *Index) indexNumber(field string, v float64, docID string) {
+	byDoc, ok := ix.numeric[field]
+	if !ok {
+		byDoc = make(map[string]float64)
+		ix.numeric[field] = byDoc
+	}
+	byDoc[docID] = v
+}
+
+// Delete removes a document. It returns ErrNotFound for unknown IDs.
+func (ix *Index) Delete(id string) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if _, ok := ix.docs[id]; !ok {
+		return ErrNotFound
+	}
+	ix.removeLocked(id)
+	return nil
+}
+
+func (ix *Index) removeLocked(id string) {
+	delete(ix.docs, id)
+	for _, byTok := range ix.inverted {
+		for tok, set := range byTok {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(byTok, tok)
+			}
+		}
+	}
+	for _, byDoc := range ix.numeric {
+		delete(byDoc, id)
+	}
+}
+
+// Get fetches a document without ACL checks (repository internals).
+func (ix *Index) Get(id string) (*Doc, error) {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	d, ok := ix.docs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return copyDoc(d), nil
+}
+
+// Len reports the number of indexed documents.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+func copyDoc(d *Doc) *Doc {
+	out := &Doc{ID: d.ID, Fields: make(map[string]any, len(d.Fields)), VisibleTo: append([]string(nil), d.VisibleTo...)}
+	for k, v := range d.Fields {
+		out.Fields[k] = v
+	}
+	return out
+}
+
+// --- query model --------------------------------------------------------
+
+// Clause is one boolean constraint.
+type Clause struct {
+	// Exactly one of the following is set.
+
+	// FreeText matches tokens across all text fields (scored).
+	FreeText string
+	// Field + one matcher below for fielded constraints.
+	Field string
+	// Term requires an exact token in Field.
+	Term string
+	// Prefix requires a token with the given prefix in Field (partial
+	// matching).
+	Prefix string
+	// Range requires Field's numeric value within [Min,Max] (either
+	// bound may be NaN for open).
+	Range *Range
+}
+
+// Range is a numeric interval; use math.NaN() for an open bound.
+type Range struct{ Min, Max float64 }
+
+// Query combines clauses (all must match) with optional facets.
+type Query struct {
+	Must []Clause
+	// FacetOn lists fields whose value distribution over the result
+	// set should be returned.
+	FacetOn []string
+	// Principals is the caller's ACL identity set; documents whose
+	// VisibleTo does not intersect it are invisible. Empty principals
+	// see only documents visible to "public".
+	Principals []string
+	// Limit bounds results (0 = no limit).
+	Limit int
+}
+
+// Hit is one scored result.
+type Hit struct {
+	Doc   *Doc
+	Score float64
+}
+
+// Result is a query response.
+type Result struct {
+	Hits   []Hit
+	Total  int
+	Facets map[string]map[string]int
+}
+
+// Search evaluates q.
+func (ix *Index) Search(q Query) Result {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	// Start from all ACL-visible docs, then intersect clause by clause.
+	candidates := make(map[string]float64) // docID -> score
+	for id, doc := range ix.docs {
+		if visible(doc, q.Principals) {
+			candidates[id] = 0
+		}
+	}
+	for _, c := range q.Must {
+		matched := ix.evalClause(c)
+		for id := range candidates {
+			sc, ok := matched[id]
+			if !ok {
+				delete(candidates, id)
+				continue
+			}
+			candidates[id] += sc
+		}
+	}
+
+	hits := make([]Hit, 0, len(candidates))
+	for id, score := range candidates {
+		hits = append(hits, Hit{Doc: copyDoc(ix.docs[id]), Score: score})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].Doc.ID < hits[j].Doc.ID
+	})
+
+	res := Result{Total: len(hits)}
+	if len(q.FacetOn) > 0 {
+		// Facets are computed over the full result set, not the
+		// returned page.
+		res.Facets = make(map[string]map[string]int)
+		for _, field := range q.FacetOn {
+			counts := make(map[string]int)
+			for _, h := range hits {
+				switch v := h.Doc.Fields[field].(type) {
+				case string:
+					counts[v]++
+				case []string:
+					for _, s := range v {
+						counts[s]++
+					}
+				case int:
+					counts[fmt.Sprint(v)]++
+				case int64:
+					counts[fmt.Sprint(v)]++
+				case float64:
+					counts[fmt.Sprint(v)]++
+				}
+			}
+			res.Facets[field] = counts
+		}
+	}
+	if q.Limit > 0 && len(hits) > q.Limit {
+		hits = hits[:q.Limit]
+	}
+	res.Hits = hits
+	return res
+}
+
+func visible(d *Doc, principals []string) bool {
+	for _, v := range d.VisibleTo {
+		if v == "public" {
+			return true
+		}
+		for _, p := range principals {
+			if v == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalClause returns matching docID -> score contribution.
+func (ix *Index) evalClause(c Clause) map[string]float64 {
+	out := make(map[string]float64)
+	switch {
+	case c.FreeText != "":
+		// TF-IDF-ish: rarer tokens score higher; any-token match (OR
+		// within the clause), all-clause AND at the query level.
+		n := float64(len(ix.docs))
+		for _, tok := range Tokenize(c.FreeText) {
+			for _, byTok := range ix.inverted {
+				if set, ok := byTok[tok]; ok {
+					idf := math.Log(1 + n/float64(len(set)))
+					for id := range set {
+						out[id] += idf
+					}
+				}
+			}
+		}
+	case c.Term != "":
+		tok := strings.ToLower(c.Term)
+		if byTok, ok := ix.inverted[c.Field]; ok {
+			if set, ok := byTok[tok]; ok {
+				for id := range set {
+					out[id] += 1
+				}
+			}
+		}
+	case c.Prefix != "":
+		pre := strings.ToLower(c.Prefix)
+		if byTok, ok := ix.inverted[c.Field]; ok {
+			for tok, set := range byTok {
+				if strings.HasPrefix(tok, pre) {
+					for id := range set {
+						out[id] += 1
+					}
+				}
+			}
+		}
+	case c.Range != nil:
+		if byDoc, ok := ix.numeric[c.Field]; ok {
+			for id, v := range byDoc {
+				if (math.IsNaN(c.Range.Min) || v >= c.Range.Min) &&
+					(math.IsNaN(c.Range.Max) || v <= c.Range.Max) {
+					out[id] += 1
+				}
+			}
+		}
+	}
+	return out
+}

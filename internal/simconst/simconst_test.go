@@ -1,0 +1,53 @@
+package simconst
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPaperConstants(t *testing.T) {
+	// §V-A: "The average Internet Protocol round-trip-time between the
+	// Task Manager and PetrelKube ... is 0.17ms. The Management Service
+	// ... has an average round-trip-time to the Task Manager of 20.7ms."
+	if RTTManagementToTM != 20700*time.Microsecond {
+		t.Fatalf("MS<->TM RTT must be the paper's 20.7ms, got %v", RTTManagementToTM)
+	}
+	if RTTTMToCluster != 170*time.Microsecond {
+		t.Fatalf("TM<->cluster RTT must be the paper's 0.17ms, got %v", RTTTMToCluster)
+	}
+}
+
+func TestScaleD(t *testing.T) {
+	old := Scale
+	defer func() { Scale = old }()
+
+	Scale = 1
+	if D(100*time.Millisecond) != 100*time.Millisecond {
+		t.Fatal("scale 1 must be identity")
+	}
+	Scale = 10
+	if D(100*time.Millisecond) != 10*time.Millisecond {
+		t.Fatalf("scale 10 should compress 10x, got %v", D(100*time.Millisecond))
+	}
+	Scale = 1000
+	if D(time.Second) != time.Millisecond {
+		t.Fatalf("scale 1000 wrong: %v", D(time.Second))
+	}
+}
+
+func TestRelativeMagnitudes(t *testing.T) {
+	// The experiments depend on these orderings; breaking them silently
+	// changes every figure's shape.
+	if RTTTMToCluster >= RTTManagementToTM {
+		t.Fatal("lab RTT must be far below WAN RTT")
+	}
+	if PythonCallFactor <= 1 {
+		t.Fatal("Python must be slower than the native runtime (Fig. 8)")
+	}
+	if DispatchOverhead <= 0 || DispatchOverhead >= 10*time.Millisecond {
+		t.Fatal("dispatch overhead out of plausible range (Fig. 7 ceiling)")
+	}
+	if ContainerStartLatency < 50*time.Millisecond {
+		t.Fatal("container start must be deployment-scale, not request-scale")
+	}
+}

@@ -1,0 +1,529 @@
+// Package taskmanager implements the DLHub Task Manager of §IV-B: a
+// per-site agent that "is responsible for monitoring the DLHub task
+// queue(s) and then executing waiting tasks ... deploying servables
+// using one of the supported executors and then routing tasks to
+// appropriate servables. When a Task Manager is first deployed it
+// registers itself with the Management Service and specifies which
+// executors and DLHub servables it can launch."
+//
+// The Task Manager also owns the memoization cache of §V-B2/§V-B5: "Parsl
+// maintains a cache at the Task Manager, greatly reducing serving
+// latency" — cached hits answer without touching the cluster at all,
+// the structural contrast with Clipper's in-cluster cache.
+package taskmanager
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/executor"
+	"repro/internal/queue"
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+// Queue names shared with the Management Service.
+const (
+	RegisterQueue = "dlhub.register"
+	TaskQueueFmt  = "dlhub.tasks.%s" // per-TM task queue
+)
+
+// TaskQueue returns the task queue name for a TM id.
+func TaskQueue(tmID string) string { return fmt.Sprintf(TaskQueueFmt, tmID) }
+
+// Task is the wire format of one queued task.
+type Task struct {
+	ID       string `json:"id"`
+	Kind     string `json:"kind"` // run | run_batch | pipeline | deploy | scale | undeploy | ping
+	Servable string `json:"servable,omitempty"`
+	// Executor routes deploys ("parsl" default; "tfserving-grpc",
+	// "tfserving-rest", "sagemaker", "clipper" for comparisons).
+	Executor string   `json:"executor,omitempty"`
+	Input    any      `json:"input,omitempty"`
+	Inputs   []any    `json:"inputs,omitempty"` // batch
+	Steps    []string `json:"steps,omitempty"`  // pipeline
+	Replicas int      `json:"replicas,omitempty"`
+	NoMemo   bool     `json:"no_memo,omitempty"` // per-task memo override
+	// Package carries the servable package for deploys.
+	Package *PackageWire `json:"package,omitempty"`
+}
+
+// PackageWire is the JSON-safe servable package.
+type PackageWire struct {
+	Doc        json.RawMessage   `json:"doc"`
+	Components map[string][]byte `json:"components,omitempty"`
+}
+
+// Reply is the wire format of a task result.
+type Reply struct {
+	TaskID  string `json:"task_id"`
+	OK      bool   `json:"ok"`
+	Error   string `json:"error,omitempty"`
+	Output  any    `json:"output,omitempty"`
+	Outputs []any  `json:"outputs,omitempty"`
+	// Timings (µs): inference measured at the servable, invocation
+	// measured at the Task Manager (§V-A metrics).
+	InferenceMicros  int64 `json:"inference_us,omitempty"`
+	InvocationMicros int64 `json:"invocation_us,omitempty"`
+	Cached           bool  `json:"cached,omitempty"`
+}
+
+// Registration announces a TM to the Management Service.
+type Registration struct {
+	TMID      string   `json:"tm_id"`
+	Executors []string `json:"executors"`
+}
+
+// QueueAPI abstracts the broker connection (in-process broker or remote
+// netsim-shaped client).
+type QueueAPI interface {
+	Push(queueName string, body []byte, replyTo, correlationID string) (string, error)
+	Pull(queueName string, timeout time.Duration) (queue.Message, bool, error)
+	Ack(queueName, msgID string) error
+	Reply(msg queue.Message, body []byte) error
+}
+
+// BrokerAdapter adapts an in-process *queue.Broker to QueueAPI.
+type BrokerAdapter struct{ B *queue.Broker }
+
+// Push implements QueueAPI.
+func (a BrokerAdapter) Push(q string, body []byte, replyTo, corr string) (string, error) {
+	return a.B.Push(q, body, replyTo, corr), nil
+}
+
+// Pull implements QueueAPI.
+func (a BrokerAdapter) Pull(q string, timeout time.Duration) (queue.Message, bool, error) {
+	msg, ok := a.B.Pull(q, timeout)
+	return msg, ok, nil
+}
+
+// Ack implements QueueAPI.
+func (a BrokerAdapter) Ack(q, id string) error { a.B.Ack(q, id); return nil }
+
+// Reply implements QueueAPI.
+func (a BrokerAdapter) Reply(msg queue.Message, body []byte) error { a.B.Reply(msg, body); return nil }
+
+// Config configures a Task Manager.
+type Config struct {
+	ID string
+	// Queue is the broker connection (shaped by netsim for remote TMs).
+	Queue QueueAPI
+	// Executors available at this site, keyed by route name. "parsl"
+	// is the default route.
+	Executors map[string]executor.Executor
+	// Memoize enables the TM-side cache.
+	Memoize bool
+	// Pullers is the number of concurrent queue pullers (default 4).
+	Pullers int
+	// HeartbeatInterval re-announces the TM to the Management Service
+	// so it can detect dead sites (0 disables heartbeats).
+	HeartbeatInterval time.Duration
+}
+
+// TM is a running Task Manager.
+type TM struct {
+	cfg Config
+
+	memoMu sync.RWMutex
+	memo   map[string][]byte // key -> JSON reply body
+	memoOn bool
+
+	// servable -> executor route, set at deploy time.
+	routeMu sync.RWMutex
+	routes  map[string]string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	statMu    sync.Mutex
+	completed uint64
+	hits      uint64
+}
+
+// New creates and registers a Task Manager and starts its pull loops.
+func New(cfg Config) (*TM, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("taskmanager: ID required")
+	}
+	if cfg.Queue == nil {
+		return nil, fmt.Errorf("taskmanager: queue connection required")
+	}
+	if len(cfg.Executors) == 0 {
+		return nil, fmt.Errorf("taskmanager: at least one executor required")
+	}
+	if cfg.Pullers <= 0 {
+		cfg.Pullers = 4
+	}
+	tm := &TM{
+		cfg:    cfg,
+		memo:   make(map[string][]byte),
+		memoOn: cfg.Memoize,
+		routes: make(map[string]string),
+		stop:   make(chan struct{}),
+	}
+	// Register with the Management Service.
+	execs := make([]string, 0, len(cfg.Executors))
+	for name := range cfg.Executors {
+		execs = append(execs, name)
+	}
+	reg, err := json.Marshal(Registration{TMID: cfg.ID, Executors: execs})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cfg.Queue.Push(RegisterQueue, reg, "", ""); err != nil {
+		return nil, fmt.Errorf("taskmanager: registration failed: %w", err)
+	}
+	for i := 0; i < cfg.Pullers; i++ {
+		tm.wg.Add(1)
+		go tm.pullLoop()
+	}
+	if cfg.HeartbeatInterval > 0 {
+		tm.wg.Add(1)
+		go tm.heartbeatLoop(reg)
+	}
+	return tm, nil
+}
+
+// heartbeatLoop re-sends the registration periodically; the Management
+// Service uses the arrival times for liveness.
+func (tm *TM) heartbeatLoop(body []byte) {
+	defer tm.wg.Done()
+	ticker := time.NewTicker(tm.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-tm.stop:
+			return
+		case <-ticker.C:
+			tm.cfg.Queue.Push(RegisterQueue, body, "", "") //nolint:errcheck — next beat retries
+		}
+	}
+}
+
+// SetMemoize toggles the TM cache (cleared when disabled).
+func (tm *TM) SetMemoize(on bool) {
+	tm.memoMu.Lock()
+	tm.memoOn = on
+	if !on {
+		tm.memo = make(map[string][]byte)
+	}
+	tm.memoMu.Unlock()
+}
+
+// Stats reports (completed tasks, cache hits).
+func (tm *TM) Stats() (uint64, uint64) {
+	tm.statMu.Lock()
+	defer tm.statMu.Unlock()
+	return tm.completed, tm.hits
+}
+
+// Close stops the pull loops (in-flight tasks finish first).
+func (tm *TM) Close() {
+	close(tm.stop)
+	tm.wg.Wait()
+	for _, ex := range tm.cfg.Executors {
+		ex.Close()
+	}
+}
+
+func (tm *TM) pullLoop() {
+	defer tm.wg.Done()
+	qname := TaskQueue(tm.cfg.ID)
+	for {
+		select {
+		case <-tm.stop:
+			return
+		default:
+		}
+		msg, ok, err := tm.cfg.Queue.Pull(qname, 500*time.Millisecond)
+		if err != nil {
+			// Connection failure: back off briefly, keep trying (the
+			// queue provides at-least-once redelivery).
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		tm.handle(msg)
+	}
+}
+
+func (tm *TM) handle(msg queue.Message) {
+	var task Task
+	if err := json.Unmarshal(msg.Body, &task); err != nil {
+		tm.reply(msg, Reply{OK: false, Error: "bad task: " + err.Error()})
+		return
+	}
+	start := time.Now()
+	var rep Reply
+	switch task.Kind {
+	case "ping":
+		rep = Reply{OK: true, Output: "pong"}
+	case "deploy":
+		rep = tm.handleDeploy(&task)
+	case "scale":
+		rep = tm.handleScale(&task)
+	case "undeploy":
+		rep = tm.handleUndeploy(&task)
+	case "run":
+		rep = tm.handleRun(&task)
+	case "run_batch":
+		rep = tm.handleBatch(&task)
+	case "pipeline":
+		rep = tm.handlePipeline(&task)
+	default:
+		rep = Reply{OK: false, Error: fmt.Sprintf("unknown task kind %q", task.Kind)}
+	}
+	rep.TaskID = task.ID
+	if rep.InvocationMicros == 0 {
+		rep.InvocationMicros = time.Since(start).Microseconds()
+	}
+	tm.reply(msg, rep)
+	tm.statMu.Lock()
+	tm.completed++
+	tm.statMu.Unlock()
+}
+
+func (tm *TM) reply(msg queue.Message, rep Reply) {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		body, _ = json.Marshal(Reply{TaskID: rep.TaskID, OK: false, Error: "unserializable reply: " + err.Error()})
+	}
+	tm.cfg.Queue.Reply(msg, body) //nolint:errcheck — redelivery handles loss
+}
+
+func (tm *TM) executorFor(task *Task) (executor.Executor, error) {
+	route := task.Executor
+	if route == "" {
+		tm.routeMu.RLock()
+		route = tm.routes[task.Servable]
+		tm.routeMu.RUnlock()
+	}
+	if route == "" {
+		route = "parsl"
+	}
+	ex, ok := tm.cfg.Executors[route]
+	if !ok {
+		return nil, fmt.Errorf("executor %q not available at %s", route, tm.cfg.ID)
+	}
+	return ex, nil
+}
+
+func (tm *TM) handleDeploy(task *Task) Reply {
+	if task.Package == nil {
+		return Reply{OK: false, Error: "deploy without package"}
+	}
+	pkg, err := DecodePackage(task.Package)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	ex, err := tm.executorFor(task)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	replicas := task.Replicas
+	if replicas <= 0 {
+		replicas = 1
+	}
+	if err := ex.Deploy(pkg, replicas); err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	tm.routeMu.Lock()
+	tm.routes[pkg.Doc.ID] = routeName(task, ex)
+	tm.routeMu.Unlock()
+	return Reply{OK: true, Output: fmt.Sprintf("deployed %s x%d on %s", pkg.Doc.ID, replicas, ex.Name())}
+}
+
+func routeName(task *Task, ex executor.Executor) string {
+	if task.Executor != "" {
+		return task.Executor
+	}
+	return "parsl"
+}
+
+func (tm *TM) handleScale(task *Task) Reply {
+	ex, err := tm.executorFor(task)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	if err := ex.Scale(task.Servable, task.Replicas); err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	return Reply{OK: true}
+}
+
+func (tm *TM) handleUndeploy(task *Task) Reply {
+	ex, err := tm.executorFor(task)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	if err := ex.Undeploy(task.Servable); err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	tm.routeMu.Lock()
+	delete(tm.routes, task.Servable)
+	tm.routeMu.Unlock()
+	return Reply{OK: true}
+}
+
+// memoKey hashes servable + canonical input JSON.
+func memoKey(servableID string, input any) (string, error) {
+	data, err := json.Marshal(input)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(append([]byte(servableID+"\x00"), data...))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func (tm *TM) handleRun(task *Task) Reply {
+	start := time.Now()
+	// Memoization check — served entirely at the TM (§V-B5).
+	useMemo := false
+	var key string
+	tm.memoMu.RLock()
+	useMemo = tm.memoOn && !task.NoMemo
+	tm.memoMu.RUnlock()
+	if useMemo {
+		var err error
+		key, err = memoKey(task.Servable, task.Input)
+		if err == nil {
+			tm.memoMu.RLock()
+			cached, ok := tm.memo[key]
+			tm.memoMu.RUnlock()
+			if ok {
+				var rep Reply
+				if json.Unmarshal(cached, &rep) == nil {
+					rep.Cached = true
+					rep.InferenceMicros = 0
+					rep.InvocationMicros = time.Since(start).Microseconds()
+					tm.statMu.Lock()
+					tm.hits++
+					tm.statMu.Unlock()
+					return rep
+				}
+			}
+		}
+	}
+
+	ex, err := tm.executorFor(task)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	res, err := ex.Invoke(context.Background(), task.Servable, task.Input)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	rep := Reply{
+		OK:               true,
+		Output:           res.Output,
+		InferenceMicros:  res.InferenceMicros,
+		InvocationMicros: time.Since(start).Microseconds(),
+	}
+	if useMemo && key != "" {
+		if body, err := json.Marshal(rep); err == nil {
+			tm.memoMu.Lock()
+			tm.memo[key] = body
+			tm.memoMu.Unlock()
+		}
+	}
+	return rep
+}
+
+// handleBatch fans a batch out to the executor concurrently, amortizing
+// queue and WAN costs over many requests (§V-B3).
+func (tm *TM) handleBatch(task *Task) Reply {
+	start := time.Now()
+	ex, err := tm.executorFor(task)
+	if err != nil {
+		return Reply{OK: false, Error: err.Error()}
+	}
+	outs := make([]any, len(task.Inputs))
+	errs := make([]error, len(task.Inputs))
+	var totalInf int64
+	var infMu sync.Mutex
+	var wg sync.WaitGroup
+	for i, input := range task.Inputs {
+		wg.Add(1)
+		go func(i int, input any) {
+			defer wg.Done()
+			res, err := ex.Invoke(context.Background(), task.Servable, input)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i] = res.Output
+			infMu.Lock()
+			totalInf += res.InferenceMicros
+			infMu.Unlock()
+		}(i, input)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Reply{OK: false, Error: fmt.Sprintf("batch item %d: %v", i, err)}
+		}
+	}
+	return Reply{
+		OK:               true,
+		Outputs:          outs,
+		InferenceMicros:  totalInf,
+		InvocationMicros: time.Since(start).Microseconds(),
+	}
+}
+
+// handlePipeline chains steps server-side: "data are automatically
+// passed between each servable in the pipeline, meaning the entire
+// execution is performed server-side" (§VI-D).
+func (tm *TM) handlePipeline(task *Task) Reply {
+	start := time.Now()
+	if len(task.Steps) < 2 {
+		return Reply{OK: false, Error: "pipeline needs at least 2 steps"}
+	}
+	current := task.Input
+	var totalInf int64
+	for _, step := range task.Steps {
+		stepTask := &Task{Servable: step, Input: current}
+		ex, err := tm.executorFor(stepTask)
+		if err != nil {
+			return Reply{OK: false, Error: fmt.Sprintf("step %s: %v", step, err)}
+		}
+		res, err := ex.Invoke(context.Background(), step, current)
+		if err != nil {
+			return Reply{OK: false, Error: fmt.Sprintf("step %s: %v", step, err)}
+		}
+		current = res.Output
+		totalInf += res.InferenceMicros
+	}
+	return Reply{
+		OK:               true,
+		Output:           current,
+		InferenceMicros:  totalInf,
+		InvocationMicros: time.Since(start).Microseconds(),
+	}
+}
+
+// EncodePackage converts a servable package to wire form.
+func EncodePackage(pkg *servable.Package) (*PackageWire, error) {
+	doc, err := json.Marshal(pkg.Doc)
+	if err != nil {
+		return nil, err
+	}
+	return &PackageWire{Doc: doc, Components: pkg.Components}, nil
+}
+
+// DecodePackage reverses EncodePackage.
+func DecodePackage(w *PackageWire) (*servable.Package, error) {
+	pkg := &servable.Package{Components: w.Components}
+	pkg.Doc = new(schema.Document)
+	if err := json.Unmarshal(w.Doc, pkg.Doc); err != nil {
+		return nil, fmt.Errorf("taskmanager: bad package doc: %w", err)
+	}
+	return pkg, nil
+}

@@ -1,0 +1,432 @@
+// Package tfserving reproduces TensorFlow Serving as used in §V-B5: the
+// C++ tensorflow_model_server serving trained models over both gRPC and
+// REST APIs. The server process hosts the servable *natively* (no
+// simulated-Python costs — this is the compiled runtime whose speed
+// advantage Fig. 8 shows), exposes a binary framed "gRPC" endpoint
+// carrying raw float32 tensors, and a REST endpoint carrying JSON — so
+// the gRPC-vs-REST gap comes from genuine encoding and parsing work.
+package tfserving
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/executor"
+	"repro/internal/k8s"
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+// Entrypoint is the container entrypoint key for the model server.
+const Entrypoint = "tensorflow-model-server"
+
+// API selects the serving protocol, the §V-B5 comparison axis.
+type API string
+
+// The two TensorFlow Serving APIs.
+const (
+	GRPC API = "grpc"
+	REST API = "rest"
+)
+
+// Server is the in-container tensorflow_model_server process.
+type Server struct {
+	mu       sync.Mutex
+	sv       *servable.Servable
+	rpcSrv   *rpc.Server
+	httpSrv  *http.Server
+	grpcAddr string
+	restAddr string
+	name     string
+}
+
+// NewProcessFactory returns the container process factory for the model
+// server.
+func NewProcessFactory() container.ProcessFactory {
+	return func() container.Process { return &Server{} }
+}
+
+// Start implements container.Process.
+func (s *Server) Start(fs map[string][]byte, env map[string]string) error {
+	docData, ok := fs["/dlhub/doc.json"]
+	if !ok {
+		return fmt.Errorf("tfserving: image missing /dlhub/doc.json")
+	}
+	var doc schema.Document
+	if err := json.Unmarshal(docData, &doc); err != nil {
+		return err
+	}
+	if doc.Servable.Type != schema.TypeTensorFlow && doc.Servable.Type != schema.TypeKeras {
+		return fmt.Errorf("tfserving: cannot export %s as a TensorFlow servable", doc.Servable.Type)
+	}
+	components := map[string][]byte{}
+	const prefix = "/dlhub/components/"
+	for path, data := range fs {
+		if strings.HasPrefix(path, prefix) {
+			components[path[len(prefix):]] = data
+		}
+	}
+	sv, err := servable.Load(&doc, components, false /* native C++ host */)
+	if err != nil {
+		return err
+	}
+
+	// gRPC listener.
+	gl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sv.Close()
+		return err
+	}
+	rpcSrv := rpc.NewServer()
+	rpcSrv.Handle("tensorflow.serving.predict", func(_ context.Context, payload []byte) ([]byte, error) {
+		input, err := rpc.DecodeFloats(payload)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		out, err := sv.RunNative(input)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(executor.Result{Output: out, InferenceMicros: time.Since(start).Microseconds()})
+	})
+	go rpcSrv.Serve(gl) //nolint:errcheck
+
+	// REST listener.
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		rpcSrv.Close()
+		sv.Close()
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/models/", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || !strings.HasSuffix(r.URL.Path, ":predict") {
+			rpc.WriteError(w, http.StatusNotFound, "unknown endpoint %s", r.URL.Path)
+			return
+		}
+		var req struct {
+			Instances [][]float64 `json:"instances"`
+		}
+		if err := rpc.ReadJSON(r, &req); err != nil {
+			rpc.WriteError(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		if len(req.Instances) != 1 {
+			rpc.WriteError(w, http.StatusBadRequest, "exactly one instance per request, got %d", len(req.Instances))
+			return
+		}
+		start := time.Now()
+		out, err := sv.RunNative(req.Instances[0])
+		if err != nil {
+			rpc.WriteError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		rpc.WriteJSON(w, http.StatusOK, map[string]any{
+			"predictions":  []any{out},
+			"inference_us": time.Since(start).Microseconds(),
+		})
+	})
+	httpSrv := &http.Server{Handler: mux}
+	go httpSrv.Serve(rl) //nolint:errcheck
+
+	s.mu.Lock()
+	s.sv = sv
+	s.rpcSrv = rpcSrv
+	s.httpSrv = httpSrv
+	s.grpcAddr = gl.Addr().String()
+	s.restAddr = rl.Addr().String()
+	s.name = doc.Publication.Name
+	s.mu.Unlock()
+	return nil
+}
+
+// Stop implements container.Process.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.rpcSrv != nil {
+		s.rpcSrv.Close()
+	}
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	if s.sv != nil {
+		s.sv.Close()
+	}
+}
+
+// Addr returns the gRPC address (the default executor.PodAddr view).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.grpcAddr
+}
+
+// RESTAddr returns the REST address.
+func (s *Server) RESTAddr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restAddr
+}
+
+// ModelName returns the served model name.
+func (s *Server) ModelName() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.name
+}
+
+// --- executor ----------------------------------------------------------------
+
+// Executor deploys TensorFlow Serving containers on Kubernetes and
+// routes invocations over the chosen API (§IV-C "TensorFlow Serving
+// executor").
+type Executor struct {
+	cluster *k8s.Cluster
+	builder *container.Builder
+	link    netsim.Profile
+	api     API
+
+	mu   sync.Mutex
+	deps map[string]*deployment
+}
+
+type deployment struct {
+	id      string
+	depName string
+
+	epMu  sync.Mutex
+	grpc  []*rpc.Client
+	rest  []restEndpoint
+	rr    int
+	model string
+}
+
+type restEndpoint struct {
+	url    string
+	client *http.Client
+}
+
+// New creates a TF-Serving executor using the given API variant.
+func New(cluster *k8s.Cluster, builder *container.Builder, link netsim.Profile, api API) *Executor {
+	return &Executor{
+		cluster: cluster,
+		builder: builder,
+		link:    link,
+		api:     api,
+		deps:    make(map[string]*deployment),
+	}
+}
+
+// Name implements executor.Executor.
+func (e *Executor) Name() string { return "tfserving-" + string(e.api) }
+
+// Deploy implements executor.Executor.
+func (e *Executor) Deploy(pkg *servable.Package, replicas int) error {
+	img, err := executor.BuildServableImage(e.builder, pkg, Entrypoint)
+	if err != nil {
+		return err
+	}
+	depName := "tfs-" + pkg.Doc.Publication.Name
+	if _, err := e.cluster.CreateDeployment(depName, k8s.PodSpec{
+		Image:    img.Ref(),
+		Requests: k8s.Resources{MilliCPU: 2000, MemMB: 4096},
+	}, replicas); err != nil {
+		return err
+	}
+	d := &deployment{id: pkg.Doc.ID, depName: depName, model: pkg.Doc.Publication.Name}
+	if err := e.connect(d); err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.deps[pkg.Doc.ID] = d
+	e.mu.Unlock()
+	return nil
+}
+
+func (e *Executor) connect(d *deployment) error {
+	pods := e.cluster.PodsMatching(map[string]string{"deployment": d.depName})
+	d.epMu.Lock()
+	defer d.epMu.Unlock()
+	for _, c := range d.grpc {
+		c.Close()
+	}
+	d.grpc = nil
+	d.rest = nil
+	for _, pod := range pods {
+		ctr := pod.Container()
+		if ctr == nil {
+			continue
+		}
+		srv, ok := ctr.Proc.(*Server)
+		if !ok {
+			return fmt.Errorf("tfserving: pod %s is not a model server", pod.Name)
+		}
+		switch e.api {
+		case GRPC:
+			conn, err := net.Dial("tcp", srv.Addr())
+			if err != nil {
+				return err
+			}
+			d.grpc = append(d.grpc, rpc.NewClient(netsim.Wrap(conn, e.link)))
+		case REST:
+			link := e.link
+			d.rest = append(d.rest, restEndpoint{
+				url: "http://" + srv.RESTAddr() + "/v1/models/" + d.model + ":predict",
+				client: &http.Client{Transport: &http.Transport{
+					DialContext: func(_ context.Context, network, addr string) (net.Conn, error) {
+						conn, err := net.Dial(network, addr)
+						if err != nil {
+							return nil, err
+						}
+						return netsim.Wrap(conn, link), nil
+					},
+				}},
+			})
+		}
+	}
+	return nil
+}
+
+// Scale implements executor.Executor.
+func (e *Executor) Scale(servableID string, replicas int) error {
+	e.mu.Lock()
+	d, ok := e.deps[servableID]
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", executor.ErrNotDeployed, servableID)
+	}
+	if err := e.cluster.Scale(d.depName, replicas); err != nil {
+		return err
+	}
+	return e.connect(d)
+}
+
+// Replicas implements executor.Executor.
+func (e *Executor) Replicas(servableID string) int {
+	e.mu.Lock()
+	d, ok := e.deps[servableID]
+	e.mu.Unlock()
+	if !ok {
+		return 0
+	}
+	d.epMu.Lock()
+	defer d.epMu.Unlock()
+	if e.api == GRPC {
+		return len(d.grpc)
+	}
+	return len(d.rest)
+}
+
+// Invoke implements executor.Executor.
+func (e *Executor) Invoke(ctx context.Context, servableID string, input any) (executor.Result, error) {
+	e.mu.Lock()
+	d, ok := e.deps[servableID]
+	e.mu.Unlock()
+	if !ok {
+		return executor.Result{}, fmt.Errorf("%w: %s", executor.ErrNotDeployed, servableID)
+	}
+	switch e.api {
+	case GRPC:
+		return e.invokeGRPC(ctx, d, input)
+	default:
+		return e.invokeREST(d, input)
+	}
+}
+
+func (e *Executor) invokeGRPC(ctx context.Context, d *deployment, input any) (executor.Result, error) {
+	vec, err := servable.ToFloat32Slice(input)
+	if err != nil {
+		return executor.Result{}, err
+	}
+	d.epMu.Lock()
+	if len(d.grpc) == 0 {
+		d.epMu.Unlock()
+		return executor.Result{}, fmt.Errorf("%w: no gRPC endpoints", executor.ErrNotDeployed)
+	}
+	client := d.grpc[d.rr%len(d.grpc)]
+	d.rr++
+	d.epMu.Unlock()
+
+	data, err := client.Call(ctx, "tensorflow.serving.predict", rpc.EncodeFloats(vec))
+	if err != nil {
+		return executor.Result{}, err
+	}
+	var res executor.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return executor.Result{}, err
+	}
+	return res, nil
+}
+
+func (e *Executor) invokeREST(d *deployment, input any) (executor.Result, error) {
+	vec, err := servable.ToFloat64Slice(input)
+	if err != nil {
+		return executor.Result{}, err
+	}
+	d.epMu.Lock()
+	if len(d.rest) == 0 {
+		d.epMu.Unlock()
+		return executor.Result{}, fmt.Errorf("%w: no REST endpoints", executor.ErrNotDeployed)
+	}
+	ep := d.rest[d.rr%len(d.rest)]
+	d.rr++
+	d.epMu.Unlock()
+
+	var resp struct {
+		Predictions []any `json:"predictions"`
+		InferenceUS int64 `json:"inference_us"`
+	}
+	if err := rpc.PostJSON(ep.client, ep.url, map[string]any{"instances": [][]float64{vec}}, &resp); err != nil {
+		return executor.Result{}, err
+	}
+	if len(resp.Predictions) != 1 {
+		return executor.Result{}, errors.New("tfserving: malformed REST response")
+	}
+	return executor.Result{Output: resp.Predictions[0], InferenceMicros: resp.InferenceUS}, nil
+}
+
+// Undeploy implements executor.Executor.
+func (e *Executor) Undeploy(servableID string) error {
+	e.mu.Lock()
+	d, ok := e.deps[servableID]
+	if ok {
+		delete(e.deps, servableID)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", executor.ErrNotDeployed, servableID)
+	}
+	d.epMu.Lock()
+	for _, c := range d.grpc {
+		c.Close()
+	}
+	d.grpc = nil
+	d.rest = nil
+	d.epMu.Unlock()
+	return e.cluster.DeleteDeployment(d.depName)
+}
+
+// Close implements executor.Executor.
+func (e *Executor) Close() {
+	e.mu.Lock()
+	ids := make([]string, 0, len(e.deps))
+	for id := range e.deps {
+		ids = append(ids, id)
+	}
+	e.mu.Unlock()
+	for _, id := range ids {
+		e.Undeploy(id) //nolint:errcheck
+	}
+}

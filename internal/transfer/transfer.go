@@ -1,0 +1,347 @@
+// Package transfer reproduces the Globus Transfer slice DLHub depends
+// on (§IV-A): "As model components can be large, model components can
+// be uploaded to an AWS S3 bucket or a Globus endpoint. Once a model is
+// published, the Management Service downloads the components and builds
+// the servable" — and §IV-D: dependent tokens let the service "transfer
+// model components and inputs from Globus endpoints seamlessly" on the
+// user's behalf.
+//
+// Endpoints are named stores with per-endpoint bandwidth; transfers are
+// asynchronous tasks with progress, integrity checking (sha256) and
+// token-authorized access, mirroring the Globus Transfer task model.
+package transfer
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/queue"
+	"repro/internal/simconst"
+)
+
+// Errors.
+var (
+	ErrEndpointNotFound = errors.New("transfer: endpoint not found")
+	ErrFileNotFound     = errors.New("transfer: file not found")
+	ErrTaskNotFound     = errors.New("transfer: task not found")
+	ErrDenied           = errors.New("transfer: access denied")
+	ErrChecksum         = errors.New("transfer: checksum mismatch")
+)
+
+// Endpoint is a Globus endpoint: a named file store with an egress
+// bandwidth and an access list.
+type Endpoint struct {
+	Name string
+	// BytesPerSec bounds transfer throughput out of this endpoint
+	// (0 = unlimited).
+	BytesPerSec float64
+	// ReadableBy lists ACL principals; empty means public.
+	ReadableBy []string
+
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// Put stores a file on the endpoint.
+func (e *Endpoint) Put(path string, data []byte) {
+	e.mu.Lock()
+	if e.files == nil {
+		e.files = make(map[string][]byte)
+	}
+	e.files[path] = append([]byte(nil), data...)
+	e.mu.Unlock()
+}
+
+// Stat returns a file's size and sha256.
+func (e *Endpoint) Stat(path string) (int64, string, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	data, ok := e.files[path]
+	if !ok {
+		return 0, "", fmt.Errorf("%w: %s:%s", ErrFileNotFound, e.Name, path)
+	}
+	sum := sha256.Sum256(data)
+	return int64(len(data)), hex.EncodeToString(sum[:]), nil
+}
+
+func (e *Endpoint) readable(principals []string) bool {
+	if len(e.ReadableBy) == 0 {
+		return true
+	}
+	for _, r := range e.ReadableBy {
+		if r == auth.PublicPrincipal {
+			return true
+		}
+		for _, p := range principals {
+			if r == p {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Status is a transfer task's lifecycle state.
+type Status string
+
+// Transfer task states, mirroring Globus Transfer.
+const (
+	StatusActive    Status = "ACTIVE"
+	StatusSucceeded Status = "SUCCEEDED"
+	StatusFailed    Status = "FAILED"
+)
+
+// Task is one asynchronous transfer.
+type Task struct {
+	ID          string
+	Source      string // endpoint:path
+	Destination string // endpoint:path
+	Bytes       int64
+
+	mu          sync.RWMutex
+	status      Status
+	transferred int64
+	err         error
+	done        chan struct{}
+}
+
+// Status returns the current state.
+func (t *Task) Status() Status {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.status
+}
+
+// Progress returns bytes transferred so far.
+func (t *Task) Progress() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.transferred
+}
+
+// Err returns the failure cause for failed tasks.
+func (t *Task) Err() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.err
+}
+
+// Wait blocks until the task reaches a terminal state.
+func (t *Task) Wait(timeout time.Duration) error {
+	select {
+	case <-t.done:
+	case <-time.After(timeout):
+		return fmt.Errorf("transfer: task %s still %s after %v", t.ID, t.Status(), timeout)
+	}
+	if t.Status() == StatusFailed {
+		return t.Err()
+	}
+	return nil
+}
+
+// Service is the transfer authority: it owns endpoints and runs tasks.
+// Auth may be nil (open access, as in benches).
+type Service struct {
+	Auth *auth.Service
+
+	mu        sync.RWMutex
+	endpoints map[string]*Endpoint
+	tasks     map[string]*Task
+}
+
+// NewService creates an empty transfer service.
+func NewService(a *auth.Service) *Service {
+	return &Service{Auth: a, endpoints: make(map[string]*Endpoint), tasks: make(map[string]*Task)}
+}
+
+// AddEndpoint registers an endpoint.
+func (s *Service) AddEndpoint(e *Endpoint) {
+	s.mu.Lock()
+	s.endpoints[e.Name] = e
+	s.mu.Unlock()
+}
+
+// Endpoint fetches a registered endpoint.
+func (s *Service) Endpoint(name string) (*Endpoint, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.endpoints[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrEndpointNotFound, name)
+	}
+	return e, nil
+}
+
+// principals resolves a bearer token into ACL principals. With no auth
+// service configured, every caller is public.
+func (s *Service) principals(token string) ([]string, error) {
+	if s.Auth == nil || token == "" {
+		return []string{auth.PublicPrincipal}, nil
+	}
+	tok, err := s.Auth.Introspect(token)
+	if err != nil {
+		return nil, err
+	}
+	return s.Auth.Principals(tok.IdentityID), nil
+}
+
+// Fetch synchronously reads a file from an endpoint, paying the
+// endpoint's bandwidth cost — the "download the components" step of
+// publication. token may be a dependent token minted for the service.
+func (s *Service) Fetch(token, endpointName, path string) ([]byte, error) {
+	prins, err := s.principals(token)
+	if err != nil {
+		return nil, err
+	}
+	ep, err := s.Endpoint(endpointName)
+	if err != nil {
+		return nil, err
+	}
+	if !ep.readable(prins) {
+		return nil, fmt.Errorf("%w: endpoint %s", ErrDenied, endpointName)
+	}
+	ep.mu.RLock()
+	data, ok := ep.files[path]
+	ep.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s:%s", ErrFileNotFound, endpointName, path)
+	}
+	if ep.BytesPerSec > 0 {
+		cost := time.Duration(float64(len(data)) / ep.BytesPerSec * float64(time.Second))
+		time.Sleep(simconst.D(cost))
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// Submit starts an asynchronous endpoint-to-endpoint transfer and
+// returns its task.
+func (s *Service) Submit(token, srcEndpoint, srcPath, dstEndpoint, dstPath string) (*Task, error) {
+	prins, err := s.principals(token)
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.Endpoint(srcEndpoint)
+	if err != nil {
+		return nil, err
+	}
+	if !src.readable(prins) {
+		return nil, fmt.Errorf("%w: endpoint %s", ErrDenied, srcEndpoint)
+	}
+	dst, err := s.Endpoint(dstEndpoint)
+	if err != nil {
+		return nil, err
+	}
+	size, wantSum, err := src.Stat(srcPath)
+	if err != nil {
+		return nil, err
+	}
+
+	task := &Task{
+		ID:          queue.NewID(),
+		Source:      srcEndpoint + ":" + srcPath,
+		Destination: dstEndpoint + ":" + dstPath,
+		Bytes:       size,
+		status:      StatusActive,
+		done:        make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.tasks[task.ID] = task
+	s.mu.Unlock()
+
+	go s.run(task, src, srcPath, dst, dstPath, wantSum)
+	return task, nil
+}
+
+// run executes the transfer in chunks, updating progress.
+func (s *Service) run(task *Task, src *Endpoint, srcPath string, dst *Endpoint, dstPath, wantSum string) {
+	defer close(task.done)
+	src.mu.RLock()
+	data, ok := src.files[srcPath]
+	src.mu.RUnlock()
+	if !ok {
+		task.fail(fmt.Errorf("%w: %s", ErrFileNotFound, task.Source))
+		return
+	}
+	// Effective bandwidth is the slower of the two endpoints.
+	bw := src.BytesPerSec
+	if dst.BytesPerSec > 0 && (bw == 0 || dst.BytesPerSec < bw) {
+		bw = dst.BytesPerSec
+	}
+	const chunk = 1 << 20
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if bw > 0 {
+			cost := time.Duration(float64(end-off) / bw * float64(time.Second))
+			time.Sleep(simconst.D(cost))
+		}
+		task.mu.Lock()
+		task.transferred = int64(end)
+		task.mu.Unlock()
+	}
+	// Integrity check, then commit.
+	sum := sha256.Sum256(data)
+	if hex.EncodeToString(sum[:]) != wantSum {
+		task.fail(ErrChecksum)
+		return
+	}
+	dst.Put(dstPath, data)
+	task.mu.Lock()
+	task.status = StatusSucceeded
+	task.mu.Unlock()
+}
+
+func (t *Task) fail(err error) {
+	t.mu.Lock()
+	t.status = StatusFailed
+	t.err = err
+	t.mu.Unlock()
+}
+
+// GetTask fetches a submitted task by ID.
+func (s *Service) GetTask(id string) (*Task, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tasks[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTaskNotFound, id)
+	}
+	return t, nil
+}
+
+// Reference names a file on an endpoint ("globus://endpoint/path"),
+// the form model components take in publication requests.
+type Reference struct {
+	Endpoint string `json:"endpoint"`
+	Path     string `json:"path"`
+}
+
+// String renders the canonical URI.
+func (r Reference) String() string { return "globus://" + r.Endpoint + "/" + r.Path }
+
+// ParseReference parses "globus://endpoint/path".
+func ParseReference(uri string) (Reference, error) {
+	const prefix = "globus://"
+	if len(uri) <= len(prefix) || uri[:len(prefix)] != prefix {
+		return Reference{}, fmt.Errorf("transfer: not a globus URI: %q", uri)
+	}
+	rest := uri[len(prefix):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' {
+			if i == 0 || i == len(rest)-1 {
+				break
+			}
+			return Reference{Endpoint: rest[:i], Path: rest[i+1:]}, nil
+		}
+	}
+	return Reference{}, fmt.Errorf("transfer: malformed globus URI: %q", uri)
+}
