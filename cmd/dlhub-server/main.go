@@ -25,9 +25,18 @@ func main() {
 	httpAddr := flag.String("http", ":8080", "REST API listen address")
 	queueAddr := flag.String("queue", ":7000", "task queue listen address")
 	snapshotDir := flag.String("snapshot", "", "repository snapshot directory (loaded on start, saved on shutdown)")
+	noCache := flag.Bool("no-cache", false, "disable the service-layer result cache")
+	cacheEntries := flag.Int("cache-entries", 0, "result cache capacity in entries (default 4096)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result cache capacity in result-JSON bytes (default 256 MiB)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry TTL (default 5m)")
 	flag.Parse()
 
-	ms := core.New(core.Config{})
+	ms := core.New(core.Config{Cache: core.CacheConfig{
+		Disabled:   *noCache,
+		MaxEntries: *cacheEntries,
+		MaxBytes:   *cacheBytes,
+		TTL:        *cacheTTL,
+	}})
 	defer ms.Close()
 	if *snapshotDir != "" {
 		if err := ms.LoadSnapshot(*snapshotDir); err != nil {

@@ -41,6 +41,10 @@ type RunResult struct {
 	Output  any   `json:"output"`
 	Outputs []any `json:"outputs,omitempty"`
 	Cached  bool  `json:"cached,omitempty"`
+	// CacheHit reports the Management Service answered from its
+	// service-layer result cache without dispatching a task (the
+	// response also carries an X-DLHub-Cache: hit|miss|bypass header).
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// Timing decomposition (§V-A): inference at the servable,
 	// invocation at the Task Manager, request at the Management
 	// Service — all in microseconds.
@@ -48,6 +52,9 @@ type RunResult struct {
 	InvocationMicros int64 `json:"invocation_us"`
 	RequestMicros    int64 `json:"request_us"`
 }
+
+// CacheStats mirrors the Management Service's result-cache counters.
+type CacheStats = core.CacheStats
 
 // TaskStatus is an asynchronous task's state.
 type TaskStatus struct {
@@ -159,6 +166,34 @@ func (c *Client) Run(id string, input any) (*RunResult, error) {
 	return &resp, nil
 }
 
+// RunNoCache synchronously invokes a servable, bypassing the service-
+// layer result cache (TM-side memoization still applies).
+func (c *Client) RunNoCache(id string, input any) (*RunResult, error) {
+	var resp RunResult
+	if err := c.post("/api/run/"+id, core.RunRequest{Input: input, NoCache: true}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// CacheStats fetches the Management Service's result-cache counters;
+// enabled reports whether the cache is on at all.
+func (c *Client) CacheStats() (stats CacheStats, enabled bool, err error) {
+	var resp struct {
+		Enabled bool       `json:"enabled"`
+		Stats   CacheStats `json:"stats"`
+	}
+	if err := c.get("/api/cache/stats", &resp); err != nil {
+		return CacheStats{}, false, err
+	}
+	return resp.Stats, resp.Enabled, nil
+}
+
+// FlushCache drops every cached result at the Management Service.
+func (c *Client) FlushCache() error {
+	return c.post("/api/cache/flush", struct{}{}, nil)
+}
+
 // RunBatch synchronously invokes a servable on many inputs at once
 // (DLHub's batching support, §V-B3).
 func (c *Client) RunBatch(id string, inputs []any) (*RunResult, error) {
@@ -237,4 +272,16 @@ func (c *Client) TaskManagers() ([]string, error) {
 		return nil, err
 	}
 	return resp.TaskManagers, nil
+}
+
+// TaskManagerLoad reports in-flight dispatch counts per registered Task
+// Manager — the signal the service's least-outstanding router uses.
+func (c *Client) TaskManagerLoad() (map[string]int, error) {
+	var resp struct {
+		Load map[string]int `json:"load"`
+	}
+	if err := c.get("/api/tms", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Load, nil
 }

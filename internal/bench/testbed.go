@@ -36,6 +36,11 @@ type Options struct {
 	WAN bool
 	// Memoize enables the TM cache at startup.
 	Memoize bool
+	// ServiceCache enables the Management Service's result cache. The
+	// testbed defaults it OFF (unlike core.New) so the paper-faithful
+	// experiments keep measuring the TM-side cache of §V-B5; the cache
+	// ablation turns it on explicitly.
+	ServiceCache bool
 	// Executors beyond "parsl" to install: "tfserving-grpc",
 	// "tfserving-rest", "sagemaker", "clipper".
 	Executors []string
@@ -104,6 +109,7 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		Auth:     opts.Auth,
 		RunScope: opts.RunScope,
 		Registry: registry,
+		Cache:    core.CacheConfig{Disabled: !opts.ServiceCache},
 	})
 
 	// Site 2: the Task Manager, connected over the WAN or in-process.

@@ -105,9 +105,13 @@ func (s *Service) CoalescingStats(servableID string) (uint64, uint64) {
 
 // RunCoalesced invokes a servable through its batcher; with no batcher
 // enabled it falls back to a plain Run. Visibility is enforced before
-// enqueueing.
+// enqueueing. The service-layer result cache fronts the batcher: a hit
+// answers immediately (same key space as Run, so coalesced and plain
+// requests share entries), and each computed item is stored on the way
+// out.
 func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
-	if _, err := s.Get(caller, servableID); err != nil {
+	doc, err := s.Get(caller, servableID)
+	if err != nil {
 		return RunResult{}, err
 	}
 	s.batchMu.Lock()
@@ -117,6 +121,17 @@ func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts
 		return s.Run(caller, servableID, input, opts)
 	}
 	start := time.Now()
+	var key string
+	var gen uint64
+	if s.cacheUsable(opts) {
+		if k, err := resultKey(servableID, doc.Version, "run", input); err == nil {
+			key = k
+			if res, ok := s.cache.get(key); ok {
+				return markCacheHit(res, start), nil
+			}
+			gen = s.cache.generation(servableID)
+		}
+	}
 	req := &pendingReq{input: input, done: make(chan coalesceOutcome, 1)}
 	b.enqueue(req)
 
@@ -132,6 +147,9 @@ func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts
 		res := RunResult{Reply: out.reply, RequestMicros: time.Since(start).Microseconds()}
 		res.Output = out.output
 		res.Outputs = nil
+		if key != "" {
+			s.cache.put(key, servableID, gen, res)
+		}
 		return res, nil
 	case <-time.After(timeout):
 		return RunResult{}, fmt.Errorf("%w after %v (coalesced)", ErrTimeout, timeout)

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Service-layer result memoization. The paper places its memoization
+// cache at the Task Manager (§V-B2/§V-B5); with multiple TMs that means
+// identical requests routed to different sites recompute from scratch.
+// This cache sits one layer up, at the Management Service, in front of
+// routing: a hit answers without touching the queue or any TM at all,
+// and N concurrent identical requests collapse (singleflight) into one
+// dispatched task. The TM cache remains as the second tier for requests
+// that do reach a site.
+//
+// Keys are (servableID, version, canonical-JSON(input)): the published
+// version is part of the key, so re-publishing a servable naturally
+// misses; explicit invalidation on Publish/UpdateMetadata/Scale also
+// drops stale entries eagerly. Lookups happen strictly after the ACL
+// check in Service.Get, so a cached result is never served to a caller
+// who could not see the servable.
+
+// CacheConfig configures the service-layer result cache.
+type CacheConfig struct {
+	// Disabled turns the service-layer cache off entirely (per-request
+	// opt-out is RunOptions.NoCache).
+	Disabled bool
+	// MaxEntries bounds the cache; the least recently used entry is
+	// evicted at capacity (default 4096).
+	MaxEntries int
+	// MaxBytes bounds the summed JSON size of cached results (default
+	// 256 MiB). Entries above MaxBytes/4 are never cached, so one
+	// giant batch result cannot dominate the budget.
+	MaxBytes int64
+	// TTL expires entries after this long (default 5m; <0 disables
+	// expiry).
+	TTL time.Duration
+}
+
+func (c CacheConfig) withDefaults() CacheConfig {
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 4096
+	}
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 256 << 20
+	}
+	if c.TTL == 0 {
+		c.TTL = 5 * time.Minute
+	}
+	return c
+}
+
+// CacheStats is a point-in-time snapshot of the result cache counters,
+// exposed at GET /api/cache/stats.
+type CacheStats struct {
+	Entries       int    `json:"entries"`
+	Bytes         int64  `json:"bytes"`
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Expirations   uint64 `json:"expirations"`
+	Invalidations uint64 `json:"invalidations"`
+	// Collapsed counts requests that waited on an identical in-flight
+	// request instead of dispatching their own task (singleflight).
+	Collapsed uint64 `json:"collapsed"`
+}
+
+type cacheEntry struct {
+	key      string
+	servable string
+	res      RunResult
+	size     int64     // JSON size of res, charged against maxBytes
+	expires  time.Time // zero = never
+}
+
+// resultCache is a bounded LRU with TTL over RunResults.
+type resultCache struct {
+	mu         sync.Mutex
+	max        int
+	maxBytes   int64
+	bytes      int64
+	ttl        time.Duration
+	lru        *list.List               // front = most recently used, of *cacheEntry
+	entries    map[string]*list.Element // key -> element
+	byServable map[string]map[string]*list.Element
+	// gens (per servable, bumped by invalidate) and epoch (bumped by
+	// flush) guard against the lookaside stale-write race: a put whose
+	// compute started under an older generation is discarded, so a
+	// result computed before an invalidation can never be stored after
+	// it. Both counters only grow, so their sum is a fingerprint that
+	// changes whenever either fires — without a publish of servable A
+	// discarding servable B's concurrent results.
+	gens  map[string]uint64
+	epoch uint64
+
+	hits, misses, evictions, expirations, invalidations, collapsed metrics.Counter
+
+	now func() time.Time
+}
+
+func newResultCache(cfg CacheConfig) *resultCache {
+	cfg = cfg.withDefaults()
+	return &resultCache{
+		max:        cfg.MaxEntries,
+		maxBytes:   cfg.MaxBytes,
+		ttl:        cfg.TTL,
+		lru:        list.New(),
+		entries:    make(map[string]*list.Element),
+		byServable: make(map[string]map[string]*list.Element),
+		gens:       make(map[string]uint64),
+		now:        time.Now,
+	}
+}
+
+// resultKey builds the cache key: sha256 over servable ID, published
+// version, task kind and the input's canonical JSON. encoding/json
+// sorts map keys, so inputs decoded from JSON (map[string]any) marshal
+// canonically regardless of the order the client sent fields in.
+func resultKey(servableID string, version int, kind string, input any) (string, error) {
+	data, err := jsonMarshal(input)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write([]byte(servableID))
+	h.Write([]byte{0})
+	h.Write([]byte{byte(version), byte(version >> 8), byte(version >> 16), byte(version >> 24)})
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(data)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// get returns the cached result for key, counting a hit or miss.
+func (c *resultCache) get(key string) (RunResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	elem, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return RunResult{}, false
+	}
+	e := elem.Value.(*cacheEntry)
+	if !e.expires.IsZero() && c.now().After(e.expires) {
+		c.removeLocked(elem)
+		c.expirations.Inc()
+		c.misses.Inc()
+		return RunResult{}, false
+	}
+	c.lru.MoveToFront(elem)
+	c.hits.Inc()
+	return e.res, true
+}
+
+// generation returns the servable's current invalidation generation;
+// capture it before computing a result and pass it to put.
+func (c *resultCache) generation(servableID string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch + c.gens[servableID]
+}
+
+// put stores a result computed under generation gen, evicting LRU
+// entries past the entry or byte budget. Puts from before an
+// invalidation (stale gen) and oversized results (more than a quarter
+// of the byte budget) are discarded.
+func (c *resultCache) put(key, servableID string, gen uint64, res RunResult) {
+	size := resultSize(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.epoch+c.gens[servableID] || size > c.maxBytes/4 {
+		return
+	}
+	if elem, ok := c.entries[key]; ok {
+		// Refresh in place (e.g. re-computed after NoCache runs).
+		e := elem.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.res = res
+		e.size = size
+		e.expires = c.expiry()
+		c.lru.MoveToFront(elem)
+		c.evictOverBudgetLocked(0)
+		return
+	}
+	c.evictOverBudgetLocked(size)
+	e := &cacheEntry{key: key, servable: servableID, res: res, size: size, expires: c.expiry()}
+	elem := c.lru.PushFront(e)
+	c.entries[key] = elem
+	c.bytes += size
+	keys := c.byServable[servableID]
+	if keys == nil {
+		keys = make(map[string]*list.Element)
+		c.byServable[servableID] = keys
+	}
+	keys[key] = elem
+}
+
+// evictOverBudgetLocked drops LRU entries until an insert of reserve
+// bytes fits both budgets. Caller holds c.mu.
+func (c *resultCache) evictOverBudgetLocked(reserve int64) {
+	over := func() bool {
+		if reserve > 0 && c.lru.Len() >= c.max {
+			return true
+		}
+		return c.bytes+reserve > c.maxBytes
+	}
+	for c.lru.Len() > 0 && over() {
+		c.removeLocked(c.lru.Back())
+		c.evictions.Inc()
+	}
+}
+
+// resultSize estimates a result's memory charge as its JSON length —
+// the length of the wire reply when dispatchTo recorded one, else a
+// fresh marshal (coalesced per-item results); unmarshalable results
+// charge a token minimum.
+func resultSize(res RunResult) int64 {
+	if res.wireSize > 0 {
+		return res.wireSize
+	}
+	data, err := jsonMarshal(res)
+	if err != nil {
+		return 64
+	}
+	return int64(len(data))
+}
+
+func (c *resultCache) expiry() time.Time {
+	if c.ttl <= 0 {
+		return time.Time{}
+	}
+	return c.now().Add(c.ttl)
+}
+
+// removeLocked unlinks an element from all indexes. Caller holds c.mu.
+func (c *resultCache) removeLocked(elem *list.Element) {
+	e := elem.Value.(*cacheEntry)
+	c.lru.Remove(elem)
+	c.bytes -= e.size
+	delete(c.entries, e.key)
+	if keys := c.byServable[e.servable]; keys != nil {
+		delete(keys, e.key)
+		if len(keys) == 0 {
+			delete(c.byServable, e.servable)
+		}
+	}
+}
+
+// invalidate drops every entry for one servable (all versions, all
+// inputs) — the Publish/UpdateMetadata/Scale hook.
+func (c *resultCache) invalidate(servableID string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	keys := c.byServable[servableID]
+	n := len(keys)
+	for _, elem := range keys {
+		e := elem.Value.(*cacheEntry)
+		c.lru.Remove(elem)
+		c.bytes -= e.size
+		delete(c.entries, e.key)
+	}
+	delete(c.byServable, servableID)
+	c.gens[servableID]++
+	c.invalidations.Add(uint64(n))
+	return n
+}
+
+// flush empties the cache, keeping counters.
+func (c *resultCache) flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.lru.Len()
+	c.lru.Init()
+	c.entries = make(map[string]*list.Element)
+	c.byServable = make(map[string]map[string]*list.Element)
+	c.bytes = 0
+	c.epoch++
+	c.invalidations.Add(uint64(n))
+}
+
+// stats snapshots the counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	entries := c.lru.Len()
+	bytes := c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Entries:       entries,
+		Bytes:         bytes,
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Evictions:     c.evictions.Value(),
+		Expirations:   c.expirations.Value(),
+		Invalidations: c.invalidations.Value(),
+		Collapsed:     c.collapsed.Value(),
+	}
+}
+
+// --- singleflight ------------------------------------------------------------
+
+// flightGroup collapses concurrent calls with the same key into one
+// execution whose result every caller shares (a minimal in-repo
+// singleflight; no external deps).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  RunResult
+	err  error
+}
+
+// do runs fn for key unless an identical call is already in flight, in
+// which case it waits for and shares that call's result — but only up
+// to wait (0 = unbounded): a follower with a tight RunOptions.Timeout
+// must not be pinned to the leader's (possibly much longer) deadline.
+// shared reports whether this caller piggybacked on another's
+// execution.
+func (g *flightGroup) do(key string, wait time.Duration, fn func() (RunResult, error)) (res RunResult, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if call, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			defer timer.Stop()
+			select {
+			case <-call.done:
+			case <-timer.C:
+				return RunResult{}, fmt.Errorf("%w after %v (awaiting identical in-flight request)", ErrTimeout, wait), true
+			}
+		} else {
+			<-call.done
+		}
+		return call.res, call.err, true
+	}
+	call := &flightCall{done: make(chan struct{})}
+	g.calls[key] = call
+	g.mu.Unlock()
+
+	call.res, call.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.res, call.err, false
+}

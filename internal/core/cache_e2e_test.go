@@ -1,0 +1,432 @@
+package core_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/servable"
+	"repro/internal/taskmanager"
+)
+
+// fakeTM is a scripted Task Manager: it registers with the Management
+// Service and answers every task with a canned reply, optionally
+// holding each task until released. It gives the cache and routing
+// tests exact control over TM-side latency and observability of how
+// many tasks actually reached a site.
+type fakeTM struct {
+	id      string
+	handled atomic.Int64
+	block   chan struct{} // when non-nil, each task waits for one receive
+}
+
+func startFakeTM(t *testing.T, ms *core.Service, id string, block chan struct{}) *fakeTM {
+	t.Helper()
+	f := &fakeTM{id: id, block: block}
+	reg, err := json.Marshal(taskmanager.Registration{TMID: id, Executors: []string{"parsl"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "")
+	stop := make(chan struct{})
+	t.Cleanup(func() { close(stop) })
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			msg, ok := ms.Broker().Pull(taskmanager.TaskQueue(id), 50*time.Millisecond)
+			if !ok {
+				continue
+			}
+			if f.block != nil {
+				select {
+				case <-f.block:
+				case <-stop:
+					return
+				}
+			}
+			var task taskmanager.Task
+			if err := json.Unmarshal(msg.Body, &task); err != nil {
+				continue
+			}
+			rep, _ := json.Marshal(taskmanager.Reply{TaskID: task.ID, OK: true, Output: "from-" + id})
+			ms.Broker().Reply(msg, rep)
+			f.handled.Add(1)
+		}
+	}()
+	return f
+}
+
+func newCachedMS(t *testing.T, cache core.CacheConfig) *core.Service {
+	t.Helper()
+	ms := core.New(core.Config{Registry: container.NewRegistry(), Cache: cache})
+	t.Cleanup(ms.Close)
+	return ms
+}
+
+func publishNoop(t *testing.T, ms *core.Service) string {
+	t.Helper()
+	id, err := ms.Publish(core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestServiceCacheHitMissBypass(t *testing.T) {
+	ms := newCachedMS(t, core.CacheConfig{})
+	tm := startFakeTM(t, ms, "tm-1", nil)
+	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+
+	r1, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatal("first run must miss")
+	}
+	r2, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || !r2.Cached {
+		t.Fatalf("second identical run must hit the service cache: %+v", r2)
+	}
+	if r2.Output != r1.Output {
+		t.Fatalf("cached output differs: %v vs %v", r2.Output, r1.Output)
+	}
+	if got := tm.handled.Load(); got != 1 {
+		t.Fatalf("hit must not reach the TM: handled=%d", got)
+	}
+
+	// NoCache bypasses the service layer (task dispatches again).
+	r3, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit {
+		t.Fatal("NoCache run must bypass the service cache")
+	}
+	// NoMemo bypasses every memoization tier.
+	if r4, _ := ms.Run(core.Anonymous, id, "same", core.RunOptions{NoMemo: true}); r4.CacheHit {
+		t.Fatal("NoMemo run must bypass the service cache")
+	}
+	if got := tm.handled.Load(); got != 3 {
+		t.Fatalf("bypass runs must reach the TM: handled=%d", got)
+	}
+
+	st := ms.CacheStats()
+	if st.Hits != 1 || st.Misses < 1 || st.Entries != 1 {
+		t.Fatalf("stats wrong: %+v", st)
+	}
+}
+
+func TestServiceCacheDistinctInputsMiss(t *testing.T) {
+	ms := newCachedMS(t, core.CacheConfig{})
+	tm := startFakeTM(t, ms, "tm-1", nil)
+	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+	for i := 0; i < 4; i++ {
+		if _, err := ms.Run(core.Anonymous, id, i, core.RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tm.handled.Load(); got != 4 {
+		t.Fatalf("distinct inputs must all dispatch: handled=%d", got)
+	}
+}
+
+func TestServiceCacheInvalidation(t *testing.T) {
+	ms := newCachedMS(t, core.CacheConfig{})
+	tm := startFakeTM(t, ms, "tm-1", nil)
+	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+
+	warm := func() {
+		t.Helper()
+		if _, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertHit := func(want bool, why string) {
+		t.Helper()
+		res, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.CacheHit != want {
+			t.Fatalf("%s: CacheHit=%v want %v", why, res.CacheHit, want)
+		}
+	}
+
+	warm()
+	assertHit(true, "warm cache")
+
+	// Re-publishing bumps the version: old results are stale.
+	if _, err := ms.Publish(core.Anonymous, servable.NoopPackage()); err != nil {
+		t.Fatal(err)
+	}
+	assertHit(false, "after republish")
+	assertHit(true, "rewarmed at v2")
+
+	// Metadata updates invalidate.
+	err := ms.UpdateMetadata(core.Anonymous, id, func(p *schema.Publication) {
+		p.Description = "updated"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertHit(false, "after metadata update")
+
+	if st := ms.CacheStats(); st.Invalidations < 2 {
+		t.Fatalf("want >=2 invalidations, got %+v", st)
+	}
+	if tm.handled.Load() != 3 { // warm + republish miss + update miss
+		t.Fatalf("unexpected TM traffic: %d", tm.handled.Load())
+	}
+}
+
+func TestServiceCacheTTLExpiry(t *testing.T) {
+	ms := newCachedMS(t, core.CacheConfig{TTL: 30 * time.Millisecond})
+	tm := startFakeTM(t, ms, "tm-1", nil)
+	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+
+	if _, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Fatal("within TTL should hit")
+	}
+	time.Sleep(60 * time.Millisecond)
+	res, err = ms.Run(core.Anonymous, id, "in", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("expired entry should miss")
+	}
+	if tm.handled.Load() != 2 {
+		t.Fatalf("want 2 dispatches (initial + post-expiry), got %d", tm.handled.Load())
+	}
+	if st := ms.CacheStats(); st.Expirations < 1 {
+		t.Fatalf("want an expiration, got %+v", st)
+	}
+}
+
+func TestSingleflightCollapsesConcurrentRuns(t *testing.T) {
+	release := make(chan struct{})
+	ms := newCachedMS(t, core.CacheConfig{})
+	tm := startFakeTM(t, ms, "tm-1", release)
+	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+
+	const concurrency = 8
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	errs := make([]error, concurrency)
+	for i := 0; i < concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+			errs[i] = err
+			if err == nil && res.CacheHit {
+				hits.Add(1)
+			}
+		}(i)
+	}
+	// Let every request reach the flight group, then release the one
+	// dispatched task.
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+	}
+	if got := tm.handled.Load(); got != 1 {
+		t.Fatalf("singleflight should dispatch exactly one task, TM saw %d", got)
+	}
+	if hits.Load() != concurrency-1 {
+		t.Fatalf("want %d collapsed callers marked as hits, got %d", concurrency-1, hits.Load())
+	}
+	if st := ms.CacheStats(); st.Collapsed != concurrency-1 {
+		t.Fatalf("want Collapsed=%d, got %+v", concurrency-1, st)
+	}
+}
+
+func TestLeastOutstandingRouting(t *testing.T) {
+	ms := newCachedMS(t, core.CacheConfig{Disabled: true})
+	release := make(chan struct{})
+	busy := startFakeTM(t, ms, "tm-busy", release)
+	idle := startFakeTM(t, ms, "tm-idle", nil)
+	if err := ms.WaitForTM(2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+
+	// Occupy tm-busy: fire runs until the load map shows it holding
+	// one (round-robin tiebreak may hand the first to either TM).
+	done := make(chan struct{})
+	var stuck atomic.Int64
+	fire := func(input any) {
+		stuck.Add(1)
+		go func() {
+			defer stuck.Add(-1)
+			ms.Run(core.Anonymous, id, input, core.RunOptions{}) //nolint:errcheck
+			done <- struct{}{}
+		}()
+	}
+	fire("a")
+	deadline := time.Now().Add(2 * time.Second)
+	for ms.TMLoad()["tm-busy"] == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("tm-busy never received a task")
+		}
+		select {
+		case <-done: // landed on tm-idle and finished; try again
+			fire("b")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// With tm-busy stuck at load 1, every new request must route to
+	// the idle TM (load 0) — blind round-robin would alternate.
+	idleBefore := idle.handled.Load()
+	for i := 0; i < 5; i++ {
+		res, err := ms.Run(core.Anonymous, id, i, core.RunOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output != "from-tm-idle" {
+			t.Fatalf("request %d routed to the busy TM: %v", i, res.Output)
+		}
+	}
+	if got := idle.handled.Load() - idleBefore; got != 5 {
+		t.Fatalf("idle TM should have served all 5, served %d", got)
+	}
+	if busy.handled.Load() != 0 {
+		t.Fatalf("busy TM should still be holding its task, handled %d", busy.handled.Load())
+	}
+
+	// Release the stuck task; load drains and both TMs are usable.
+	close(release)
+	for stuck.Load() > 0 {
+		<-done
+	}
+	if load := ms.TMLoad(); load["tm-busy"] != 0 || load["tm-idle"] != 0 {
+		t.Fatalf("load should drain to zero: %v", load)
+	}
+}
+
+func TestCacheHTTPHeaderAndStats(t *testing.T) {
+	ms := newCachedMS(t, core.CacheConfig{})
+	startFakeTM(t, ms, "tm-1", nil)
+	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := publishNoop(t, ms)
+
+	srv := httptest.NewServer(ms.Handler())
+	defer srv.Close()
+
+	post := func(body map[string]any) (*http.Response, map[string]any) {
+		t.Helper()
+		data, _ := json.Marshal(body)
+		resp, err := srv.Client().Post(srv.URL+"/api/run/"+id, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var out map[string]any
+		json.Unmarshal(raw, &out) //nolint:errcheck
+		return resp, out
+	}
+
+	resp, _ := post(map[string]any{"input": "x"})
+	if got := resp.Header.Get(core.CacheHeader); got != "miss" {
+		t.Fatalf("first run header = %q, want miss", got)
+	}
+	resp, out := post(map[string]any{"input": "x"})
+	if got := resp.Header.Get(core.CacheHeader); got != "hit" {
+		t.Fatalf("second run header = %q, want hit", got)
+	}
+	if out["cache_hit"] != true {
+		t.Fatalf("body should flag cache_hit: %v", out)
+	}
+	resp, _ = post(map[string]any{"input": "x", "no_cache": true})
+	if got := resp.Header.Get(core.CacheHeader); got != "bypass" {
+		t.Fatalf("no_cache header = %q, want bypass", got)
+	}
+
+	// Pipelines never use the cache: header must say bypass, not miss.
+	pipeDoc := pipelineDoc("hdr-pipe", []string{id, id})
+	pipeID, err := ms.Publish(core.Anonymous, &servable.Package{Doc: pipeDoc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdata, _ := json.Marshal(map[string]any{"input": "x"})
+	presp, err := srv.Client().Post(srv.URL+"/api/run/"+pipeID, "application/json", bytes.NewReader(pdata))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if got := presp.Header.Get(core.CacheHeader); got != "bypass" {
+		t.Fatalf("pipeline run header = %q, want bypass", got)
+	}
+
+	// Stats endpoint.
+	sresp, err := srv.Client().Get(srv.URL + "/api/cache/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats struct {
+		Enabled bool            `json:"enabled"`
+		Stats   core.CacheStats `json:"stats"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Enabled || stats.Stats.Hits != 1 || stats.Stats.Entries != 1 {
+		t.Fatalf("stats endpoint wrong: %+v", stats)
+	}
+
+	// Flush wipes entries but keeps counters.
+	if _, err := srv.Client().Post(srv.URL+"/api/cache/flush", "application/json", nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := ms.CacheStats(); st.Entries != 0 || st.Hits != 1 {
+		t.Fatalf("flush wrong: %+v", st)
+	}
+}

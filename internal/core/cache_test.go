@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testResult(out string) RunResult {
+	res := RunResult{}
+	res.OK = true
+	res.Output = out
+	return res
+}
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(CacheConfig{MaxEntries: 2})
+	c.put("a", "s1", 0, testResult("a"))
+	c.put("b", "s1", 0, testResult("b"))
+	if _, ok := c.get("a"); !ok { // touch a -> b becomes LRU
+		t.Fatal("a should be cached")
+	}
+	c.put("c", "s1", 0, testResult("c"))
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	st := c.stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("want 1 eviction / 2 entries, got %+v", st)
+	}
+}
+
+func TestResultCacheTTL(t *testing.T) {
+	now := time.Now()
+	c := newResultCache(CacheConfig{TTL: time.Minute})
+	c.now = func() time.Time { return now }
+	c.put("k", "s1", 0, testResult("v"))
+	if _, ok := c.get("k"); !ok {
+		t.Fatal("fresh entry should hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := c.get("k"); ok {
+		t.Fatal("expired entry should miss")
+	}
+	st := c.stats()
+	if st.Expirations != 1 || st.Entries != 0 {
+		t.Fatalf("want 1 expiration / 0 entries, got %+v", st)
+	}
+}
+
+func TestResultCacheInvalidate(t *testing.T) {
+	c := newResultCache(CacheConfig{})
+	c.put("k1", "s1", 0, testResult("1"))
+	c.put("k2", "s1", 0, testResult("2"))
+	c.put("k3", "s2", 0, testResult("3"))
+	if n := c.invalidate("s1"); n != 2 {
+		t.Fatalf("want 2 invalidated, got %d", n)
+	}
+	if _, ok := c.get("k1"); ok {
+		t.Fatal("k1 should be gone")
+	}
+	if _, ok := c.get("k3"); !ok {
+		t.Fatal("k3 (other servable) should survive")
+	}
+	c.flush()
+	if st := c.stats(); st.Entries != 0 || st.Invalidations != 3 {
+		t.Fatalf("flush wrong: %+v", st)
+	}
+}
+
+func TestResultKeyCanonicalJSON(t *testing.T) {
+	// Maps marshal with sorted keys, so field order at the client
+	// cannot split cache entries.
+	k1, err := resultKey("o/m", 1, "run", map[string]any{"a": 1.0, "b": "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := resultKey("o/m", 1, "run", map[string]any{"b": "x", "a": 1.0})
+	if k1 != k2 {
+		t.Fatal("equivalent inputs should share a key")
+	}
+	// Version, kind, servable and input all partition the key space.
+	for _, other := range []struct {
+		id      string
+		version int
+		kind    string
+		input   any
+	}{
+		{"o/m", 2, "run", map[string]any{"a": 1.0, "b": "x"}},
+		{"o/m", 1, "batch", map[string]any{"a": 1.0, "b": "x"}},
+		{"o/m2", 1, "run", map[string]any{"a": 1.0, "b": "x"}},
+		{"o/m", 1, "run", map[string]any{"a": 2.0, "b": "x"}},
+	} {
+		k, _ := resultKey(other.id, other.version, other.kind, other.input)
+		if k == k1 {
+			t.Fatalf("key collision with %+v", other)
+		}
+	}
+}
+
+func TestFlightGroupCollapses(t *testing.T) {
+	var g flightGroup
+	var calls int
+	var mu sync.Mutex
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	results := make([]bool, waiters) // shared flag per caller
+	var leaderOnce sync.Once
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err, shared := g.do("k", 0, func() (RunResult, error) {
+				leaderOnce.Do(func() { close(started) })
+				<-release
+				mu.Lock()
+				calls++
+				mu.Unlock()
+				return testResult("once"), nil
+			})
+			if err != nil || res.Output != "once" {
+				t.Errorf("caller %d: res=%v err=%v", i, res.Output, err)
+			}
+			results[i] = shared
+		}(i)
+	}
+	<-started
+	time.Sleep(20 * time.Millisecond) // let followers reach the wait
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("fn should run once, ran %d times", calls)
+	}
+	sharedCount := 0
+	for _, s := range results {
+		if s {
+			sharedCount++
+		}
+	}
+	// Followers that arrived while the leader was in flight all share;
+	// stragglers that arrived after completion re-run (calls would then
+	// exceed 1, already checked above).
+	if sharedCount != waiters-1 {
+		t.Fatalf("want %d shared callers, got %d", waiters-1, sharedCount)
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	var g flightGroup
+	wantErr := fmt.Errorf("boom")
+	_, err, _ := g.do("k", 0, func() (RunResult, error) { return RunResult{}, wantErr })
+	if err != wantErr {
+		t.Fatalf("want error propagated, got %v", err)
+	}
+	// A failed call must not poison the key for later calls.
+	res, err, _ := g.do("k", 0, func() (RunResult, error) { return testResult("ok"), nil })
+	if err != nil || res.Output != "ok" {
+		t.Fatalf("retry after failure broken: %v %v", res.Output, err)
+	}
+}
+
+func TestFlightGroupFollowerTimeout(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go g.do("k", 0, func() (RunResult, error) { //nolint:errcheck
+		close(leaderIn)
+		<-release
+		return testResult("slow"), nil
+	})
+	<-leaderIn
+	// A follower with a tight wait must give up on its own deadline,
+	// not the leader's.
+	start := time.Now()
+	_, err, shared := g.do("k", 20*time.Millisecond, func() (RunResult, error) {
+		t.Error("follower must not execute fn")
+		return RunResult{}, nil
+	})
+	if !shared || err == nil {
+		t.Fatalf("follower should time out as shared: shared=%v err=%v", shared, err)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("follower waited %v, wanted ~20ms", elapsed)
+	}
+	close(release)
+}
+
+func TestResultCacheStaleGenerationPut(t *testing.T) {
+	c := newResultCache(CacheConfig{})
+	gen := c.generation("s1")
+	c.invalidate("s1") // bumps s1's generation
+	// A result computed before the invalidation must not be stored
+	// after it.
+	c.put("k", "s1", gen, testResult("stale"))
+	if _, ok := c.get("k"); ok {
+		t.Fatal("stale-generation put must be discarded")
+	}
+	c.put("k", "s1", c.generation("s1"), testResult("fresh"))
+	if res, ok := c.get("k"); !ok || res.Output != "fresh" {
+		t.Fatal("current-generation put must store")
+	}
+	// Another servable's invalidation must not discard s2's put.
+	gen2 := c.generation("s2")
+	c.invalidate("s1")
+	c.put("k2", "s2", gen2, testResult("s2"))
+	if _, ok := c.get("k2"); !ok {
+		t.Fatal("unrelated invalidation must not discard s2's result")
+	}
+	// A flush invalidates every in-flight compute.
+	gen2 = c.generation("s2")
+	c.flush()
+	c.put("k3", "s2", gen2, testResult("late"))
+	if _, ok := c.get("k3"); ok {
+		t.Fatal("pre-flush compute must not be stored post-flush")
+	}
+}
+
+func TestResultCacheByteBudget(t *testing.T) {
+	big := func(n int) RunResult { // result whose JSON is a bit over n bytes
+		return testResult(strings.Repeat("x", n))
+	}
+	c := newResultCache(CacheConfig{MaxEntries: 100, MaxBytes: 4096})
+	// Four ~900-byte entries fit (each under the 1024-byte oversize
+	// threshold); the fifth pushes the sum past 4096 and evicts LRU.
+	for _, k := range []string{"a", "b", "c", "d"} {
+		c.put(k, "s1", 0, big(900))
+	}
+	if st := c.stats(); st.Entries != 4 || st.Bytes <= 0 {
+		t.Fatalf("setup wrong: %+v", st)
+	}
+	c.put("e", "s1", 0, big(900))
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a should have been evicted for the byte budget")
+	}
+	if st := c.stats(); st.Bytes > 4096 {
+		t.Fatalf("byte budget exceeded: %+v", st)
+	}
+	// Oversized results (> MaxBytes/4) are never cached.
+	c.put("huge", "s1", 0, big(1500))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("oversized entry should not be cached")
+	}
+}

@@ -32,6 +32,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /api/deploy/{owner}/{name}", s.handleDeploy)
 	mux.HandleFunc("POST /api/scale/{owner}/{name}", s.handleScale)
 	mux.HandleFunc("GET /api/tms", s.handleTMs)
+	mux.HandleFunc("GET /api/cache/stats", s.handleCacheStats)
+	mux.HandleFunc("POST /api/cache/flush", s.handleCacheFlush)
 	return mux
 }
 
@@ -253,8 +255,27 @@ type RunRequest struct {
 	Inputs   []any  `json:"inputs,omitempty"` // batch mode when non-empty
 	Async    bool   `json:"async,omitempty"`
 	NoMemo   bool   `json:"no_memo,omitempty"`
+	NoCache  bool   `json:"no_cache,omitempty"` // bypass the service-layer cache only
 	Coalesce bool   `json:"coalesce,omitempty"`
 	Executor string `json:"executor,omitempty"`
+}
+
+// CacheHeader is set on synchronous /api/run responses: "hit" when the
+// service-layer cache (or singleflight) answered, "miss" when the cache
+// was consulted but the task dispatched, "bypass" when the cache never
+// applied (disabled, no_cache/no_memo, or an uncacheable pipeline run).
+const CacheHeader = "X-DLHub-Cache"
+
+// setCacheHeader annotates a synchronous run response for servableID.
+func (s *Service) setCacheHeader(w http.ResponseWriter, servableID string, opts RunOptions, res RunResult) {
+	switch {
+	case !s.cacheUsable(opts) || !s.cacheableID(servableID):
+		w.Header().Set(CacheHeader, "bypass")
+	case res.CacheHit:
+		w.Header().Set(CacheHeader, "hit")
+	default:
+		w.Header().Set(CacheHeader, "miss")
+	}
 }
 
 func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
@@ -268,7 +289,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("owner") + "/" + r.PathValue("name")
-	opts := RunOptions{Executor: req.Executor, NoMemo: req.NoMemo}
+	opts := RunOptions{Executor: req.Executor, NoMemo: req.NoMemo, NoCache: req.NoCache}
 
 	switch {
 	case req.Async:
@@ -284,6 +305,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeServiceError(w, err)
 			return
 		}
+		s.setCacheHeader(w, id, opts, res)
 		rpc.WriteJSON(w, http.StatusOK, res)
 	case req.Coalesce:
 		res, err := s.RunCoalesced(c, id, req.Input, opts)
@@ -291,6 +313,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeServiceError(w, err)
 			return
 		}
+		s.setCacheHeader(w, id, opts, res)
 		rpc.WriteJSON(w, http.StatusOK, res)
 	default:
 		res, err := s.Run(c, id, req.Input, opts)
@@ -298,6 +321,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 			writeServiceError(w, err)
 			return
 		}
+		s.setCacheHeader(w, id, opts, res)
 		rpc.WriteJSON(w, http.StatusOK, res)
 	}
 }
@@ -360,7 +384,28 @@ func (s *Service) handleTMs(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.caller(w, r); !ok {
 		return
 	}
-	rpc.WriteJSON(w, http.StatusOK, map[string]any{"task_managers": s.TaskManagers()})
+	rpc.WriteJSON(w, http.StatusOK, map[string]any{
+		"task_managers": s.TaskManagers(),
+		"load":          s.TMLoad(),
+	})
+}
+
+func (s *Service) handleCacheStats(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.caller(w, r); !ok {
+		return
+	}
+	rpc.WriteJSON(w, http.StatusOK, map[string]any{
+		"enabled": s.CacheEnabled(),
+		"stats":   s.CacheStats(),
+	})
+}
+
+func (s *Service) handleCacheFlush(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.caller(w, r); !ok {
+		return
+	}
+	s.FlushCache()
+	rpc.WriteJSON(w, http.StatusOK, map[string]string{"status": "flushed"})
 }
 
 // type aliases for readability.

@@ -11,6 +11,13 @@
 // execution, batching, pipelines and access control via the auth
 // substrate. The REST API in http.go wraps the methods here; benches
 // and tests may also drive the service in-process.
+//
+// Two serving-layer mechanisms extend the paper's design for multi-TM
+// deployments: a service-layer result cache with singleflight
+// de-duplication (cache.go) that answers repeated identical requests
+// before routing, and least-outstanding-requests routing (pickTM) that
+// sends new work to the idlest live Task Manager instead of blind
+// round-robin. See docs/ARCHITECTURE.md for the request lifecycle.
 package core
 
 import (
@@ -63,6 +70,9 @@ type Config struct {
 	// registration/heartbeat arrived within this window (0 disables
 	// liveness filtering).
 	TMStaleAfter time.Duration
+	// Cache tunes the service-layer result cache (zero value: enabled
+	// with defaults; set Disabled to turn it off).
+	Cache CacheConfig
 }
 
 // Service is the Management Service.
@@ -72,6 +82,11 @@ type Service struct {
 	index   *search.Index
 	builder *container.Builder
 
+	// cache is the service-layer result cache (nil when disabled);
+	// flight collapses concurrent identical dispatches.
+	cache  *resultCache
+	flight flightGroup
+
 	mu       sync.RWMutex
 	docs     map[string]*schema.Document   // id -> latest
 	versions map[string][]*schema.Document // id -> all versions
@@ -79,6 +94,9 @@ type Service struct {
 	tms      []string
 	tmSeen   map[string]time.Time
 	tmRR     int
+	// tmInflight counts dispatched-but-unanswered tasks per TM; pickTM
+	// routes to the least loaded live candidate.
+	tmInflight map[string]int
 	// placements maps servable ID -> Task Managers hosting it, so runs
 	// are routed to capable sites (§IV-A: the Management Service
 	// "route[s] workloads to suitable executors").
@@ -129,8 +147,12 @@ func New(cfg Config) *Service {
 		tasks:      make(map[string]*AsyncTask),
 		placements: make(map[string][]string),
 		tmSeen:     make(map[string]time.Time),
+		tmInflight: make(map[string]int),
 		stop:       make(chan struct{}),
 		timeFunc:   time.Now,
+	}
+	if !cfg.Cache.Disabled {
+		s.cache = newResultCache(cfg.Cache)
 	}
 	s.regWG.Add(1)
 	go s.registrationLoop()
@@ -200,8 +222,10 @@ func (s *Service) WaitForTM(n int, timeout time.Duration) error {
 	return fmt.Errorf("%w: %d registered after %v", ErrNoTaskManager, len(s.TaskManagers()), timeout)
 }
 
-// pickTM selects a Task Manager round-robin. When servableID is known
-// to be placed on specific TMs, only those are considered.
+// pickTM selects a Task Manager by least outstanding requests: among
+// the live candidates (restricted to placement sites when servableID is
+// known to be placed), the one with the fewest in-flight dispatches
+// wins; ties fall back to round-robin so uniform load still spreads.
 func (s *Service) pickTM(servableID string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -215,9 +239,33 @@ func (s *Service) pickTM(servableID string) (string, error) {
 	if len(candidates) == 0 {
 		return "", ErrNoTaskManager
 	}
-	tm := candidates[s.tmRR%len(candidates)]
+	minLoad := -1
+	var tied []string
+	for _, id := range candidates {
+		switch load := s.tmInflight[id]; {
+		case minLoad < 0 || load < minLoad:
+			minLoad = load
+			tied = tied[:0]
+			tied = append(tied, id)
+		case load == minLoad:
+			tied = append(tied, id)
+		}
+	}
+	tm := tied[s.tmRR%len(tied)]
 	s.tmRR++
 	return tm, nil
+}
+
+// TMLoad reports in-flight (dispatched, not yet answered) task counts
+// per registered Task Manager.
+func (s *Service) TMLoad() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	load := make(map[string]int, len(s.tms))
+	for _, id := range s.tms {
+		load[id] = s.tmInflight[id]
+	}
+	return load
 }
 
 // liveLocked filters TMs by heartbeat freshness; with liveness disabled
@@ -329,6 +377,9 @@ func (s *Service) Publish(caller Caller, pkg *servable.Package) (string, error) 
 		Fields:    schema.Flatten(doc),
 		VisibleTo: doc.Publication.VisibleTo,
 	})
+	// A new version obsoletes cached results (the version in the cache
+	// key would miss anyway; dropping eagerly frees the space now).
+	s.invalidateCache(id)
 	return id, nil
 }
 
@@ -359,6 +410,10 @@ func (s *Service) UpdateMetadata(caller Caller, id string, update func(*schema.P
 	}
 	s.mu.Unlock()
 	s.index.Ingest(search.Doc{ID: id, Fields: schema.Flatten(doc), VisibleTo: doc.Publication.VisibleTo})
+	// Metadata changes can alter who may see results (e.g. VisibleTo
+	// flips); drop cached results rather than reason about which edits
+	// are benign.
+	s.invalidateCache(id)
 	return nil
 }
 
@@ -467,9 +522,14 @@ type RunOptions struct {
 	// Executor routes to a specific serving system ("" = deployed
 	// default).
 	Executor string
-	// NoMemo disables memoization for this request (§V-B experiments
+	// NoMemo disables every memoization tier for this request — the
+	// service-layer result cache and the TM cache (§V-B experiments
 	// "disable DLHub memoization mechanisms").
 	NoMemo bool
+	// NoCache bypasses only the service-layer result cache, still
+	// allowing TM-side memoization. Use it to force a request through
+	// routing without forgoing site-local caching.
+	NoCache bool
 	// Timeout overrides the service default.
 	Timeout time.Duration
 }
@@ -480,6 +540,104 @@ type RunOptions struct {
 type RunResult struct {
 	taskmanager.Reply
 	RequestMicros int64 `json:"request_us"`
+	// CacheHit reports the result was served from the service-layer
+	// cache (or shared with an identical in-flight request) without
+	// dispatching a task. Reply.Cached additionally covers TM-side
+	// memoization hits.
+	//
+	// On a hit, Output/Outputs alias the stored cache entry: in-process
+	// callers must treat them as read-only (mutation would corrupt the
+	// result every later hit receives). HTTP callers are unaffected —
+	// results are serialized per response.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// wireSize is the reply's wire length, recorded by dispatchTo so
+	// the result cache can charge its byte budget without
+	// re-marshaling.
+	wireSize int64
+}
+
+// markCacheHit stamps a result served without dispatching: hit flags
+// set and the request time re-measured for this caller.
+func markCacheHit(res RunResult, start time.Time) RunResult {
+	res.CacheHit = true
+	res.Cached = true
+	res.RequestMicros = time.Since(start).Microseconds()
+	return res
+}
+
+// cacheUsable reports whether the service-layer cache applies to a
+// request with the given options. Executor-pinned runs share entries
+// with default-routed ones: a result is the model's output, independent
+// of which serving system computed it.
+func (s *Service) cacheUsable(opts RunOptions) bool {
+	return s.cache != nil && !opts.NoCache && !opts.NoMemo
+}
+
+// CacheEnabled reports whether the service-layer result cache is on.
+func (s *Service) CacheEnabled() bool { return s.cache != nil }
+
+// cacheableID reports whether requests for servableID can ever use the
+// result cache (pipelines never do — their steps version
+// independently).
+func (s *Service) cacheableID(servableID string) bool {
+	s.mu.RLock()
+	doc, ok := s.docs[servableID]
+	s.mu.RUnlock()
+	return ok && doc.Servable.Type != schema.TypePipeline
+}
+
+// CacheStats snapshots the service-layer cache counters (zero when the
+// cache is disabled).
+func (s *Service) CacheStats() CacheStats {
+	if s.cache == nil {
+		return CacheStats{}
+	}
+	return s.cache.stats()
+}
+
+// FlushCache drops every cached result (counters are kept).
+func (s *Service) FlushCache() {
+	if s.cache != nil {
+		s.cache.flush()
+	}
+}
+
+// invalidateCache drops all cached results for one servable.
+func (s *Service) invalidateCache(servableID string) {
+	if s.cache != nil {
+		s.cache.invalidate(servableID)
+	}
+}
+
+// runCached serves task from the result cache when possible, collapsing
+// concurrent identical requests into one dispatch (singleflight). The
+// leader's successful result is cached; followers and later callers are
+// marked CacheHit with their own request time.
+func (s *Service) runCached(key, servableID string, task taskmanager.Task, opts RunOptions) (RunResult, error) {
+	start := time.Now()
+	if res, ok := s.cache.get(key); ok {
+		return markCacheHit(res, start), nil
+	}
+	wait := opts.Timeout
+	if wait <= 0 {
+		wait = s.cfg.TaskTimeout
+	}
+	gen := s.cache.generation(servableID)
+	res, err, shared := s.flight.do(key, wait, func() (RunResult, error) {
+		res, err := s.dispatch(task, opts)
+		if err == nil {
+			s.cache.put(key, servableID, gen, res)
+		}
+		return res, err
+	})
+	if err != nil {
+		return res, err
+	}
+	if shared {
+		s.cache.collapsed.Inc()
+		res = markCacheHit(res, start)
+	}
+	return res, nil
 }
 
 // Run synchronously invokes a servable with one input.
@@ -489,6 +647,9 @@ func (s *Service) Run(caller Caller, servableID string, input any, opts RunOptio
 		return RunResult{}, err
 	}
 	if doc.Servable.Type == schema.TypePipeline {
+		// Pipelines are not cached at the service layer: their step
+		// servables version independently, so a pipeline-level key
+		// cannot see staleness in an updated step.
 		return s.runPipeline(caller, doc, input, opts)
 	}
 	task := taskmanager.Task{
@@ -499,13 +660,21 @@ func (s *Service) Run(caller Caller, servableID string, input any, opts RunOptio
 		Input:    input,
 		NoMemo:   opts.NoMemo,
 	}
+	if s.cacheUsable(opts) {
+		if key, err := resultKey(servableID, doc.Version, "run", input); err == nil {
+			return s.runCached(key, servableID, task, opts)
+		}
+	}
 	return s.dispatch(task, opts)
 }
 
 // RunBatch synchronously invokes a servable on many inputs in one task
-// (§V-B3 batching).
+// (§V-B3 batching). The whole input slice is one cache unit: repeating
+// an identical batch hits, but its items do not cross-populate
+// single-input entries.
 func (s *Service) RunBatch(caller Caller, servableID string, inputs []any, opts RunOptions) (RunResult, error) {
-	if _, err := s.Get(caller, servableID); err != nil {
+	doc, err := s.Get(caller, servableID)
+	if err != nil {
 		return RunResult{}, err
 	}
 	task := taskmanager.Task{
@@ -515,6 +684,13 @@ func (s *Service) RunBatch(caller Caller, servableID string, inputs []any, opts 
 		Executor: opts.Executor,
 		Inputs:   inputs,
 		NoMemo:   opts.NoMemo,
+	}
+	// Pipelines are uncacheable here for the same reason as in Run:
+	// step servables version independently of the pipeline document.
+	if s.cacheUsable(opts) && doc.Servable.Type != schema.TypePipeline {
+		if key, err := resultKey(servableID, doc.Version, "batch", inputs); err == nil {
+			return s.runCached(key, servableID, task, opts)
+		}
 	}
 	return s.dispatch(task, opts)
 }
@@ -554,8 +730,25 @@ func (s *Service) dispatch(task taskmanager.Task, opts RunOptions) (RunResult, e
 	return s.dispatchTo(tmID, task, opts)
 }
 
-// dispatchTo pushes a task to a specific TM queue and waits.
+// dispatchTo pushes a task to a specific TM queue and waits. It owns
+// the in-flight accounting pickTM routes on: the count rises for the
+// whole queue+execute+reply round trip, so slow or backed-up TMs
+// naturally shed new work to idle ones. A timed-out dispatch also
+// decrements — the count tracks requests this service is waiting on,
+// not TM health, and must not leak when replies are lost; shedding a
+// wedged-but-heartbeating TM permanently is the liveness filter's
+// (TMStaleAfter) job, not load accounting's.
 func (s *Service) dispatchTo(tmID string, task taskmanager.Task, opts RunOptions) (RunResult, error) {
+	s.mu.Lock()
+	s.tmInflight[tmID]++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		if s.tmInflight[tmID] > 0 {
+			s.tmInflight[tmID]--
+		}
+		s.mu.Unlock()
+	}()
 	start := time.Now()
 	body, err := jsonMarshal(task)
 	if err != nil {
@@ -573,7 +766,7 @@ func (s *Service) dispatchTo(tmID string, task taskmanager.Task, opts RunOptions
 	if err := jsonUnmarshal(replyBody, &reply); err != nil {
 		return RunResult{}, fmt.Errorf("core: bad TM reply: %w", err)
 	}
-	res := RunResult{Reply: reply, RequestMicros: time.Since(start).Microseconds()}
+	res := RunResult{Reply: reply, RequestMicros: time.Since(start).Microseconds(), wireSize: int64(len(replyBody))}
 	if !reply.OK {
 		return res, fmt.Errorf("core: task failed: %s", reply.Error)
 	}
@@ -704,6 +897,11 @@ func (s *Service) Scale(caller Caller, servableID string, replicas int, executor
 		Executor: executorRoute,
 		Replicas: replicas,
 	}
-	_, err := s.dispatch(task, RunOptions{Timeout: 5 * time.Minute})
-	return err
+	if _, err := s.dispatch(task, RunOptions{Timeout: 5 * time.Minute}); err != nil {
+		return err
+	}
+	// Replica churn restarts servable processes; drop cached results so
+	// post-scale traffic re-exercises the fresh deployment.
+	s.invalidateCache(servableID)
+	return nil
 }

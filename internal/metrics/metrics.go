@@ -9,8 +9,24 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a concurrency-safe monotonic event counter — the unit of
+// the serving-layer operational metrics (cache hits/misses/evictions,
+// collapsed duplicate dispatches) that sit alongside the paper's
+// duration series.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
 
 // Sample is one observed duration.
 type Sample struct {

@@ -9,7 +9,11 @@
 // The Task Manager also owns the memoization cache of §V-B2/§V-B5: "Parsl
 // maintains a cache at the Task Manager, greatly reducing serving
 // latency" — cached hits answer without touching the cluster at all,
-// the structural contrast with Clipper's in-cluster cache.
+// the structural contrast with Clipper's in-cluster cache. It is the
+// second memoization tier: the Management Service's result cache
+// (internal/core/cache.go) answers repeats before routing, and the TM
+// cache covers repeats that still reach this site (e.g. after a
+// service-layer TTL expiry or NoCache runs).
 package taskmanager
 
 import (
