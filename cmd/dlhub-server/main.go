@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,6 +17,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/queue"
@@ -29,14 +31,18 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "result cache capacity in entries (default 4096)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache capacity in result-JSON bytes (default 256 MiB)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry TTL (default 5m)")
+	logRequests := flag.Bool("log-requests", false, "log every HTTP request (method, path, status, latency, request ID)")
 	flag.Parse()
 
-	ms := core.New(core.Config{Cache: core.CacheConfig{
-		Disabled:   *noCache,
-		MaxEntries: *cacheEntries,
-		MaxBytes:   *cacheBytes,
-		TTL:        *cacheTTL,
-	}})
+	ms := core.New(core.Config{
+		Cache: core.CacheConfig{
+			Disabled:   *noCache,
+			MaxEntries: *cacheEntries,
+			MaxBytes:   *cacheBytes,
+			TTL:        *cacheTTL,
+		},
+		LogRequests: *logRequests,
+	})
 	defer ms.Close()
 	if *snapshotDir != "" {
 		if err := ms.LoadSnapshot(*snapshotDir); err != nil {
@@ -74,11 +80,18 @@ func main() {
 	}()
 	defer srv.Close()
 
-	fmt.Printf("dlhub-server: REST on %s, queue on %s\n", hl.Addr(), ql.Addr())
+	fmt.Printf("dlhub-server: REST on %s (v1 + /api/v2; health at /api/v2/healthz, /api/v2/readyz), queue on %s\n", hl.Addr(), ql.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
+	// Graceful drain: stop accepting, let in-flight requests (and their
+	// contexts) finish, then fall through to the snapshot save.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
 	if *snapshotDir != "" {
 		if err := ms.SaveSnapshot(*snapshotDir); err != nil {
 			log.Printf("snapshot save failed: %v", err)

@@ -17,10 +17,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/dlhub"
@@ -232,6 +234,8 @@ func cmdRun(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	serverFlag(fs)
 	async := fs.Bool("async", false, "submit asynchronously and print the task ID")
+	timeout := fs.Duration("timeout", 0, "bound the invocation (0 = server default); Ctrl-C always cancels server-side")
+	idemKey := fs.String("idempotency-key", "", "execute at most once under this key (enables automatic retries)")
 	fs.Parse(args) //nolint:errcheck
 	rest := fs.Args()
 	if len(rest) < 2 {
@@ -242,16 +246,26 @@ func cmdRun(args []string) error {
 	if err := json.Unmarshal([]byte(rest[1]), &input); err != nil {
 		return fmt.Errorf("input must be JSON: %w", err)
 	}
+	// Ctrl-C cancels the request context; the server aborts the
+	// dispatch and frees its routing slot instead of computing for a
+	// client that already left.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	c := client(fs)
 	if *async {
-		taskID, err := c.RunAsync(id, input)
+		taskID, err := c.RunAsyncWith(ctx, id, input, dlhub.RunConfig{IdempotencyKey: *idemKey})
 		if err != nil {
 			return err
 		}
 		fmt.Println(taskID)
 		return nil
 	}
-	res, err := c.Run(id, input)
+	res, err := c.RunWith(ctx, id, input, dlhub.RunConfig{IdempotencyKey: *idemKey})
 	if err != nil {
 		return err
 	}
@@ -301,20 +315,30 @@ func cmdSearch(args []string) error {
 func cmdStatus(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	serverFlag(fs)
-	wait := fs.Duration("wait", 0, "poll until done or this timeout")
+	wait := fs.Duration("wait", 0, "wait until done or this timeout (streams task events)")
+	follow := fs.Bool("follow", false, "stream task events until completion (no timeout)")
 	fs.Parse(args) //nolint:errcheck
 	if fs.NArg() < 1 {
 		return fmt.Errorf("usage: dlhub status [flags] <task-id>")
 	}
 	c := client(fs)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	var (
 		st  *dlhub.TaskStatus
 		err error
 	)
-	if *wait > 0 {
-		st, err = c.WaitTask(fs.Arg(0), *wait)
-	} else {
-		st, err = c.Status(fs.Arg(0))
+	switch {
+	case *follow:
+		st, err = c.StreamTask(ctx, fs.Arg(0), func(ev dlhub.TaskEvent) {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", ev.Type, ev.Task.Status)
+		})
+	case *wait > 0:
+		waitCtx, cancel := context.WithTimeout(ctx, *wait)
+		defer cancel()
+		st, err = c.WaitTaskCtx(waitCtx, fs.Arg(0))
+	default:
+		st, err = c.StatusCtx(ctx, fs.Arg(0))
 	}
 	if err != nil {
 		return err

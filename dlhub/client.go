@@ -6,18 +6,31 @@
 // construction of JSON documents that specify publication and
 // model-specific metadata") and a local runner for model development
 // and testing.
+//
+// The client speaks the versioned /api/v2 surface: enveloped responses,
+// typed *APIError errors, cursor pagination, idempotency keys, and SSE
+// task streaming. Every operation has a context-accepting form (RunCtx,
+// WaitTaskCtx, StreamTask, …) — cancel the context and the server
+// aborts the dispatch and frees its routing slot. The original
+// context-free methods remain as shims over context.Background().
 package dlhub
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/schema"
 )
 
-// Client talks to a Management Service over its REST API.
+// Client talks to a Management Service over its REST API (v2 surface).
 type Client struct {
 	// BaseURL of the Management Service, e.g. "http://localhost:8080".
 	BaseURL string
@@ -25,6 +38,64 @@ type Client struct {
 	Token string
 	// HTTPClient may be replaced (tests, custom transports).
 	HTTPClient *http.Client
+	// Retry tunes the backoff policy for retryable requests (zero
+	// value: defaults).
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds the client's automatic retries. Only requests
+// that are safe to repeat are retried: GETs (idempotent by contract)
+// and POSTs carrying an Idempotency-Key (made idempotent by the
+// server). Delays grow exponentially from BaseDelay with full jitter,
+// capped at MaxDelay.
+type RetryPolicy struct {
+	// MaxAttempts counts total tries (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 50ms).
+	BaseDelay time.Duration
+	// MaxDelay caps any single backoff sleep (default 2s).
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before attempt (1-based: attempt 1 is the
+// first retry), exponential with full jitter.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << (attempt - 1)
+	if d > p.MaxDelay || d <= 0 {
+		d = p.MaxDelay
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+// APIError is a typed v2 API failure: the machine-readable Code from
+// the error envelope plus the HTTP status it arrived with.
+type APIError struct {
+	Status    int
+	Code      string
+	Message   string
+	Detail    string
+	RequestID string
+}
+
+func (e *APIError) Error() string {
+	msg := e.Message
+	if e.Detail != "" && !strings.Contains(msg, e.Detail) {
+		msg += ": " + e.Detail
+	}
+	return fmt.Sprintf("dlhub: %s (http %d, code %s)", msg, e.Status, e.Code)
 }
 
 // NewClient creates a client for the given Management Service.
@@ -64,15 +135,52 @@ type TaskStatus struct {
 	Reply  *RunResult `json:"reply,omitempty"`
 }
 
+// Done reports whether the task reached a terminal state.
+func (t *TaskStatus) Done() bool { return t.Status != "pending" }
+
+// RunConfig refines an invocation issued through RunWith.
+type RunConfig struct {
+	// Executor pins a serving system ("" = deployed default).
+	Executor string
+	// NoMemo disables every memoization tier for this request.
+	NoMemo bool
+	// NoCache bypasses only the service-layer result cache.
+	NoCache bool
+	// Coalesce opts into server-side adaptive batching. Synchronous
+	// runs only: async submissions dispatch individually and ignore it
+	// (the task is already detached from the caller's latency path, so
+	// there is no hold-window to amortize).
+	Coalesce bool
+	// IdempotencyKey makes the request safe to retry: the server
+	// executes it once and replays the stored response to duplicates.
+	// Setting it also enables the client's automatic retry policy for
+	// this request.
+	IdempotencyKey string
+}
+
+// --- repository -------------------------------------------------------------
+
 // Publish uploads a model document plus components, returning the
 // assigned servable ID ("<owner>/<name>").
 func (c *Client) Publish(doc *schema.Document, components map[string][]byte) (string, error) {
+	return c.PublishCtx(context.Background(), doc, components)
+}
+
+// PublishCtx is Publish bounded by ctx.
+func (c *Client) PublishCtx(ctx context.Context, doc *schema.Document, components map[string][]byte) (string, error) {
+	return c.publish(ctx, core.PublishRequest{Document: mustJSON(doc), Components: components}, "")
+}
+
+// PublishIdempotent publishes under an idempotency key: a retried call
+// with the same key returns the first publication's ID instead of
+// minting a new version.
+func (c *Client) PublishIdempotent(ctx context.Context, doc *schema.Document, components map[string][]byte, key string) (string, error) {
+	return c.publish(ctx, core.PublishRequest{Document: mustJSON(doc), Components: components}, key)
+}
+
+func (c *Client) publish(ctx context.Context, req core.PublishRequest, idemKey string) (string, error) {
 	var resp map[string]string
-	err := c.post("/api/publish", core.PublishRequest{
-		Document:   mustJSON(doc),
-		Components: components,
-	}, &resp)
-	if err != nil {
+	if err := c.call(ctx, http.MethodPost, "/api/v2/servables", req, &resp, idemKey); err != nil {
 		return "", err
 	}
 	return resp["id"], nil
@@ -87,21 +195,18 @@ func (c *Client) PublishPackage(pkg *Package) (string, error) {
 // endpoints ("globus://endpoint/path"); the Management Service
 // downloads them on the caller's behalf (§IV-A).
 func (c *Client) PublishByReference(doc *schema.Document, refs map[string]string) (string, error) {
-	var resp map[string]string
-	err := c.post("/api/publish", core.PublishRequest{
-		Document:      mustJSON(doc),
-		ComponentRefs: refs,
-	}, &resp)
-	if err != nil {
-		return "", err
-	}
-	return resp["id"], nil
+	return c.publish(context.Background(), core.PublishRequest{Document: mustJSON(doc), ComponentRefs: refs}, "")
 }
 
 // Get fetches a servable's metadata document.
 func (c *Client) Get(id string) (*schema.Document, error) {
+	return c.GetCtx(context.Background(), id)
+}
+
+// GetCtx is Get bounded by ctx.
+func (c *Client) GetCtx(ctx context.Context, id string) (*schema.Document, error) {
 	var doc schema.Document
-	if err := c.get("/api/servables/"+id, &doc); err != nil {
+	if err := c.call(ctx, http.MethodGet, "/api/v2/servables/"+id, nil, &doc, ""); err != nil {
 		return nil, err
 	}
 	return &doc, nil
@@ -110,21 +215,56 @@ func (c *Client) Get(id string) (*schema.Document, error) {
 // Dockerfile fetches the rendered build recipe for a servable.
 func (c *Client) Dockerfile(id string) (string, error) {
 	var resp map[string]string
-	if err := c.get("/api/servables/"+id+"/dockerfile", &resp); err != nil {
+	if err := c.call(context.Background(), http.MethodGet, "/api/v2/servables/"+id+"/dockerfile", nil, &resp, ""); err != nil {
 		return "", err
 	}
 	return resp["dockerfile"], nil
 }
 
-// List returns the IDs of all servables visible to the caller.
-func (c *Client) List() ([]string, error) {
-	var resp struct {
-		Servables []string `json:"servables"`
+// Page is one cursor-paginated slice of a collection — an alias of the
+// server's wire type so the two cannot drift.
+type Page[T any] = core.Page[T]
+
+// ListPage fetches one page of visible servable IDs; pass the previous
+// page's NextCursor to resume ("" starts from the top).
+func (c *Client) ListPage(ctx context.Context, limit int, cursor string) (*Page[string], error) {
+	path := "/api/v2/servables"
+	sep := "?"
+	if limit > 0 {
+		path += fmt.Sprintf("%slimit=%d", sep, limit)
+		sep = "&"
 	}
-	if err := c.get("/api/servables", &resp); err != nil {
+	if cursor != "" {
+		path += sep + "cursor=" + cursor
+	}
+	var page Page[string]
+	if err := c.call(ctx, http.MethodGet, path, nil, &page, ""); err != nil {
 		return nil, err
 	}
-	return resp.Servables, nil
+	return &page, nil
+}
+
+// List returns the IDs of all servables visible to the caller,
+// following pagination cursors to exhaustion.
+func (c *Client) List() ([]string, error) {
+	return c.ListCtx(context.Background())
+}
+
+// ListCtx is List bounded by ctx.
+func (c *Client) ListCtx(ctx context.Context) ([]string, error) {
+	var ids []string
+	cursor := ""
+	for {
+		page, err := c.ListPage(ctx, 0, cursor)
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, page.Items...)
+		if page.NextCursor == "" {
+			return ids, nil
+		}
+		cursor = page.NextCursor
+	}
 }
 
 // SearchOptions refine a search.
@@ -134,46 +274,292 @@ type SearchOptions struct {
 	YearMin, YearMax *float64
 	Facets           []string
 	Limit            int
+	// Cursor resumes a previous search page.
+	Cursor string
 }
 
-// SearchResult is a search response.
-type SearchResult = core.SearchResponse
+// SearchResult is a search response page.
+type SearchResult struct {
+	Total  int                       `json:"total"`
+	IDs    []string                  `json:"ids"`
+	Docs   []map[string]any          `json:"docs"`
+	Facets map[string]map[string]int `json:"facets,omitempty"`
+	// NextCursor resumes after this page ("" on the last page).
+	NextCursor string `json:"next_cursor,omitempty"`
+}
 
 // Search runs a free-text + fielded query over the repository.
 func (c *Client) Search(freeText string, opts SearchOptions) (*SearchResult, error) {
-	req := core.SearchRequest{
-		Q:       freeText,
-		Terms:   opts.Terms,
-		Prefix:  opts.Prefix,
-		YearMin: opts.YearMin,
-		YearMax: opts.YearMax,
-		Facets:  opts.Facets,
-		Limit:   opts.Limit,
+	return c.SearchCtx(context.Background(), freeText, opts)
+}
+
+// SearchCtx is Search bounded by ctx.
+func (c *Client) SearchCtx(ctx context.Context, freeText string, opts SearchOptions) (*SearchResult, error) {
+	req := core.SearchRequestV2{
+		SearchRequest: core.SearchRequest{
+			Q:       freeText,
+			Terms:   opts.Terms,
+			Prefix:  opts.Prefix,
+			YearMin: opts.YearMin,
+			YearMax: opts.YearMax,
+			Facets:  opts.Facets,
+			Limit:   opts.Limit,
+		},
+		Cursor: opts.Cursor,
 	}
-	var resp SearchResult
-	if err := c.post("/api/search", req, &resp); err != nil {
+	var page core.SearchPageV2
+	if err := c.call(ctx, http.MethodPost, "/api/v2/search", req, &page, ""); err != nil {
+		return nil, err
+	}
+	res := &SearchResult{Total: page.Total, Facets: page.Facets, NextCursor: page.NextCursor}
+	for _, hit := range page.Items {
+		res.IDs = append(res.IDs, hit.ID)
+		res.Docs = append(res.Docs, hit.Doc)
+	}
+	return res, nil
+}
+
+// --- serving ----------------------------------------------------------------
+
+// Run synchronously invokes a servable.
+func (c *Client) Run(id string, input any) (*RunResult, error) {
+	return c.RunCtx(context.Background(), id, input)
+}
+
+// RunCtx synchronously invokes a servable; cancelling ctx aborts the
+// server-side dispatch and frees its routing slot.
+func (c *Client) RunCtx(ctx context.Context, id string, input any) (*RunResult, error) {
+	return c.RunWith(ctx, id, input, RunConfig{})
+}
+
+// RunWith invokes a servable with explicit options.
+func (c *Client) RunWith(ctx context.Context, id string, input any, cfg RunConfig) (*RunResult, error) {
+	req := core.RunRequest{
+		Input:    input,
+		NoMemo:   cfg.NoMemo,
+		NoCache:  cfg.NoCache,
+		Coalesce: cfg.Coalesce,
+		Executor: cfg.Executor,
+	}
+	var resp RunResult
+	if err := c.call(ctx, http.MethodPost, "/api/v2/servables/"+id+"/run", req, &resp, cfg.IdempotencyKey); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Run synchronously invokes a servable.
-func (c *Client) Run(id string, input any) (*RunResult, error) {
-	var resp RunResult
-	if err := c.post("/api/run/"+id, core.RunRequest{Input: input}, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
+// RunIdempotent invokes a servable under an idempotency key, enabling
+// safe automatic retries: duplicates of the same (caller, servable,
+// key) execute once and share the stored response.
+func (c *Client) RunIdempotent(ctx context.Context, id string, input any, key string) (*RunResult, error) {
+	return c.RunWith(ctx, id, input, RunConfig{IdempotencyKey: key})
 }
 
 // RunNoCache synchronously invokes a servable, bypassing the service-
 // layer result cache (TM-side memoization still applies).
 func (c *Client) RunNoCache(id string, input any) (*RunResult, error) {
+	return c.RunWith(context.Background(), id, input, RunConfig{NoCache: true})
+}
+
+// RunBatch synchronously invokes a servable on many inputs at once
+// (DLHub's batching support, §V-B3).
+func (c *Client) RunBatch(id string, inputs []any) (*RunResult, error) {
+	return c.RunBatchCtx(context.Background(), id, inputs)
+}
+
+// RunBatchCtx is RunBatch bounded by ctx.
+func (c *Client) RunBatchCtx(ctx context.Context, id string, inputs []any) (*RunResult, error) {
 	var resp RunResult
-	if err := c.post("/api/run/"+id, core.RunRequest{Input: input, NoCache: true}, &resp); err != nil {
+	if err := c.call(ctx, http.MethodPost, "/api/v2/servables/"+id+"/run", core.RunRequest{Inputs: inputs}, &resp, ""); err != nil {
 		return nil, err
 	}
 	return &resp, nil
+}
+
+// RunAsync starts an asynchronous invocation, returning a task UUID for
+// Status polling or StreamTask (§IV-A).
+func (c *Client) RunAsync(id string, input any) (string, error) {
+	return c.RunAsyncCtx(context.Background(), id, input)
+}
+
+// RunAsyncCtx is RunAsync bounded by ctx (the submission only — the
+// spawned task is detached by design).
+func (c *Client) RunAsyncCtx(ctx context.Context, id string, input any) (string, error) {
+	return c.RunAsyncWith(ctx, id, input, RunConfig{})
+}
+
+// RunAsyncWith submits an asynchronous invocation with explicit
+// options. With an IdempotencyKey, a retried submission returns the
+// original task ID instead of spawning a second task.
+func (c *Client) RunAsyncWith(ctx context.Context, id string, input any, cfg RunConfig) (string, error) {
+	req := core.RunRequest{
+		Input:    input,
+		Async:    true,
+		NoMemo:   cfg.NoMemo,
+		NoCache:  cfg.NoCache,
+		Executor: cfg.Executor,
+	}
+	var resp map[string]string
+	if err := c.call(ctx, http.MethodPost, "/api/v2/servables/"+id+"/run", req, &resp, cfg.IdempotencyKey); err != nil {
+		return "", err
+	}
+	return resp["task_id"], nil
+}
+
+// Status polls an asynchronous task.
+func (c *Client) Status(taskID string) (*TaskStatus, error) {
+	return c.StatusCtx(context.Background(), taskID)
+}
+
+// StatusCtx is Status bounded by ctx.
+func (c *Client) StatusCtx(ctx context.Context, taskID string) (*TaskStatus, error) {
+	var resp TaskStatus
+	if err := c.call(ctx, http.MethodGet, "/api/v2/tasks/"+taskID, nil, &resp, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// TaskEvent is one server-sent event from a task stream.
+type TaskEvent struct {
+	// Type is "status" (state snapshot) or "done" (terminal state).
+	Type string
+	Task TaskStatus
+}
+
+// StreamTask subscribes to a task's SSE stream and blocks until the
+// task completes, ctx ends, or the stream fails. Each event is passed
+// to onEvent (may be nil); the terminal state is returned. It replaces
+// the v1 poll loop — one request, no polling interval to tune.
+func (c *Client) StreamTask(ctx context.Context, taskID string, onEvent func(TaskEvent)) (*TaskStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/api/v2/tasks/"+taskID+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	c.addAuth(req)
+	// The configured client's overall Timeout (5m default) would kill a
+	// long-lived stream mid-read; stream with the same transport but no
+	// whole-exchange timeout — ctx alone bounds the subscription.
+	sc := *c.httpClient()
+	sc.Timeout = 0
+	resp, err := sc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeErrorBody(resp)
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	var event string
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var st TaskStatus
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &st); err != nil {
+				return nil, fmt.Errorf("dlhub: bad task event: %w", err)
+			}
+			if onEvent != nil {
+				onEvent(TaskEvent{Type: event, Task: st})
+			}
+			if event == "done" {
+				return &st, nil
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("dlhub: task stream interrupted: %w", err)
+	}
+	return nil, fmt.Errorf("dlhub: task stream for %s ended before completion", taskID)
+}
+
+// WaitTask blocks until the task completes or the timeout elapses.
+func (c *Client) WaitTask(taskID string, timeout time.Duration) (*TaskStatus, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	st, err := c.WaitTaskCtx(ctx, taskID)
+	if err != nil && ctx.Err() != nil {
+		// Preserve the old contract: report the last known state.
+		if last, lerr := c.Status(taskID); lerr == nil {
+			return last, fmt.Errorf("dlhub: task %s still pending after %v", taskID, timeout)
+		}
+	}
+	return st, err
+}
+
+// WaitTaskCtx blocks until the task completes or ctx ends, preferring
+// the SSE stream and falling back to polling when streaming is
+// unavailable (e.g. a proxy that buffers event streams).
+func (c *Client) WaitTaskCtx(ctx context.Context, taskID string) (*TaskStatus, error) {
+	st, err := c.StreamTask(ctx, taskID, nil)
+	if err == nil {
+		return st, nil
+	}
+	var apiErr *APIError
+	if ctx.Err() != nil || (errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound) {
+		return nil, err
+	}
+	// Stream unavailable: degrade to polling.
+	for {
+		st, err := c.StatusCtx(ctx, taskID)
+		if err != nil {
+			return nil, err
+		}
+		if st.Done() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// --- deployment & operations ------------------------------------------------
+
+// Deploy starts replicas of a published servable on an executor route
+// ("" selects the default Parsl executor).
+func (c *Client) Deploy(id string, replicas int, executorRoute string) error {
+	return c.DeployCtx(context.Background(), id, replicas, executorRoute)
+}
+
+// DeployCtx is Deploy bounded by ctx.
+func (c *Client) DeployCtx(ctx context.Context, id string, replicas int, executorRoute string) error {
+	return c.call(ctx, http.MethodPost, "/api/v2/servables/"+id+"/deploy",
+		core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil, "")
+}
+
+// Scale adjusts the replica count of a deployed servable.
+func (c *Client) Scale(id string, replicas int, executorRoute string) error {
+	return c.ScaleCtx(context.Background(), id, replicas, executorRoute)
+}
+
+// ScaleCtx is Scale bounded by ctx.
+func (c *Client) ScaleCtx(ctx context.Context, id string, replicas int, executorRoute string) error {
+	return c.call(ctx, http.MethodPost, "/api/v2/servables/"+id+"/scale",
+		core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil, "")
+}
+
+// UpdateVisibility replaces the ACL principal list of a servable — how
+// CANDLE models move from group-restricted to public (§VI-A).
+func (c *Client) UpdateVisibility(id string, visibleTo []string) error {
+	return c.call(context.Background(), http.MethodPatch, "/api/v2/servables/"+id,
+		core.UpdateRequest{VisibleTo: visibleTo}, nil, "")
+}
+
+// UpdateDescription replaces a servable's description.
+func (c *Client) UpdateDescription(id, description string) error {
+	return c.call(context.Background(), http.MethodPatch, "/api/v2/servables/"+id,
+		core.UpdateRequest{Description: &description}, nil, "")
 }
 
 // CacheStats fetches the Management Service's result-cache counters;
@@ -183,7 +569,7 @@ func (c *Client) CacheStats() (stats CacheStats, enabled bool, err error) {
 		Enabled bool       `json:"enabled"`
 		Stats   CacheStats `json:"stats"`
 	}
-	if err := c.get("/api/cache/stats", &resp); err != nil {
+	if err := c.call(context.Background(), http.MethodGet, "/api/v2/cache/stats", nil, &resp, ""); err != nil {
 		return CacheStats{}, false, err
 	}
 	return resp.Stats, resp.Enabled, nil
@@ -191,76 +577,7 @@ func (c *Client) CacheStats() (stats CacheStats, enabled bool, err error) {
 
 // FlushCache drops every cached result at the Management Service.
 func (c *Client) FlushCache() error {
-	return c.post("/api/cache/flush", struct{}{}, nil)
-}
-
-// RunBatch synchronously invokes a servable on many inputs at once
-// (DLHub's batching support, §V-B3).
-func (c *Client) RunBatch(id string, inputs []any) (*RunResult, error) {
-	var resp RunResult
-	if err := c.post("/api/run/"+id, core.RunRequest{Inputs: inputs}, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-// RunAsync starts an asynchronous invocation, returning a task UUID for
-// Status polling (§IV-A).
-func (c *Client) RunAsync(id string, input any) (string, error) {
-	var resp map[string]string
-	if err := c.post("/api/run/"+id, core.RunRequest{Input: input, Async: true}, &resp); err != nil {
-		return "", err
-	}
-	return resp["task_id"], nil
-}
-
-// Status polls an asynchronous task.
-func (c *Client) Status(taskID string) (*TaskStatus, error) {
-	var resp TaskStatus
-	if err := c.get("/api/status/"+taskID, &resp); err != nil {
-		return nil, err
-	}
-	return &resp, nil
-}
-
-// WaitTask polls until the task completes or the timeout elapses.
-func (c *Client) WaitTask(taskID string, timeout time.Duration) (*TaskStatus, error) {
-	deadline := time.Now().Add(timeout)
-	for {
-		st, err := c.Status(taskID)
-		if err != nil {
-			return nil, err
-		}
-		if st.Status != "pending" {
-			return st, nil
-		}
-		if time.Now().After(deadline) {
-			return st, fmt.Errorf("dlhub: task %s still pending after %v", taskID, timeout)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-}
-
-// Deploy starts replicas of a published servable on an executor route
-// ("" selects the default Parsl executor).
-func (c *Client) Deploy(id string, replicas int, executorRoute string) error {
-	return c.post("/api/deploy/"+id, core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil)
-}
-
-// Scale adjusts the replica count of a deployed servable.
-func (c *Client) Scale(id string, replicas int, executorRoute string) error {
-	return c.post("/api/scale/"+id, core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil)
-}
-
-// UpdateVisibility replaces the ACL principal list of a servable — how
-// CANDLE models move from group-restricted to public (§VI-A).
-func (c *Client) UpdateVisibility(id string, visibleTo []string) error {
-	return c.post("/api/servables/"+id+"/update", core.UpdateRequest{VisibleTo: visibleTo}, nil)
-}
-
-// UpdateDescription replaces a servable's description.
-func (c *Client) UpdateDescription(id, description string) error {
-	return c.post("/api/servables/"+id+"/update", core.UpdateRequest{Description: &description}, nil)
+	return c.call(context.Background(), http.MethodPost, "/api/v2/cache/flush", struct{}{}, nil, "")
 }
 
 // TaskManagers lists the Task Managers registered with the service.
@@ -268,7 +585,7 @@ func (c *Client) TaskManagers() ([]string, error) {
 	var resp struct {
 		TaskManagers []string `json:"task_managers"`
 	}
-	if err := c.get("/api/tms", &resp); err != nil {
+	if err := c.call(context.Background(), http.MethodGet, "/api/v2/tms", nil, &resp, ""); err != nil {
 		return nil, err
 	}
 	return resp.TaskManagers, nil
@@ -280,8 +597,32 @@ func (c *Client) TaskManagerLoad() (map[string]int, error) {
 	var resp struct {
 		Load map[string]int `json:"load"`
 	}
-	if err := c.get("/api/tms", &resp); err != nil {
+	if err := c.call(context.Background(), http.MethodGet, "/api/v2/tms", nil, &resp, ""); err != nil {
 		return nil, err
 	}
 	return resp.Load, nil
+}
+
+// Healthy reports liveness of the Management Service. Probes report
+// the current state from a single request — no retries, so poll loops
+// see state changes immediately.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.probe(ctx, "/api/v2/healthz")
+}
+
+// Ready reports whether the service can accept serving traffic (at
+// least one live Task Manager registered). Like Healthy, it never
+// retries: a 503 IS the answer ("not ready"), not a transient to
+// back off from.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.probe(ctx, "/api/v2/readyz")
+}
+
+func (c *Client) probe(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	c.addAuth(req)
+	return c.doOnce(req, nil)
 }

@@ -1,12 +1,14 @@
 package dlhub_test
 
 import (
+	"context"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
-
-	"net/http/httptest"
 
 	"repro/dlhub"
 	"repro/internal/bench"
@@ -209,5 +211,175 @@ func TestClientErrors(t *testing.T) {
 	}
 	if _, err := c.Status("nope"); err == nil {
 		t.Fatal("missing task should error")
+	}
+}
+
+// --- v2 client features ------------------------------------------------------
+
+func TestClientTypedErrors(t *testing.T) {
+	c := startService(t)
+	_, err := c.Get("ghost/model")
+	var apiErr *dlhub.APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.Status != 404 || apiErr.Code != "not_found" || apiErr.RequestID == "" {
+		t.Fatalf("typed error wrong: %+v", apiErr)
+	}
+}
+
+// flakyHandler fails the first n requests per (method,path) with the
+// given status, then delegates.
+type flakyHandler struct {
+	mu       sync.Mutex
+	failures map[string]int
+	status   int
+	next     http.Handler
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	key := r.Method + " " + r.URL.Path
+	f.mu.Lock()
+	n := f.failures[key]
+	if n > 0 {
+		f.failures[key] = n - 1
+		f.mu.Unlock()
+		w.WriteHeader(f.status)
+		w.Write([]byte(`{"error":{"code":"upstream_error","message":"injected"},"request_id":"flaky"}`)) //nolint:errcheck
+		return
+	}
+	f.mu.Unlock()
+	f.next.ServeHTTP(w, r)
+}
+
+// startFlakyService wraps the testbed handler with fault injection.
+func startFlakyService(t *testing.T, status int) (*dlhub.Client, *flakyHandler) {
+	t.Helper()
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	fh := &flakyHandler{failures: map[string]int{}, status: status, next: tb.MS.Handler()}
+	srv := httptest.NewServer(fh)
+	t.Cleanup(srv.Close)
+	c := dlhub.NewClient(srv.URL, "")
+	c.HTTPClient = srv.Client()
+	c.Retry = dlhub.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond}
+	return c, fh
+}
+
+func TestClientRetriesIdempotentGET(t *testing.T) {
+	c, fh := startFlakyService(t, http.StatusServiceUnavailable)
+	fh.set("GET /api/v2/servables", 2)
+	ids, err := c.List()
+	if err != nil {
+		t.Fatalf("GET should survive 2 injected 503s via retry: %v", err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("unexpected servables: %v", ids)
+	}
+	// With more failures than attempts, the typed error surfaces.
+	fh.set("GET /api/v2/servables", 5)
+	_, err = c.List()
+	var apiErr *dlhub.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retries should return the 503: %v", err)
+	}
+}
+
+func TestClientRetriesOnlyWithIdempotencyKey(t *testing.T) {
+	c, fh := startFlakyService(t, http.StatusBadGateway)
+	servable.RegisterBuiltins()
+	pkg, err := dlhub.DescribePythonStaticMethod("noop", "Noop", "noop:hello").
+		WithAuthors("DLHub Team").VisibleTo("public").
+		WithInput("string", nil, "").WithOutput("string", "").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.PublishPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(id, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	runPath := "POST /api/v2/servables/" + id + "/run"
+
+	// A plain POST run must NOT be retried: one failure, one error.
+	fh.set(runPath, 1)
+	if _, err := c.RunCtx(context.Background(), id, "x"); err == nil {
+		t.Fatal("plain run must not retry through a 502")
+	}
+	fh.set(runPath, 0)
+
+	// The same failure under an idempotency key is retried through.
+	fh.set(runPath, 2)
+	res, err := c.RunIdempotent(context.Background(), id, "x", "retry-key-1")
+	if err != nil {
+		t.Fatalf("idempotency-keyed run should retry: %v", err)
+	}
+	if res.Output != "hello world" {
+		t.Fatalf("wrong output %v", res.Output)
+	}
+}
+
+func (f *flakyHandler) set(route string, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failures[route] = n
+}
+
+func TestClientStreamTask(t *testing.T) {
+	c := startService(t)
+	servable.RegisterBuiltins()
+	pkg, err := dlhub.DescribePythonStaticMethod("noop", "Noop", "noop:hello").
+		WithAuthors("DLHub Team").VisibleTo("public").
+		WithInput("string", nil, "").WithOutput("string", "").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.PublishPackage(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Deploy(id, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	taskID, err := c.RunAsyncCtx(context.Background(), id, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var types []string
+	st, err := c.StreamTask(context.Background(), taskID, func(ev dlhub.TaskEvent) {
+		types = append(types, ev.Type)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "completed" || st.Reply == nil || st.Reply.Output != "hello world" {
+		t.Fatalf("streamed final state wrong: %+v", st)
+	}
+	if len(types) == 0 || types[0] != "status" || types[len(types)-1] != "done" {
+		t.Fatalf("event sequence wrong: %v", types)
+	}
+	// WaitTaskCtx uses the same stream.
+	st2, err := c.WaitTaskCtx(context.Background(), taskID)
+	if err != nil || st2.Status != "completed" {
+		t.Fatalf("WaitTaskCtx: %+v %v", st2, err)
+	}
+	// Unknown task: typed 404, no hang.
+	var apiErr *dlhub.APIError
+	if _, err := c.StreamTask(context.Background(), "ghost", nil); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("ghost stream: %v", err)
+	}
+}
+
+func TestClientRunCtxCancellation(t *testing.T) {
+	c := startService(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.RunCtx(ctx, "ghost/model", "x"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx: %v", err)
 	}
 }

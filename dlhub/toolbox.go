@@ -2,10 +2,15 @@ package dlhub
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/schema"
 	"repro/internal/servable"
 )
@@ -226,36 +231,81 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) post(path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequest(http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	c.addAuth(req)
-	return c.do(req, out)
-}
-
-func (c *Client) get(path string, out any) error {
-	req, err := http.NewRequest(http.MethodGet, c.BaseURL+path, nil)
-	if err != nil {
-		return err
-	}
-	c.addAuth(req)
-	return c.do(req, out)
-}
-
 func (c *Client) addAuth(req *http.Request) {
 	if c.Token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.Token)
 	}
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// call issues one v2 API request and decodes the envelope's data into
+// out (if non-nil). Requests that are safe to repeat — GETs, and POSTs
+// carrying an idempotency key — are retried under the client's
+// RetryPolicy on transport errors and 5xx gateway/availability
+// statuses, with exponential backoff and full jitter.
+func (c *Client) call(ctx context.Context, method, path string, in, out any, idemKey string) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	policy := c.Retry.withDefaults()
+	retryable := method == http.MethodGet || idemKey != ""
+	attempts := policy.MaxAttempts
+	if !retryable {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(policy.backoff(attempt)):
+			}
+		}
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, reader)
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if idemKey != "" {
+			req.Header.Set(core.IdempotencyKeyHeader, idemKey)
+		}
+		c.addAuth(req)
+		lastErr = c.doOnce(req, out)
+		if lastErr == nil || !retryableError(lastErr) || ctx.Err() != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// retryableError reports whether a failure may be transient: transport
+// errors and the gateway/availability statuses qualify; 4xx responses
+// are definitive and never retried.
+func retryableError(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout, http.StatusTooManyRequests:
+			return true
+		}
+		return false
+	}
+	// Non-API errors are transport-level (connection refused, reset...).
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+// doOnce executes one request and decodes the v2 envelope.
+func (c *Client) doOnce(req *http.Request, out any) error {
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -265,19 +315,66 @@ func (c *Client) do(req *http.Request, out any) error {
 	if _, err := buf.ReadFrom(resp.Body); err != nil {
 		return err
 	}
-	if resp.StatusCode/100 != 2 {
-		var env struct {
-			Error string `json:"error"`
-		}
-		if json.Unmarshal(buf.Bytes(), &env) == nil && env.Error != "" {
-			return fmt.Errorf("dlhub: %s (http %d)", env.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("dlhub: http %d: %s", resp.StatusCode, bytes.TrimSpace(buf.Bytes()))
+	var env struct {
+		Data  json.RawMessage `json:"data"`
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Detail  string `json:"detail"`
+		} `json:"error"`
+		RequestID string `json:"request_id"`
 	}
-	if out == nil {
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil || (env.Data == nil && env.Error == nil && env.RequestID == "") {
+		// Not an envelope (proxy error page, v1 server...).
+		if resp.StatusCode/100 != 2 {
+			return &APIError{Status: resp.StatusCode, Code: "unknown", Message: string(bytes.TrimSpace(buf.Bytes()))}
+		}
+		if out == nil {
+			return nil
+		}
+		return json.Unmarshal(buf.Bytes(), out)
+	}
+	if env.Error != nil {
+		return &APIError{
+			Status:    resp.StatusCode,
+			Code:      env.Error.Code,
+			Message:   env.Error.Message,
+			Detail:    env.Error.Detail,
+			RequestID: env.RequestID,
+		}
+	}
+	if resp.StatusCode/100 != 2 {
+		return &APIError{Status: resp.StatusCode, Code: "unknown", Message: "unexpected status", RequestID: env.RequestID}
+	}
+	if out == nil || env.Data == nil {
 		return nil
 	}
-	return json.Unmarshal(buf.Bytes(), out)
+	return json.Unmarshal(env.Data, out)
+}
+
+// decodeErrorBody turns a non-200 response (e.g. on an SSE subscribe)
+// into its typed error.
+func decodeErrorBody(resp *http.Response) error {
+	var buf bytes.Buffer
+	buf.ReadFrom(io.LimitReader(resp.Body, 1<<20)) //nolint:errcheck — best effort
+	var env struct {
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+			Detail  string `json:"detail"`
+		} `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if json.Unmarshal(buf.Bytes(), &env) == nil && env.Error != nil {
+		return &APIError{
+			Status:    resp.StatusCode,
+			Code:      env.Error.Code,
+			Message:   env.Error.Message,
+			Detail:    env.Error.Detail,
+			RequestID: env.RequestID,
+		}
+	}
+	return &APIError{Status: resp.StatusCode, Code: "unknown", Message: string(bytes.TrimSpace(buf.Bytes()))}
 }
 
 func mustJSON(v any) json.RawMessage {

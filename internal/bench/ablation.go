@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -58,7 +59,7 @@ func AblationCoalescing(cfg Config) (*Table, error) {
 					g := newInputGen(cfg.Seed + int64(c))
 					for i := 0; i < perClient; i++ {
 						t0 := time.Now()
-						_, err := tb.MS.RunCoalesced(core.Anonymous, ids[name], g.forServable(name), core.RunOptions{NoMemo: true})
+						_, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, ids[name], g.forServable(name), core.RunOptions{NoMemo: true})
 						if err != nil {
 							errMu.Lock()
 							if firstErr == nil {

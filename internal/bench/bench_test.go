@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -92,14 +93,14 @@ func TestTestbedPublishAndServe(t *testing.T) {
 	}
 	defer tb.Close()
 	pkg := servable.NoopPackage()
-	id, err := tb.MS.Publish(core.Anonymous, pkg)
+	id, err := tb.MS.Publish(context.Background(), core.Anonymous, pkg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tb.MS.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+	if err := tb.MS.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := tb.MS.Run(core.Anonymous, id, "x", core.RunOptions{})
+	res, err := tb.MS.Run(context.Background(), core.Anonymous, id, "x", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestPublishPaperServables(t *testing.T) {
 		t.Fatalf("want 6 servables, got %d", len(ids))
 	}
 	// One of each is runnable end to end.
-	res, err := tb.MS.Run(core.Anonymous, ids["matminer-util"], "NaCl", core.RunOptions{})
+	res, err := tb.MS.Run(context.Background(), core.Anonymous, ids["matminer-util"], "NaCl", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

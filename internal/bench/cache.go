@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -62,7 +63,7 @@ func AblationServiceCache(cfg Config) (*Table, error) {
 					for i := 0; i < perClient; i++ {
 						opts := core.RunOptions{NoCache: mode == "off"}
 						t0 := time.Now()
-						_, err := tb.MS.Run(core.Anonymous, ids[name], inputs[(c+i)%workingSet], opts)
+						_, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], inputs[(c+i)%workingSet], opts)
 						if err != nil {
 							errMu.Lock()
 							if firstErr == nil {

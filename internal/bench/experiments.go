@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -148,11 +149,11 @@ func Fig3(cfg Config) (*Table, error) {
 		inv := metrics.NewSeries("invocation")
 		req := metrics.NewSeries("request")
 		// Warm-up request (interpreter import, connection setup).
-		if _, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true}); err != nil {
+		if _, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true}); err != nil {
 			return nil, fmt.Errorf("fig3 %s warmup: %w", name, err)
 		}
 		for i := 0; i < cfg.Requests; i++ {
-			res, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true})
+			res, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true})
 			if err != nil {
 				return nil, fmt.Errorf("fig3 %s: %w", name, err)
 			}
@@ -199,11 +200,11 @@ func Fig4(cfg Config) (*Table, error) {
 		offReq := metrics.NewSeries("")
 		onInv := metrics.NewSeries("")
 		onReq := metrics.NewSeries("")
-		if _, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true}); err != nil {
+		if _, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true}); err != nil {
 			return nil, err
 		}
 		for i := 0; i < cfg.Requests; i++ {
-			res, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true})
+			res, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{NoMemo: true})
 			if err != nil {
 				return nil, err
 			}
@@ -211,11 +212,11 @@ func Fig4(cfg Config) (*Table, error) {
 			offReq.Add(time.Duration(res.RequestMicros) * time.Microsecond)
 		}
 		// Prime the cache, then measure hits.
-		if _, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{}); err != nil {
+		if _, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{}); err != nil {
 			return nil, err
 		}
 		for i := 0; i < cfg.Requests; i++ {
-			res, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{})
+			res, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{})
 			if err != nil {
 				return nil, err
 			}
@@ -271,14 +272,14 @@ func Fig5(cfg Config) (*Table, error) {
 			// Without batching: n sequential requests; sum invocation.
 			var unbatched time.Duration
 			for i := 0; i < n; i++ {
-				res, err := tb.MS.Run(core.Anonymous, ids[name], inputs[i], core.RunOptions{NoMemo: true})
+				res, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], inputs[i], core.RunOptions{NoMemo: true})
 				if err != nil {
 					return nil, err
 				}
 				unbatched += time.Duration(res.InvocationMicros) * time.Microsecond
 			}
 			// With batching: one batch task.
-			res, err := tb.MS.RunBatch(core.Anonymous, ids[name], inputs, core.RunOptions{NoMemo: true})
+			res, err := tb.MS.RunBatch(context.Background(), core.Anonymous, ids[name], inputs, core.RunOptions{NoMemo: true})
 			if err != nil {
 				return nil, err
 			}
@@ -337,7 +338,7 @@ func Fig6(cfg Config) (*Table, error) {
 				go func(part []any) {
 					defer wg.Done()
 					opts := core.RunOptions{NoMemo: true, Timeout: 30 * time.Minute}
-					if _, err := tb.MS.RunBatch(core.Anonymous, ids[name], part, opts); err != nil {
+					if _, err := tb.MS.RunBatch(context.Background(), core.Anonymous, ids[name], part, opts); err != nil {
 						errMu.Lock()
 						errs = append(errs, err)
 						errMu.Unlock()
@@ -388,7 +389,7 @@ func Fig7(cfg Config) (*Table, error) {
 			inputs[i] = gen.forServable(name)
 		}
 		for _, replicas := range cfg.Fig7Replicas {
-			if err := tb.MS.Scale(core.Anonymous, ids[name], replicas, "parsl"); err != nil {
+			if err := tb.MS.Scale(context.Background(), core.Anonymous, ids[name], replicas, "parsl"); err != nil {
 				return nil, fmt.Errorf("fig7 scale %s to %d: %w", name, replicas, err)
 			}
 			// Flood the TM through concurrent batch chunks; makespan
@@ -408,7 +409,7 @@ func Fig7(cfg Config) (*Table, error) {
 				go func(part []any) {
 					defer wg.Done()
 					opts := core.RunOptions{NoMemo: true, Timeout: 30 * time.Minute}
-					if _, err := tb.MS.RunBatch(core.Anonymous, ids[name], part, opts); err != nil {
+					if _, err := tb.MS.RunBatch(context.Background(), core.Anonymous, ids[name], part, opts); err != nil {
 						errMu.Lock()
 						if firstErr == nil {
 							firstErr = err
@@ -427,7 +428,7 @@ func Fig7(cfg Config) (*Table, error) {
 			cfg.logf("fig7: %-18s replicas=%-3d makespan %.2fs throughput %.0f/s", name, replicas, makespan.Seconds(), tput)
 		}
 		// Scale back down to free cluster capacity for the next model.
-		if err := tb.MS.Scale(core.Anonymous, ids[name], 1, "parsl"); err != nil {
+		if err := tb.MS.Scale(context.Background(), core.Anonymous, ids[name], 1, "parsl"); err != nil {
 			return nil, err
 		}
 	}
@@ -475,7 +476,7 @@ func Fig8(cfg Config) (*Table, error) {
 	}
 	ids := map[string]string{}
 	for _, name := range models {
-		id, err := tb.MS.Publish(core.Anonymous, pkgs[name])
+		id, err := tb.MS.Publish(context.Background(), core.Anonymous, pkgs[name])
 		if err != nil {
 			return nil, err
 		}
@@ -485,7 +486,7 @@ func Fig8(cfg Config) (*Table, error) {
 		// TFS-backed serving equivalent to TFS itself.)
 		for _, route := range []string{"parsl", "tfserving-grpc", "tfserving-rest", "sagemaker", "clipper"} {
 			cfg.logf("fig8: deploying %s on %s", name, route)
-			if err := tb.MS.Deploy(core.Anonymous, id, 1, route); err != nil {
+			if err := tb.MS.Deploy(context.Background(), core.Anonymous, id, 1, route); err != nil {
 				return nil, fmt.Errorf("fig8 deploy %s on %s: %w", name, route, err)
 			}
 		}
@@ -509,11 +510,11 @@ func Fig8(cfg Config) (*Table, error) {
 			inv := metrics.NewSeries("")
 			req := metrics.NewSeries("")
 			// Warm-up (fills caches for the memoized passes).
-			if _, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{Executor: sys.executor, NoMemo: noMemo}); err != nil {
+			if _, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{Executor: sys.executor, NoMemo: noMemo}); err != nil {
 				return nil, fmt.Errorf("fig8 %s/%s warmup: %w", sys.label, name, err)
 			}
 			for i := 0; i < cfg.Requests; i++ {
-				res, err := tb.MS.Run(core.Anonymous, ids[name], input, core.RunOptions{Executor: sys.executor, NoMemo: noMemo})
+				res, err := tb.MS.Run(context.Background(), core.Anonymous, ids[name], input, core.RunOptions{Executor: sys.executor, NoMemo: noMemo})
 				if err != nil {
 					return nil, fmt.Errorf("fig8 %s/%s: %w", sys.label, name, err)
 				}

@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -178,11 +179,11 @@ func (tb *Testbed) PublishPaperServables(caller core.Caller, replicas int, seed 
 	}
 	ids := make(map[string]string, len(pkgs))
 	for name, pkg := range pkgs {
-		id, err := tb.MS.Publish(caller, pkg)
+		id, err := tb.MS.Publish(context.Background(), caller, pkg)
 		if err != nil {
 			return nil, fmt.Errorf("bench: publish %s: %w", name, err)
 		}
-		if err := tb.MS.Deploy(caller, id, replicas, "parsl"); err != nil {
+		if err := tb.MS.Deploy(context.Background(), caller, id, replicas, "parsl"); err != nil {
 			return nil, fmt.Errorf("bench: deploy %s: %w", name, err)
 		}
 		ids[name] = id

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -108,8 +109,9 @@ func (s *Service) CoalescingStats(servableID string) (uint64, uint64) {
 // enqueueing. The service-layer result cache fronts the batcher: a hit
 // answers immediately (same key space as Run, so coalesced and plain
 // requests share entries), and each computed item is stored on the way
-// out.
-func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
+// out. A canceled caller abandons only its own wait — the coalesced
+// batch keeps serving its other members.
+func (s *Service) RunCoalesced(ctx context.Context, caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
 	doc, err := s.Get(caller, servableID)
 	if err != nil {
 		return RunResult{}, err
@@ -118,8 +120,10 @@ func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts
 	b := s.batchers[servableID]
 	s.batchMu.Unlock()
 	if b == nil {
-		return s.Run(caller, servableID, input, opts)
+		return s.Run(ctx, caller, servableID, input, opts)
 	}
+	ctx, cancel := s.reqCtx(ctx, opts)
+	defer cancel()
 	start := time.Now()
 	var key string
 	var gen uint64
@@ -135,10 +139,6 @@ func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts
 	req := &pendingReq{input: input, done: make(chan coalesceOutcome, 1)}
 	b.enqueue(req)
 
-	timeout := opts.Timeout
-	if timeout <= 0 {
-		timeout = s.cfg.TaskTimeout
-	}
 	select {
 	case out := <-req.done:
 		if out.err != nil {
@@ -151,8 +151,8 @@ func (s *Service) RunCoalesced(caller Caller, servableID string, input any, opts
 			s.cache.put(key, servableID, gen, res)
 		}
 		return res, nil
-	case <-time.After(timeout):
-		return RunResult{}, fmt.Errorf("%w after %v (coalesced)", ErrTimeout, timeout)
+	case <-ctx.Done():
+		return RunResult{}, wrapCtxErr(ctx.Err())
 	}
 }
 
@@ -226,7 +226,9 @@ func (b *batcher) dispatch(pend []*pendingReq) {
 		NoMemo:   true,
 	}
 	start := time.Now()
-	res, err := b.svc.dispatch(task, RunOptions{})
+	// The batch aggregates many callers, so it dispatches under its own
+	// service-default deadline rather than any single member's ctx.
+	res, err := b.svc.dispatch(context.Background(), task)
 	if err != nil {
 		for _, r := range pend {
 			r.done <- coalesceOutcome{err: err}

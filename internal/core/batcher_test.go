@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -14,11 +15,11 @@ import (
 func coalescingTB(t *testing.T) (*bench.Testbed, string) {
 	t.Helper()
 	tb := newTB(t, bench.Options{})
-	id, err := tb.MS.Publish(core.Anonymous, servable.MatminerUtilPackage())
+	id, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := tb.MS.Deploy(core.Anonymous, id, 2, "parsl"); err != nil {
+	if err := tb.MS.Deploy(context.Background(), core.Anonymous, id, 2, "parsl"); err != nil {
 		t.Fatal(err)
 	}
 	return tb, id
@@ -26,7 +27,7 @@ func coalescingTB(t *testing.T) (*bench.Testbed, string) {
 
 func TestCoalescingFallsBackWithoutPolicy(t *testing.T) {
 	tb, id := coalescingTB(t)
-	res, err := tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{})
+	res, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestCoalescingGroupsConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := tb.MS.RunCoalesced(core.Anonymous, id, formulas[i%len(formulas)], core.RunOptions{})
+			res, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, formulas[i%len(formulas)], core.RunOptions{})
 			if err != nil {
 				errs[i] = err
 				return
@@ -97,7 +98,7 @@ func TestCoalescingFlushesOnTimer(t *testing.T) {
 	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 1000, MaxDelay: 10 * time.Millisecond})
 	// A single request must not wait for a full batch.
 	start := time.Now()
-	res, err := tb.MS.RunCoalesced(core.Anonymous, id, "MgO", core.RunOptions{})
+	res, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "MgO", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestCoalescingFullBatchFlushesEarly(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{}) //nolint:errcheck
+			tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{}) //nolint:errcheck
 		}()
 	}
 	wg.Wait()
@@ -134,14 +135,14 @@ func TestCoalescingAdaptiveProfileLearns(t *testing.T) {
 	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 8, MaxDelay: 100 * time.Millisecond, Adaptive: true})
 	// Warm the profile.
 	for i := 0; i < 3; i++ {
-		if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
+		if _, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	// With a learned profile for a cheap servable, a lone request
 	// flushes in ~2x item time, far below MaxDelay.
 	start := time.Now()
-	if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "SiO2", core.RunOptions{}); err != nil {
+	if _, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "SiO2", core.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 90*time.Millisecond {
@@ -154,7 +155,7 @@ func TestCoalescingErrorPropagates(t *testing.T) {
 	tb.MS.EnableCoalescing(id, core.BatchPolicy{MaxBatch: 2, MaxDelay: 5 * time.Millisecond})
 	// One bad formula fails the whole coalesced batch; the error must
 	// reach the caller rather than hang.
-	if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "NotAnElement99", core.RunOptions{}); err == nil {
+	if _, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "NotAnElement99", core.RunOptions{}); err == nil {
 		t.Fatal("servable error should propagate through the batcher")
 	}
 }
@@ -164,7 +165,7 @@ func TestCoalescingDisable(t *testing.T) {
 	tb.MS.EnableCoalescing(id, core.BatchPolicy{})
 	tb.MS.DisableCoalescing(id)
 	// Falls back to plain Run.
-	if _, err := tb.MS.RunCoalesced(core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
+	if _, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if f, _ := tb.MS.CoalescingStats(id); f != 0 {
@@ -174,7 +175,7 @@ func TestCoalescingDisable(t *testing.T) {
 
 func TestCoalescingRespectsACL(t *testing.T) {
 	tb, _ := coalescingTB(t)
-	if _, err := tb.MS.RunCoalesced(core.Anonymous, "ghost/model", 1, core.RunOptions{}); err == nil {
+	if _, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, "ghost/model", 1, core.RunOptions{}); err == nil {
 		t.Fatal("unknown servable should fail before enqueueing")
 	}
 }

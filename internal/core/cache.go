@@ -2,8 +2,10 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -320,39 +322,46 @@ type flightCall struct {
 }
 
 // do runs fn for key unless an identical call is already in flight, in
-// which case it waits for and shares that call's result — but only up
-// to wait (0 = unbounded): a follower with a tight RunOptions.Timeout
-// must not be pinned to the leader's (possibly much longer) deadline.
-// shared reports whether this caller piggybacked on another's
-// execution.
-func (g *flightGroup) do(key string, wait time.Duration, fn func() (RunResult, error)) (res RunResult, err error, shared bool) {
-	g.mu.Lock()
-	if g.calls == nil {
-		g.calls = make(map[string]*flightCall)
-	}
-	if call, ok := g.calls[key]; ok {
-		g.mu.Unlock()
-		if wait > 0 {
-			timer := time.NewTimer(wait)
-			defer timer.Stop()
+// which case it waits for and shares that call's result. A follower's
+// wait is bounded by its own ctx, never the leader's (possibly much
+// longer) deadline. When the leader's dispatch dies on a context error
+// — the leader's client hung up — still-live followers are released
+// immediately and loop back: one becomes the new leader and
+// re-dispatches, so a canceled leader never takes its followers down
+// with it. shared reports whether this caller piggybacked on (or was
+// woken by) another's execution.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (RunResult, error)) (res RunResult, err error, shared bool) {
+	for {
+		g.mu.Lock()
+		if g.calls == nil {
+			g.calls = make(map[string]*flightCall)
+		}
+		if call, ok := g.calls[key]; ok {
+			g.mu.Unlock()
 			select {
 			case <-call.done:
-			case <-timer.C:
-				return RunResult{}, fmt.Errorf("%w after %v (awaiting identical in-flight request)", ErrTimeout, wait), true
+			case <-ctx.Done():
+				return RunResult{}, fmt.Errorf("%w (awaiting identical in-flight request)", wrapCtxErr(ctx.Err())), true
 			}
-		} else {
-			<-call.done
+			if call.err != nil && errors.Is(call.err, context.Canceled) && ctx.Err() == nil {
+				// The leader was canceled, not us: retry for a fresh
+				// leader instead of inheriting its cancellation. A
+				// timed-out leader is different — its timeout is the
+				// shared result (re-dispatching a known-too-slow task
+				// for every follower would stampede the TM).
+				continue
+			}
+			return call.res, call.err, true
 		}
-		return call.res, call.err, true
-	}
-	call := &flightCall{done: make(chan struct{})}
-	g.calls[key] = call
-	g.mu.Unlock()
+		call := &flightCall{done: make(chan struct{})}
+		g.calls[key] = call
+		g.mu.Unlock()
 
-	call.res, call.err = fn()
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(call.done)
-	return call.res, call.err, false
+		call.res, call.err = fn()
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(call.done)
+		return call.res, call.err, false
+	}
 }

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -78,7 +79,7 @@ func newCachedMS(t *testing.T, cache core.CacheConfig) *core.Service {
 
 func publishNoop(t *testing.T, ms *core.Service) string {
 	t.Helper()
-	id, err := ms.Publish(core.Anonymous, servable.NoopPackage())
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,14 +94,14 @@ func TestServiceCacheHitMissBypass(t *testing.T) {
 	}
 	id := publishNoop(t, ms)
 
-	r1, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+	r1, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.CacheHit {
 		t.Fatal("first run must miss")
 	}
-	r2, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+	r2, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestServiceCacheHitMissBypass(t *testing.T) {
 	}
 
 	// NoCache bypasses the service layer (task dispatches again).
-	r3, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{NoCache: true})
+	r3, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{NoCache: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +124,7 @@ func TestServiceCacheHitMissBypass(t *testing.T) {
 		t.Fatal("NoCache run must bypass the service cache")
 	}
 	// NoMemo bypasses every memoization tier.
-	if r4, _ := ms.Run(core.Anonymous, id, "same", core.RunOptions{NoMemo: true}); r4.CacheHit {
+	if r4, _ := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{NoMemo: true}); r4.CacheHit {
 		t.Fatal("NoMemo run must bypass the service cache")
 	}
 	if got := tm.handled.Load(); got != 3 {
@@ -144,7 +145,7 @@ func TestServiceCacheDistinctInputsMiss(t *testing.T) {
 	}
 	id := publishNoop(t, ms)
 	for i := 0; i < 4; i++ {
-		if _, err := ms.Run(core.Anonymous, id, i, core.RunOptions{}); err != nil {
+		if _, err := ms.Run(context.Background(), core.Anonymous, id, i, core.RunOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -163,13 +164,13 @@ func TestServiceCacheInvalidation(t *testing.T) {
 
 	warm := func() {
 		t.Helper()
-		if _, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{}); err != nil {
+		if _, err := ms.Run(context.Background(), core.Anonymous, id, "in", core.RunOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	assertHit := func(want bool, why string) {
 		t.Helper()
-		res, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{})
+		res, err := ms.Run(context.Background(), core.Anonymous, id, "in", core.RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestServiceCacheInvalidation(t *testing.T) {
 	assertHit(true, "warm cache")
 
 	// Re-publishing bumps the version: old results are stale.
-	if _, err := ms.Publish(core.Anonymous, servable.NoopPackage()); err != nil {
+	if _, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage()); err != nil {
 		t.Fatal(err)
 	}
 	assertHit(false, "after republish")
@@ -213,10 +214,10 @@ func TestServiceCacheTTLExpiry(t *testing.T) {
 	}
 	id := publishNoop(t, ms)
 
-	if _, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{}); err != nil {
+	if _, err := ms.Run(context.Background(), core.Anonymous, id, "in", core.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ms.Run(core.Anonymous, id, "in", core.RunOptions{})
+	res, err := ms.Run(context.Background(), core.Anonymous, id, "in", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestServiceCacheTTLExpiry(t *testing.T) {
 		t.Fatal("within TTL should hit")
 	}
 	time.Sleep(60 * time.Millisecond)
-	res, err = ms.Run(core.Anonymous, id, "in", core.RunOptions{})
+	res, err = ms.Run(context.Background(), core.Anonymous, id, "in", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestSingleflightCollapsesConcurrentRuns(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+			res, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{})
 			errs[i] = err
 			if err == nil && res.CacheHit {
 				hits.Add(1)
@@ -302,7 +303,7 @@ func TestLeastOutstandingRouting(t *testing.T) {
 		stuck.Add(1)
 		go func() {
 			defer stuck.Add(-1)
-			ms.Run(core.Anonymous, id, input, core.RunOptions{}) //nolint:errcheck
+			ms.Run(context.Background(), core.Anonymous, id, input, core.RunOptions{}) //nolint:errcheck
 			done <- struct{}{}
 		}()
 	}
@@ -323,7 +324,7 @@ func TestLeastOutstandingRouting(t *testing.T) {
 	// the idle TM (load 0) — blind round-robin would alternate.
 	idleBefore := idle.handled.Load()
 	for i := 0; i < 5; i++ {
-		res, err := ms.Run(core.Anonymous, id, i, core.RunOptions{})
+		res, err := ms.Run(context.Background(), core.Anonymous, id, i, core.RunOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -391,7 +392,7 @@ func TestCacheHTTPHeaderAndStats(t *testing.T) {
 
 	// Pipelines never use the cache: header must say bypass, not miss.
 	pipeDoc := pipelineDoc("hdr-pipe", []string{id, id})
-	pipeID, err := ms.Publish(core.Anonymous, &servable.Package{Doc: pipeDoc})
+	pipeID, err := ms.Publish(context.Background(), core.Anonymous, &servable.Package{Doc: pipeDoc})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -118,7 +119,7 @@ func TestFlightGroupCollapses(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err, shared := g.do("k", 0, func() (RunResult, error) {
+			res, err, shared := g.do(context.Background(), "k", func() (RunResult, error) {
 				leaderOnce.Do(func() { close(started) })
 				<-release
 				mu.Lock()
@@ -156,12 +157,12 @@ func TestFlightGroupCollapses(t *testing.T) {
 func TestFlightGroupPropagatesError(t *testing.T) {
 	var g flightGroup
 	wantErr := fmt.Errorf("boom")
-	_, err, _ := g.do("k", 0, func() (RunResult, error) { return RunResult{}, wantErr })
+	_, err, _ := g.do(context.Background(), "k", func() (RunResult, error) { return RunResult{}, wantErr })
 	if err != wantErr {
 		t.Fatalf("want error propagated, got %v", err)
 	}
 	// A failed call must not poison the key for later calls.
-	res, err, _ := g.do("k", 0, func() (RunResult, error) { return testResult("ok"), nil })
+	res, err, _ := g.do(context.Background(), "k", func() (RunResult, error) { return testResult("ok"), nil })
 	if err != nil || res.Output != "ok" {
 		t.Fatalf("retry after failure broken: %v %v", res.Output, err)
 	}
@@ -171,7 +172,7 @@ func TestFlightGroupFollowerTimeout(t *testing.T) {
 	var g flightGroup
 	release := make(chan struct{})
 	leaderIn := make(chan struct{})
-	go g.do("k", 0, func() (RunResult, error) { //nolint:errcheck
+	go g.do(context.Background(), "k", func() (RunResult, error) { //nolint:errcheck
 		close(leaderIn)
 		<-release
 		return testResult("slow"), nil
@@ -180,7 +181,9 @@ func TestFlightGroupFollowerTimeout(t *testing.T) {
 	// A follower with a tight wait must give up on its own deadline,
 	// not the leader's.
 	start := time.Now()
-	_, err, shared := g.do("k", 20*time.Millisecond, func() (RunResult, error) {
+	followerCtx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err, shared := g.do(followerCtx, "k", func() (RunResult, error) {
 		t.Error("follower must not execute fn")
 		return RunResult{}, nil
 	})

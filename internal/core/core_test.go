@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http/httptest"
@@ -40,17 +41,17 @@ func TestPublishRunEndToEnd(t *testing.T) {
 	ms := tb.MS
 
 	pkg := servable.NoopPackage()
-	id, err := ms.Publish(core.Anonymous, pkg)
+	id, err := ms.Publish(context.Background(), core.Anonymous, pkg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if id != "anonymous/noop" {
 		t.Fatalf("unexpected id %s", id)
 	}
-	if err := ms.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ms.Run(core.Anonymous, id, "x", core.RunOptions{})
+	res, err := ms.Run(context.Background(), core.Anonymous, id, "x", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,18 +71,18 @@ func TestPublishValidation(t *testing.T) {
 	tb := newTB(t, bench.Options{})
 	pkg := servable.NoopPackage()
 	pkg.Doc.Publication.Title = ""
-	if _, err := tb.MS.Publish(core.Anonymous, pkg); err == nil {
+	if _, err := tb.MS.Publish(context.Background(), core.Anonymous, pkg); err == nil {
 		t.Fatal("invalid doc should fail to publish")
 	}
 }
 
 func TestVersioning(t *testing.T) {
 	tb := newTB(t, bench.Options{})
-	id1, err := tb.MS.Publish(core.Anonymous, servable.NoopPackage())
+	id1, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
-	id2, err := tb.MS.Publish(core.Anonymous, servable.NoopPackage())
+	id2, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,18 +104,18 @@ func TestVersioning(t *testing.T) {
 
 func TestSearchDiscovery(t *testing.T) {
 	tb := newTB(t, bench.Options{})
-	if _, err := tb.MS.Publish(core.Anonymous, servable.MatminerUtilPackage()); err != nil {
+	if _, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tb.MS.Publish(core.Anonymous, servable.NoopPackage()); err != nil {
+	if _, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.NoopPackage()); err != nil {
 		t.Fatal(err)
 	}
-	res := tb.MS.Search(core.Anonymous, search.Query{Must: []search.Clause{{FreeText: "pymatgen composition"}}})
+	res, _ := tb.MS.Search(context.Background(), core.Anonymous, search.Query{Must: []search.Clause{{FreeText: "pymatgen composition"}}})
 	if res.Total != 1 || res.Hits[0].Doc.ID != "anonymous/matminer-util" {
 		t.Fatalf("search wrong: %+v", res)
 	}
 	// Faceting across the repository.
-	res = tb.MS.Search(core.Anonymous, search.Query{FacetOn: []string{"type"}})
+	res, _ = tb.MS.Search(context.Background(), core.Anonymous, search.Query{FacetOn: []string{"type"}})
 	if res.Facets["type"]["python_function"] != 2 {
 		t.Fatalf("facets wrong: %v", res.Facets)
 	}
@@ -150,11 +151,11 @@ func TestAccessControl(t *testing.T) {
 	pkg.Doc.Publication.Name = "drug-response"
 	pkg.Doc.Publication.VisibleTo = []string{auth.GroupURN("candle-testers")}
 	ownerCaller := callerFor("owner")
-	id, err := ms.Publish(ownerCaller, pkg)
+	id, err := ms.Publish(context.Background(), ownerCaller, pkg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(ownerCaller, id, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), ownerCaller, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -162,7 +163,7 @@ func TestAccessControl(t *testing.T) {
 	if _, err := ms.Get(callerFor("member"), id); err != nil {
 		t.Fatalf("group member should see the model: %v", err)
 	}
-	if _, err := ms.Run(callerFor("member"), id, "x", core.RunOptions{}); err != nil {
+	if _, err := ms.Run(context.Background(), callerFor("member"), id, "x", core.RunOptions{}); err != nil {
 		t.Fatalf("group member should run the model: %v", err)
 	}
 
@@ -170,10 +171,10 @@ func TestAccessControl(t *testing.T) {
 	if _, err := ms.Get(callerFor("other"), id); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("outsider should get not-found, got %v", err)
 	}
-	if _, err := ms.Run(callerFor("other"), id, "x", core.RunOptions{}); !errors.Is(err, core.ErrNotFound) {
+	if _, err := ms.Run(context.Background(), callerFor("other"), id, "x", core.RunOptions{}); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("outsider should not run, got %v", err)
 	}
-	res := ms.Search(callerFor("other"), search.Query{})
+	res, _ := ms.Search(context.Background(), callerFor("other"), search.Query{})
 	for _, h := range res.Hits {
 		if h.Doc.ID == id {
 			t.Fatal("restricted model leaked into outsider search")
@@ -199,7 +200,7 @@ func TestUpdateMetadataFlipsVisibility(t *testing.T) {
 	ownerC := callerFor("owner")
 	pkg := servable.NoopPackage()
 	pkg.Doc.Publication.VisibleTo = []string{ownerC.IdentityID}
-	id, err := ms.Publish(ownerC, pkg)
+	id, err := ms.Publish(context.Background(), ownerC, pkg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,14 +227,14 @@ func TestUpdateMetadataFlipsVisibility(t *testing.T) {
 func TestMemoizationEndToEnd(t *testing.T) {
 	tb := newTB(t, bench.Options{Memoize: true})
 	ms := tb.MS
-	id, _ := ms.Publish(core.Anonymous, servable.NoopPackage())
-	ms.Deploy(core.Anonymous, id, 1, "parsl") //nolint:errcheck
+	id, _ := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
+	ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl") //nolint:errcheck
 
-	r1, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+	r1, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{})
+	r2, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestMemoizationEndToEnd(t *testing.T) {
 		t.Fatalf("memoization wrong: first=%v second=%v", r1.Cached, r2.Cached)
 	}
 	// NoMemo opt-out, as the experiments configure.
-	r3, err := ms.Run(core.Anonymous, id, "same", core.RunOptions{NoMemo: true})
+	r3, err := ms.Run(context.Background(), core.Anonymous, id, "same", core.RunOptions{NoMemo: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,11 +254,11 @@ func TestMemoizationEndToEnd(t *testing.T) {
 func TestBatchEndToEnd(t *testing.T) {
 	tb := newTB(t, bench.Options{})
 	ms := tb.MS
-	id, _ := ms.Publish(core.Anonymous, servable.MatminerUtilPackage())
-	ms.Deploy(core.Anonymous, id, 2, "parsl") //nolint:errcheck
+	id, _ := ms.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+	ms.Deploy(context.Background(), core.Anonymous, id, 2, "parsl") //nolint:errcheck
 
 	inputs := []any{"NaCl", "SiO2", "Fe2O3"}
-	res, err := ms.RunBatch(core.Anonymous, id, inputs, core.RunOptions{})
+	res, err := ms.RunBatch(context.Background(), core.Anonymous, id, inputs, core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,11 +281,11 @@ func TestPipelineEndToEnd(t *testing.T) {
 		"util":      servable.MatminerUtilPackage(),
 		"featurize": servable.MatminerFeaturizePackage(),
 	} {
-		id, err := ms.Publish(core.Anonymous, pkg)
+		id, err := ms.Publish(context.Background(), core.Anonymous, pkg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := ms.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+		if err := ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 			t.Fatal(err)
 		}
 		ids[name] = id
@@ -293,23 +294,23 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	modelID, err := ms.Publish(core.Anonymous, modelPkg)
+	modelID, err := ms.Publish(context.Background(), core.Anonymous, modelPkg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(core.Anonymous, modelID, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, modelID, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
 	ids["model"] = modelID
 
 	// Publish the pipeline (§VI-D formation-enthalpy workflow).
 	pipe := &servable.Package{Doc: pipelineDoc("formation-enthalpy", []string{ids["util"], ids["featurize"], ids["model"]})}
-	pipeID, err := ms.Publish(core.Anonymous, pipe)
+	pipeID, err := ms.Publish(context.Background(), core.Anonymous, pipe)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	res, err := ms.Run(core.Anonymous, pipeID, "SiO2", core.RunOptions{})
+	res, err := ms.Run(context.Background(), core.Anonymous, pipeID, "SiO2", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,10 +322,10 @@ func TestPipelineEndToEnd(t *testing.T) {
 func TestAsyncTask(t *testing.T) {
 	tb := newTB(t, bench.Options{})
 	ms := tb.MS
-	id, _ := ms.Publish(core.Anonymous, servable.NoopPackage())
-	ms.Deploy(core.Anonymous, id, 1, "parsl") //nolint:errcheck
+	id, _ := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
+	ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl") //nolint:errcheck
 
-	taskID, err := ms.RunAsync(core.Anonymous, id, "x", core.RunOptions{})
+	taskID, err := ms.RunAsync(context.Background(), core.Anonymous, id, "x", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,12 +357,12 @@ func TestAsyncTask(t *testing.T) {
 func TestRunErrors(t *testing.T) {
 	tb := newTB(t, bench.Options{})
 	ms := tb.MS
-	if _, err := ms.Run(core.Anonymous, "ghost/model", 1, core.RunOptions{}); !errors.Is(err, core.ErrNotFound) {
+	if _, err := ms.Run(context.Background(), core.Anonymous, "ghost/model", 1, core.RunOptions{}); !errors.Is(err, core.ErrNotFound) {
 		t.Fatalf("want not found, got %v", err)
 	}
 	// Published but not deployed: the TM reports an executor error.
-	id, _ := ms.Publish(core.Anonymous, servable.NoopPackage())
-	if _, err := ms.Run(core.Anonymous, id, 1, core.RunOptions{}); err == nil {
+	id, _ := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
+	if _, err := ms.Run(context.Background(), core.Anonymous, id, 1, core.RunOptions{}); err == nil {
 		t.Fatal("run before deploy should fail")
 	}
 }
@@ -460,11 +461,11 @@ func TestWANShapedRequestTimes(t *testing.T) {
 	defer func() { simconst.Scale = 1000 }()
 	tb := newTB(t, bench.Options{WAN: true})
 	ms := tb.MS
-	id, _ := ms.Publish(core.Anonymous, servable.NoopPackage())
-	if err := ms.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+	id, _ := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := ms.Run(core.Anonymous, id, "x", core.RunOptions{})
+	res, err := ms.Run(context.Background(), core.Anonymous, id, "x", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

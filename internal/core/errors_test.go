@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestSentinelStatusTable pins the HTTP status of every Err* sentinel:
+// the table IS the API contract, so any addition or change must be
+// deliberate.
+func TestSentinelStatusTable(t *testing.T) {
+	want := map[*Error]int{
+		ErrBadRequest:    http.StatusBadRequest,
+		ErrUnauthorized:  http.StatusUnauthorized,
+		ErrForbidden:     http.StatusForbidden,
+		ErrNotFound:      http.StatusNotFound,
+		ErrTaskNotFound:  http.StatusNotFound,
+		ErrConflict:      http.StatusConflict,
+		ErrNoTaskManager: http.StatusServiceUnavailable,
+		ErrTimeout:       http.StatusGatewayTimeout,
+		ErrCanceled:      StatusClientClosedRequest,
+		ErrTaskFailed:    http.StatusBadGateway,
+		ErrUpstream:      http.StatusBadGateway,
+		ErrInternal:      http.StatusInternalServerError,
+	}
+	if len(want) != len(sentinels) {
+		t.Fatalf("test covers %d sentinels, package declares %d — update both", len(want), len(sentinels))
+	}
+	for sentinel, status := range want {
+		if got := ErrorStatus(sentinel); got != status {
+			t.Errorf("%s: status %d, want %d", sentinel.Code, got, status)
+		}
+		// Wrapping with context must not change the mapping.
+		wrapped := fmt.Errorf("%w: extra detail", sentinel)
+		if got := ErrorStatus(wrapped); got != status {
+			t.Errorf("%s wrapped: status %d, want %d", sentinel.Code, got, status)
+		}
+	}
+}
+
+// TestSentinelIdentity verifies errors.Is semantics: a sentinel matches
+// itself, wrapped forms, and detail-carrying copies — but never a
+// different code.
+func TestSentinelIdentity(t *testing.T) {
+	for _, sentinel := range sentinels {
+		wrapped := fmt.Errorf("%w: with context", sentinel)
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("wrapped %s does not match its sentinel", sentinel.Code)
+		}
+		if !errors.Is(sentinel.WithDetail("d"), sentinel) {
+			t.Errorf("detailed %s does not match its sentinel", sentinel.Code)
+		}
+		for _, other := range sentinels {
+			if other.Code != sentinel.Code && errors.Is(wrapped, other) {
+				t.Errorf("%s matches unrelated sentinel %s", sentinel.Code, other.Code)
+			}
+		}
+		var typed *Error
+		if !errors.As(wrapped, &typed) || typed.Code != sentinel.Code {
+			t.Errorf("errors.As failed to extract %s", sentinel.Code)
+		}
+	}
+}
+
+func TestClassifyContextErrors(t *testing.T) {
+	cases := []struct {
+		err    error
+		code   Code
+		status int
+	}{
+		{context.Canceled, CodeCanceled, StatusClientClosedRequest},
+		{context.DeadlineExceeded, CodeTimeout, http.StatusGatewayTimeout},
+		{fmt.Errorf("dispatch: %w", context.Canceled), CodeCanceled, StatusClientClosedRequest},
+		{errors.New("anything else"), CodeBadRequest, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		e := Classify(tc.err)
+		if e.Code != tc.code || e.HTTPStatus != tc.status {
+			t.Errorf("Classify(%v) = (%s, %d), want (%s, %d)", tc.err, e.Code, e.HTTPStatus, tc.code, tc.status)
+		}
+	}
+}
+
+// TestWrapCtxErrKeepsBothIdentities: the typed wrapper must satisfy
+// errors.Is against the raw context error AND the service sentinel —
+// the Go API contract for cancellation.
+func TestWrapCtxErrKeepsBothIdentities(t *testing.T) {
+	err := wrapCtxErr(context.Canceled)
+	if !errors.Is(err, context.Canceled) {
+		t.Error("wrapped cancel lost context.Canceled identity")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Error("wrapped cancel does not match ErrCanceled")
+	}
+	err = wrapCtxErr(context.DeadlineExceeded)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("wrapped deadline lost context.DeadlineExceeded identity")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Error("wrapped deadline does not match ErrTimeout")
+	}
+}
+
+func TestErrorDetailRendering(t *testing.T) {
+	e := ErrNotFound.WithDetail("anonymous/missing")
+	if got, want := e.Error(), "core: servable not found: anonymous/missing"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if ErrNotFound.Detail != "" {
+		t.Error("WithDetail mutated the sentinel")
+	}
+}

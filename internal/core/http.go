@@ -2,7 +2,6 @@ package core
 
 import (
 	"encoding/json"
-	"errors"
 	"math"
 	"net/http"
 
@@ -19,6 +18,13 @@ func jsonUnmarshal(d []byte, v any) error { return json.Unmarshal(d, v) }
 // Handler returns the REST API (§IV-E: "DLHub offers a REST API,
 // Command Line Interface (CLI), and a Python Software Development Kit
 // (SDK) for publishing, managing, and invoking models").
+//
+// Two route generations share one mux: the versioned /api/v2 surface
+// (http_v2.go — enveloped responses, typed error codes, pagination,
+// idempotency keys, SSE task streams) and the original /api/* routes,
+// kept as thin compatibility shims over the same service methods with
+// their historical response shapes. Both pass through the middleware
+// chain (request IDs, optional access logs, per-route metrics).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /api/publish", s.handlePublish)
@@ -34,7 +40,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /api/tms", s.handleTMs)
 	mux.HandleFunc("GET /api/cache/stats", s.handleCacheStats)
 	mux.HandleFunc("POST /api/cache/flush", s.handleCacheFlush)
-	return mux
+	s.routesV2(mux)
+	return s.middleware(mux)
 }
 
 // caller resolves the request identity, writing the error response on
@@ -48,17 +55,12 @@ func (s *Service) caller(w http.ResponseWriter, r *http.Request) (Caller, bool) 
 	return c, true
 }
 
+// writeServiceError maps a service error onto the v1 wire format using
+// the code→status table from errors.go (errors.Is/As classification —
+// no string matching). v2 responses envelope the same classification in
+// writeV2Error.
 func writeServiceError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, ErrNotFound), errors.Is(err, ErrTaskNotFound):
-		rpc.WriteError(w, http.StatusNotFound, "%v", err)
-	case errors.Is(err, ErrForbidden):
-		rpc.WriteError(w, http.StatusForbidden, "%v", err)
-	case errors.Is(err, ErrNoTaskManager), errors.Is(err, ErrTimeout):
-		rpc.WriteError(w, http.StatusServiceUnavailable, "%v", err)
-	default:
-		rpc.WriteError(w, http.StatusBadRequest, "%v", err)
-	}
+	rpc.WriteError(w, ErrorStatus(err), "%v", err)
 }
 
 // PublishRequest is the POST /api/publish body. Components may be
@@ -100,7 +102,7 @@ func (s *Service) handlePublish(w http.ResponseWriter, r *http.Request) {
 			pkg.Components[name] = data
 		}
 	}
-	id, err := s.Publish(c, pkg)
+	id, err := s.Publish(r.Context(), c, pkg)
 	if err != nil {
 		writeServiceError(w, err)
 		return
@@ -113,7 +115,11 @@ func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res := s.Search(c, search.Query{})
+	res, err := s.Search(r.Context(), c, search.Query{})
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	ids := make([]string, 0, len(res.Hits))
 	for _, h := range res.Hits {
 		ids = append(ids, h.Doc.ID)
@@ -240,7 +246,11 @@ func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		q.Must = append(q.Must, search.Clause{Field: "year", Range: rg})
 	}
-	res := s.Search(c, q)
+	res, err := s.Search(r.Context(), c, q)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
 	resp := SearchResponse{Total: res.Total, Facets: res.Facets}
 	for _, h := range res.Hits {
 		resp.IDs = append(resp.IDs, h.Doc.ID)
@@ -293,14 +303,14 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 
 	switch {
 	case req.Async:
-		taskID, err := s.RunAsync(c, id, req.Input, opts)
+		taskID, err := s.RunAsync(r.Context(), c, id, req.Input, opts)
 		if err != nil {
 			writeServiceError(w, err)
 			return
 		}
 		rpc.WriteJSON(w, http.StatusAccepted, map[string]string{"task_id": taskID})
 	case len(req.Inputs) > 0:
-		res, err := s.RunBatch(c, id, req.Inputs, opts)
+		res, err := s.RunBatch(r.Context(), c, id, req.Inputs, opts)
 		if err != nil {
 			writeServiceError(w, err)
 			return
@@ -308,7 +318,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.setCacheHeader(w, id, opts, res)
 		rpc.WriteJSON(w, http.StatusOK, res)
 	case req.Coalesce:
-		res, err := s.RunCoalesced(c, id, req.Input, opts)
+		res, err := s.RunCoalesced(r.Context(), c, id, req.Input, opts)
 		if err != nil {
 			writeServiceError(w, err)
 			return
@@ -316,7 +326,7 @@ func (s *Service) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.setCacheHeader(w, id, opts, res)
 		rpc.WriteJSON(w, http.StatusOK, res)
 	default:
-		res, err := s.Run(c, id, req.Input, opts)
+		res, err := s.Run(r.Context(), c, id, req.Input, opts)
 		if err != nil {
 			writeServiceError(w, err)
 			return
@@ -355,7 +365,7 @@ func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("owner") + "/" + r.PathValue("name")
-	if err := s.Deploy(c, id, req.Replicas, req.Executor); err != nil {
+	if err := s.Deploy(r.Context(), c, id, req.Replicas, req.Executor); err != nil {
 		writeServiceError(w, err)
 		return
 	}
@@ -373,7 +383,7 @@ func (s *Service) handleScale(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("owner") + "/" + r.PathValue("name")
-	if err := s.Scale(c, id, req.Replicas, req.Executor); err != nil {
+	if err := s.Scale(r.Context(), c, id, req.Replicas, req.Executor); err != nil {
 		writeServiceError(w, err)
 		return
 	}

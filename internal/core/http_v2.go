@@ -1,0 +1,666 @@
+package core
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/schema"
+	"repro/internal/search"
+	"repro/internal/servable"
+)
+
+// The versioned /api/v2 surface. Every response is one envelope —
+//
+//	{"data": ..., "request_id": "..."}            on success
+//	{"error": {"code", "message", "detail"},
+//	 "request_id": "..."}                         on failure
+//
+// — with machine-readable error codes from errors.go, cursor pagination
+// on list/search, idempotency keys on run and publish, and an SSE
+// stream per task replacing status polling. v1 routes (http.go) remain
+// as compatibility shims over the same service methods.
+
+// Envelope is the uniform v2 response wrapper.
+type Envelope struct {
+	Data      any            `json:"data,omitempty"`
+	Error     *EnvelopeError `json:"error,omitempty"`
+	RequestID string         `json:"request_id"`
+}
+
+// EnvelopeError is the wire form of a classified service error.
+type EnvelopeError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+func (s *Service) routesV2(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/v2/healthz", s.handleV2Healthz)
+	mux.HandleFunc("GET /api/v2/readyz", s.handleV2Readyz)
+	mux.HandleFunc("POST /api/v2/servables", s.handleV2Publish)
+	mux.HandleFunc("GET /api/v2/servables", s.handleV2List)
+	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}", s.handleV2Get)
+	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}/versions", s.handleV2Versions)
+	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}/dockerfile", s.handleV2Dockerfile)
+	mux.HandleFunc("PATCH /api/v2/servables/{owner}/{name}", s.handleV2Update)
+	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/run", s.handleV2Run)
+	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/deploy", s.handleV2Deploy)
+	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/scale", s.handleV2Scale)
+	mux.HandleFunc("POST /api/v2/search", s.handleV2Search)
+	mux.HandleFunc("GET /api/v2/tasks/{task}", s.handleV2Task)
+	mux.HandleFunc("GET /api/v2/tasks/{task}/events", s.handleV2TaskEvents)
+	mux.HandleFunc("GET /api/v2/tms", s.handleV2TMs)
+	mux.HandleFunc("GET /api/v2/cache/stats", s.handleV2CacheStats)
+	mux.HandleFunc("POST /api/v2/cache/flush", s.handleV2CacheFlush)
+	mux.HandleFunc("GET /api/v2/stats", s.handleV2Stats)
+}
+
+// writeV2 writes a success envelope.
+func writeV2(w http.ResponseWriter, r *http.Request, status int, data any) {
+	rpc.WriteJSON(w, status, Envelope{Data: data, RequestID: RequestIDFromContext(r.Context())})
+}
+
+// writeV2Error classifies err and writes the error envelope. A client
+// that hung up (canceled ctx) gets the 499 status for the logs even
+// though no one reads the body.
+func writeV2Error(w http.ResponseWriter, r *http.Request, err error) {
+	e := Classify(err)
+	rpc.WriteJSON(w, e.HTTPStatus, Envelope{
+		Error:     &EnvelopeError{Code: string(e.Code), Message: e.Message, Detail: e.Detail},
+		RequestID: RequestIDFromContext(r.Context()),
+	})
+}
+
+// callerV2 resolves the request identity, writing the enveloped 401 on
+// failure.
+func (s *Service) callerV2(w http.ResponseWriter, r *http.Request) (Caller, bool) {
+	c, err := s.ResolveCaller(r.Header.Get("Authorization"))
+	if err != nil {
+		writeV2Error(w, r, ErrUnauthorized.WithDetail(err.Error()))
+		return Caller{}, false
+	}
+	return c, true
+}
+
+// readV2 decodes the request body, classifying failures as bad_request.
+func readV2(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := rpc.ReadJSON(r, v); err != nil {
+		writeV2Error(w, r, ErrBadRequest.WithDetail("bad body: "+err.Error()))
+		return false
+	}
+	return true
+}
+
+// idempotent executes fn under the request's Idempotency-Key (if any):
+// the first execution's outcome is stored and replayed to duplicates,
+// and a duplicate arriving mid-execution waits for the original rather
+// than re-executing. Without a key, fn runs unconditionally.
+//
+// Only definitive outcomes are replayable: successes and 4xx failures.
+// Transient failures (any 5xx, and 499/canceled) release their waiters
+// with the error but are then forgotten, so a later retry with the same
+// key — the retry the key exists to make safe — executes fresh instead
+// of replaying a stale outage. An execution that never finishes (panic
+// unwinding through us) is finished as internal and forgotten too, so
+// the key can never wedge.
+func (s *Service) idempotent(w http.ResponseWriter, r *http.Request, c Caller, fn func() (int, any, error)) {
+	key := r.Header.Get(IdempotencyKeyHeader)
+	if key == "" {
+		status, data, err := fn()
+		if err != nil {
+			writeV2Error(w, r, err)
+			return
+		}
+		writeV2(w, r, status, data)
+		return
+	}
+	scoped := c.IdentityID + "|" + r.Method + " " + r.URL.Path + "|" + key
+	var e *idemEntry
+	for {
+		var isNew bool
+		e, isNew = s.idem.begin(scoped)
+		if isNew {
+			break
+		}
+		select {
+		case <-e.done:
+			if e.err != nil && !replayable(e.err) {
+				// The first execution died transiently (its client
+				// canceled, an outage...). This duplicate is exactly
+				// the retry the key exists for: drop the dead entry
+				// and loop to execute fresh instead of replaying it.
+				s.idem.forget(scoped, e)
+				continue
+			}
+			w.Header().Set(IdempotencyReplayedHeader, "true")
+			if e.err != nil {
+				writeV2Error(w, r, e.err)
+				return
+			}
+			rpc.WriteJSON(w, e.status, Envelope{Data: json.RawMessage(e.body), RequestID: RequestIDFromContext(r.Context())})
+		case <-r.Context().Done():
+			writeV2Error(w, r, wrapCtxErr(r.Context().Err()))
+		}
+		return
+	}
+	finished := false
+	defer func() {
+		if !finished {
+			// fn panicked (or otherwise unwound): release any waiting
+			// duplicates and drop the key so it cannot wedge.
+			e.finish(0, nil, ErrInternal.WithDetail("execution aborted"))
+			s.idem.forget(scoped, e)
+		}
+	}()
+	settle := func(status int, body []byte, serr *Error) {
+		e.finish(status, body, serr)
+		finished = true
+		if serr != nil && !replayable(serr) {
+			s.idem.forget(scoped, e)
+		}
+	}
+	status, data, err := fn()
+	if err != nil {
+		serr := Classify(err)
+		settle(0, nil, serr)
+		writeV2Error(w, r, err)
+		return
+	}
+	body, merr := jsonMarshal(data)
+	if merr != nil {
+		settle(0, nil, Classify(merr))
+		writeV2Error(w, r, merr)
+		return
+	}
+	settle(status, body, nil)
+	rpc.WriteJSON(w, status, Envelope{Data: json.RawMessage(body), RequestID: RequestIDFromContext(r.Context())})
+}
+
+// replayable reports whether a failure is definitive enough to replay
+// to idempotency-key duplicates: client errors (4xx) are; server-side
+// or transient conditions (5xx, client-closed 499) are not.
+func replayable(e *Error) bool {
+	return e.HTTPStatus >= 400 && e.HTTPStatus < 500 && e.HTTPStatus != StatusClientClosedRequest
+}
+
+// --- health -----------------------------------------------------------------
+
+func (s *Service) handleV2Healthz(w http.ResponseWriter, r *http.Request) {
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleV2Readyz reports readiness: at least one live Task Manager must
+// be registered for the service to accept serving traffic.
+func (s *Service) handleV2Readyz(w http.ResponseWriter, r *http.Request) {
+	live := s.LiveTaskManagers()
+	if len(live) == 0 {
+		writeV2Error(w, r, ErrNoTaskManager.WithDetail("not ready: 0 live task managers"))
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]any{"status": "ready", "task_managers": len(live)})
+}
+
+// --- repository -------------------------------------------------------------
+
+func (s *Service) handleV2Publish(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var req PublishRequest
+	if !readV2(w, r, &req) {
+		return
+	}
+	s.idempotent(w, r, c, func() (int, any, error) {
+		pkg := &servable.Package{Components: req.Components}
+		pkg.Doc = new(schema.Document)
+		if err := json.Unmarshal(req.Document, pkg.Doc); err != nil {
+			return 0, nil, ErrBadRequest.WithDetail("bad document: " + err.Error())
+		}
+		if len(req.ComponentRefs) > 0 {
+			fetched, err := s.ResolveComponents(r.Header.Get("Authorization"), req.ComponentRefs)
+			if err != nil {
+				return 0, nil, fmt.Errorf("%w: %v", ErrUpstream, err)
+			}
+			if pkg.Components == nil {
+				pkg.Components = map[string][]byte{}
+			}
+			for name, data := range fetched {
+				pkg.Components[name] = data
+			}
+		}
+		id, err := s.Publish(r.Context(), c, pkg)
+		if err != nil {
+			return 0, nil, err
+		}
+		return http.StatusCreated, map[string]string{"id": id}, nil
+	})
+}
+
+// Page is the v2 cursor-paginated collection wrapper.
+type Page[T any] struct {
+	Items []T `json:"items"`
+	// Total counts the full result set, not this page.
+	Total int `json:"total"`
+	// NextCursor resumes after this page; absent on the last page.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
+// encodeCursor/decodeCursor implement opaque offset cursors. The format
+// is versioned ("v2:<offset>") so it can change shape without breaking
+// stored client cursors silently.
+func encodeCursor(offset int) string {
+	return base64.RawURLEncoding.EncodeToString([]byte("v2:" + strconv.Itoa(offset)))
+}
+
+func decodeCursor(cursor string) (int, error) {
+	if cursor == "" {
+		return 0, nil
+	}
+	raw, err := base64.RawURLEncoding.DecodeString(cursor)
+	if err != nil {
+		return 0, ErrBadRequest.WithDetail("bad cursor")
+	}
+	var offset int
+	if _, err := fmt.Sscanf(string(raw), "v2:%d", &offset); err != nil || offset < 0 {
+		return 0, ErrBadRequest.WithDetail("bad cursor")
+	}
+	return offset, nil
+}
+
+// pageParams reads limit/cursor query parameters (POST bodies pass
+// their own). limit defaults to defLimit, capped at 1000.
+func pageParams(r *http.Request, defLimit int) (limit, offset int, err error) {
+	limit = defLimit
+	if v := r.URL.Query().Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit <= 0 {
+			return 0, 0, ErrBadRequest.WithDetail("bad limit")
+		}
+	}
+	if limit > 1000 {
+		limit = 1000
+	}
+	offset, err = decodeCursor(r.URL.Query().Get("cursor"))
+	return limit, offset, err
+}
+
+func (s *Service) handleV2List(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	limit, offset, err := pageParams(r, 100)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	res, err := s.Search(r.Context(), c, search.Query{Limit: limit, Offset: offset})
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	page := Page[string]{Items: make([]string, 0, len(res.Hits)), Total: res.Total}
+	for _, h := range res.Hits {
+		page.Items = append(page.Items, h.Doc.ID)
+	}
+	if offset+len(page.Items) < res.Total {
+		page.NextCursor = encodeCursor(offset + len(page.Items))
+	}
+	writeV2(w, r, http.StatusOK, page)
+}
+
+func (s *Service) handleV2Get(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	doc, err := s.Get(c, r.PathValue("owner")+"/"+r.PathValue("name"))
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, doc)
+}
+
+func (s *Service) handleV2Versions(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	docs, err := s.Versions(c, r.PathValue("owner")+"/"+r.PathValue("name"))
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, Page[*schema.Document]{Items: docs, Total: len(docs)})
+}
+
+func (s *Service) handleV2Dockerfile(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	df, err := s.Dockerfile(c, r.PathValue("owner")+"/"+r.PathValue("name"))
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]string{"dockerfile": df})
+}
+
+func (s *Service) handleV2Update(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var req UpdateRequest
+	if !readV2(w, r, &req) {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	err := s.UpdateMetadata(c, id, func(p *schema.Publication) {
+		if req.Description != nil {
+			p.Description = *req.Description
+		}
+		if req.VisibleTo != nil {
+			p.VisibleTo = req.VisibleTo
+		}
+		if req.Citation != nil {
+			p.Citation = *req.Citation
+		}
+		if req.Identifier != nil {
+			p.Identifier = *req.Identifier
+		}
+	})
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	doc, err := s.Get(c, id)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, doc)
+}
+
+// SearchRequestV2 is the POST /api/v2/search body: the v1 query
+// language plus a resumption cursor.
+type SearchRequestV2 struct {
+	SearchRequest
+	Cursor string `json:"cursor,omitempty"`
+}
+
+// SearchHitV2 pairs a servable ID with its flattened document.
+type SearchHitV2 struct {
+	ID  string         `json:"id"`
+	Doc map[string]any `json:"doc"`
+}
+
+// SearchPageV2 is the POST /api/v2/search response data.
+type SearchPageV2 struct {
+	Page[SearchHitV2]
+	Facets map[string]map[string]int `json:"facets,omitempty"`
+}
+
+func (s *Service) handleV2Search(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var req SearchRequestV2
+	if !readV2(w, r, &req) {
+		return
+	}
+	offset, err := decodeCursor(req.Cursor)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	limit := req.Limit
+	switch {
+	case limit <= 0:
+		limit = 100
+	case limit > 1000:
+		limit = 1000 // same cap as pageParams on the GET routes
+	}
+	q := search.Query{FacetOn: req.Facets, Limit: limit, Offset: offset}
+	if req.Q != "" {
+		q.Must = append(q.Must, search.Clause{FreeText: req.Q})
+	}
+	for field, term := range req.Terms {
+		q.Must = append(q.Must, search.Clause{Field: field, Term: term})
+	}
+	for field, pre := range req.Prefix {
+		q.Must = append(q.Must, search.Clause{Field: field, Prefix: pre})
+	}
+	if req.YearMin != nil || req.YearMax != nil {
+		rg := &search.Range{Min: math.NaN(), Max: math.NaN()}
+		if req.YearMin != nil {
+			rg.Min = *req.YearMin
+		}
+		if req.YearMax != nil {
+			rg.Max = *req.YearMax
+		}
+		q.Must = append(q.Must, search.Clause{Field: "year", Range: rg})
+	}
+	res, err := s.Search(r.Context(), c, q)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	page := SearchPageV2{Facets: res.Facets}
+	page.Total = res.Total
+	page.Items = make([]SearchHitV2, 0, len(res.Hits))
+	for _, h := range res.Hits {
+		page.Items = append(page.Items, SearchHitV2{ID: h.Doc.ID, Doc: h.Doc.Fields})
+	}
+	if offset+len(page.Items) < res.Total {
+		page.NextCursor = encodeCursor(offset + len(page.Items))
+	}
+	writeV2(w, r, http.StatusOK, page)
+}
+
+// --- serving ----------------------------------------------------------------
+
+func (s *Service) handleV2Run(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var req RunRequest
+	if !readV2(w, r, &req) {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	opts := RunOptions{Executor: req.Executor, NoMemo: req.NoMemo, NoCache: req.NoCache}
+	s.idempotent(w, r, c, func() (int, any, error) {
+		switch {
+		case req.Async:
+			taskID, err := s.RunAsync(r.Context(), c, id, req.Input, opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			return http.StatusAccepted, map[string]string{"task_id": taskID}, nil
+		case len(req.Inputs) > 0:
+			res, err := s.RunBatch(r.Context(), c, id, req.Inputs, opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			s.setCacheHeader(w, id, opts, res)
+			return http.StatusOK, res, nil
+		case req.Coalesce:
+			res, err := s.RunCoalesced(r.Context(), c, id, req.Input, opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			s.setCacheHeader(w, id, opts, res)
+			return http.StatusOK, res, nil
+		default:
+			res, err := s.Run(r.Context(), c, id, req.Input, opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			s.setCacheHeader(w, id, opts, res)
+			return http.StatusOK, res, nil
+		}
+	})
+}
+
+func (s *Service) handleV2Deploy(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var req DeployRequest
+	if !readV2(w, r, &req) {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	if err := s.Deploy(r.Context(), c, id, req.Replicas, req.Executor); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "deployed"})
+}
+
+func (s *Service) handleV2Scale(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var req DeployRequest
+	if !readV2(w, r, &req) {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	if err := s.Scale(r.Context(), c, id, req.Replicas, req.Executor); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "scaled"})
+}
+
+// --- tasks ------------------------------------------------------------------
+
+func (s *Service) handleV2Task(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	at, err := s.TaskStatus(r.PathValue("task"))
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, at)
+}
+
+// TaskEventHeartbeat is the SSE keep-alive interval: comments flow this
+// often so proxies do not reap an idle stream.
+const TaskEventHeartbeat = 15 * time.Second
+
+// handleV2TaskEvents streams task lifecycle events as Server-Sent
+// Events, replacing the v1 status poll loop. Events:
+//
+//	event: status  — current state, sent immediately on subscribe
+//	event: done    — terminal state (completed|failed) with the result;
+//	                 the stream closes after it
+//
+// plus ": ping" comment heartbeats. A client that disconnects stops
+// costing anything; the task itself is detached and unaffected.
+func (s *Service) handleV2TaskEvents(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	taskID := r.PathValue("task")
+	done, err := s.TaskWatch(taskID)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeV2Error(w, r, ErrInternal.WithDetail("response writer does not support streaming"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string) bool {
+		at, err := s.TaskStatus(taskID)
+		if err != nil {
+			return false
+		}
+		body, err := jsonMarshal(at)
+		if err != nil {
+			return false
+		}
+		fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, body)
+		flusher.Flush()
+		return true
+	}
+	if !emit("status") {
+		return
+	}
+	ticker := time.NewTicker(TaskEventHeartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			emit("done")
+			return
+		case <-ticker.C:
+			fmt.Fprint(w, ": ping\n\n")
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// --- operations -------------------------------------------------------------
+
+func (s *Service) handleV2TMs(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]any{
+		"task_managers": s.TaskManagers(),
+		"live":          s.LiveTaskManagers(),
+		"load":          s.TMLoad(),
+	})
+}
+
+func (s *Service) handleV2CacheStats(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]any{
+		"enabled": s.CacheEnabled(),
+		"stats":   s.CacheStats(),
+	})
+}
+
+func (s *Service) handleV2CacheFlush(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	s.FlushCache()
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "flushed"})
+}
+
+func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]any{"routes": s.RouteStats()})
+}

@@ -1,0 +1,564 @@
+package core_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/servable"
+)
+
+// v2TB builds a testbed and serves its handler (both API generations).
+func v2TB(t *testing.T) (*bench.Testbed, *httptest.Server) {
+	t.Helper()
+	tb := newTB(t, bench.Options{})
+	srv := httptest.NewServer(tb.MS.Handler())
+	t.Cleanup(srv.Close)
+	return tb, srv
+}
+
+type envelope struct {
+	Data  json.RawMessage `json:"data"`
+	Error *struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+		Detail  string `json:"detail"`
+	} `json:"error"`
+	RequestID string `json:"request_id"`
+}
+
+func doV2(t *testing.T, method, url string, body any, headers map[string]string) (*http.Response, envelope) {
+	t.Helper()
+	var reader io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("%s %s: not an envelope: %v", method, url, err)
+	}
+	return resp, env
+}
+
+func TestV2EnvelopeAndRequestID(t *testing.T) {
+	_, srv := v2TB(t)
+	resp, env := doV2(t, http.MethodGet, srv.URL+"/api/v2/healthz", nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	if env.RequestID == "" || env.Error != nil {
+		t.Fatalf("bad envelope: %+v", env)
+	}
+	if hdr := resp.Header.Get(core.RequestIDHeader); hdr != env.RequestID {
+		t.Fatalf("header rid %q != envelope rid %q", hdr, env.RequestID)
+	}
+	// A client-supplied request ID is propagated.
+	resp, env = doV2(t, http.MethodGet, srv.URL+"/api/v2/healthz", nil,
+		map[string]string{core.RequestIDHeader: "client-rid-1"})
+	if env.RequestID != "client-rid-1" || resp.Header.Get(core.RequestIDHeader) != "client-rid-1" {
+		t.Fatalf("client request ID not propagated: %+v", env)
+	}
+}
+
+func TestV2TypedErrors(t *testing.T) {
+	_, srv := v2TB(t)
+	resp, env := doV2(t, http.MethodGet, srv.URL+"/api/v2/servables/ghost/model", nil, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+	if env.Error == nil || env.Error.Code != string(core.CodeNotFound) {
+		t.Fatalf("want not_found code, got %+v", env.Error)
+	}
+	// Bad cursor → bad_request.
+	resp, env = doV2(t, http.MethodGet, srv.URL+"/api/v2/servables?cursor=%21%21", nil, nil)
+	if resp.StatusCode != http.StatusBadRequest || env.Error == nil || env.Error.Code != string(core.CodeBadRequest) {
+		t.Fatalf("bad cursor: status %d env %+v", resp.StatusCode, env.Error)
+	}
+}
+
+func TestV2Readyz(t *testing.T) {
+	// A service with no TM is not ready.
+	ms := core.New(core.Config{})
+	defer ms.Close()
+	srv := httptest.NewServer(ms.Handler())
+	defer srv.Close()
+	resp, env := doV2(t, http.MethodGet, srv.URL+"/api/v2/readyz", nil, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != string(core.CodeNoTaskManager) {
+		t.Fatalf("no-TM readyz: status %d env %+v", resp.StatusCode, env.Error)
+	}
+
+	// The testbed (one live TM) is ready.
+	_, tbSrv := v2TB(t)
+	resp, env = doV2(t, http.MethodGet, tbSrv.URL+"/api/v2/readyz", nil, nil)
+	if resp.StatusCode != http.StatusOK || env.Error != nil {
+		t.Fatalf("readyz with TM: status %d env %+v", resp.StatusCode, env.Error)
+	}
+}
+
+func TestV2PaginationWalk(t *testing.T) {
+	tb, srv := v2TB(t)
+	// Publish 5 distinct public servables.
+	for i := 0; i < 5; i++ {
+		pkg := servable.NoopPackage()
+		pkg.Doc.Publication.Name = fmt.Sprintf("pager-%d", i)
+		pkg.Doc.Publication.VisibleTo = []string{"public"}
+		if _, err := tb.MS.Publish(t.Context(), core.Anonymous, pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var all []string
+	cursor := ""
+	pages := 0
+	for {
+		url := srv.URL + "/api/v2/servables?limit=2"
+		if cursor != "" {
+			url += "&cursor=" + cursor
+		}
+		resp, env := doV2(t, http.MethodGet, url, nil, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("page status %d", resp.StatusCode)
+		}
+		var page struct {
+			Items      []string `json:"items"`
+			Total      int      `json:"total"`
+			NextCursor string   `json:"next_cursor"`
+		}
+		if err := json.Unmarshal(env.Data, &page); err != nil {
+			t.Fatal(err)
+		}
+		if page.Total != 5 {
+			t.Fatalf("total %d, want 5", page.Total)
+		}
+		if len(page.Items) > 2 {
+			t.Fatalf("page overflow: %d items", len(page.Items))
+		}
+		all = append(all, page.Items...)
+		pages++
+		if page.NextCursor == "" {
+			break
+		}
+		cursor = page.NextCursor
+		if pages > 10 {
+			t.Fatal("cursor walk did not terminate")
+		}
+	}
+	if len(all) != 5 || pages != 3 {
+		t.Fatalf("walked %d items over %d pages, want 5 over 3", len(all), pages)
+	}
+	seen := map[string]bool{}
+	for _, id := range all {
+		if seen[id] {
+			t.Fatalf("duplicate %s across pages", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestV2SearchCursor(t *testing.T) {
+	tb, srv := v2TB(t)
+	for i := 0; i < 4; i++ {
+		pkg := servable.NoopPackage()
+		pkg.Doc.Publication.Name = fmt.Sprintf("searchable-%d", i)
+		pkg.Doc.Publication.VisibleTo = []string{"public"}
+		if _, err := tb.MS.Publish(t.Context(), core.Anonymous, pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := map[string]any{"q": "noop", "limit": 3}
+	resp, env := doV2(t, http.MethodPost, srv.URL+"/api/v2/search", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("search status %d", resp.StatusCode)
+	}
+	var page struct {
+		Items      []struct{ ID string } `json:"items"`
+		Total      int                   `json:"total"`
+		NextCursor string                `json:"next_cursor"`
+	}
+	if err := json.Unmarshal(env.Data, &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 4 || len(page.Items) != 3 || page.NextCursor == "" {
+		t.Fatalf("first page wrong: total=%d items=%d cursor=%q", page.Total, len(page.Items), page.NextCursor)
+	}
+	body["cursor"] = page.NextCursor
+	_, env = doV2(t, http.MethodPost, srv.URL+"/api/v2/search", body, nil)
+	page.NextCursor = "" // absent on the last page: reset before reuse
+	if err := json.Unmarshal(env.Data, &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Items) != 1 || page.NextCursor != "" {
+		t.Fatalf("second page wrong: items=%d cursor=%q", len(page.Items), page.NextCursor)
+	}
+}
+
+func TestV2RunAndIdempotency(t *testing.T) {
+	tb, srv := v2TB(t)
+	id, err := tb.MS.Publish(t.Context(), core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(t.Context(), core.Anonymous, id, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	runURL := srv.URL + "/api/v2/servables/" + id + "/run"
+
+	// Plain run: enveloped RunResult.
+	resp, env := doV2(t, http.MethodPost, runURL, map[string]any{"input": "x", "no_memo": true}, nil)
+	if resp.StatusCode != http.StatusOK || env.Error != nil {
+		t.Fatalf("run: status %d err %+v", resp.StatusCode, env.Error)
+	}
+	var res struct {
+		Output any `json:"output"`
+	}
+	if err := json.Unmarshal(env.Data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "hello world" {
+		t.Fatalf("output %v", res.Output)
+	}
+	if hdr := resp.Header.Get(core.CacheHeader); hdr != "bypass" {
+		t.Fatalf("no_memo run should bypass cache, header=%q", hdr)
+	}
+
+	// Idempotency: same key replays the stored response without
+	// re-running; different key executes fresh.
+	hdrs := map[string]string{core.IdempotencyKeyHeader: "idem-1"}
+	completedBefore, _ := tb.TM.Stats()
+	resp1, env1 := doV2(t, http.MethodPost, runURL, map[string]any{"input": "idem", "no_memo": true, "no_cache": true}, hdrs)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("idem run status %d", resp1.StatusCode)
+	}
+	resp2, env2 := doV2(t, http.MethodPost, runURL, map[string]any{"input": "idem", "no_memo": true, "no_cache": true}, hdrs)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("idem replay status %d", resp2.StatusCode)
+	}
+	if resp2.Header.Get(core.IdempotencyReplayedHeader) != "true" {
+		t.Fatal("replay not marked with Idempotency-Replayed")
+	}
+	if !bytes.Equal(env1.Data, env2.Data) {
+		t.Fatalf("replayed body differs:\n%s\n%s", env1.Data, env2.Data)
+	}
+	completedAfter, _ := tb.TM.Stats()
+	if completedAfter != completedBefore+1 {
+		t.Fatalf("idempotent duplicate re-executed: %d -> %d completed tasks", completedBefore, completedAfter)
+	}
+}
+
+func TestV2PublishIdempotency(t *testing.T) {
+	_, srv := v2TB(t)
+	pkg := servable.NoopPackage()
+	doc, err := json.Marshal(pkg.Doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := map[string]any{"document": json.RawMessage(doc)}
+	hdrs := map[string]string{core.IdempotencyKeyHeader: "pub-1"}
+	resp1, env1 := doV2(t, http.MethodPost, srv.URL+"/api/v2/servables", body, hdrs)
+	if resp1.StatusCode != http.StatusCreated {
+		t.Fatalf("publish status %d: %s", resp1.StatusCode, env1.Data)
+	}
+	// Re-publishing with the same key must NOT mint version 2.
+	_, env2 := doV2(t, http.MethodPost, srv.URL+"/api/v2/servables", body, hdrs)
+	if !bytes.Equal(env1.Data, env2.Data) {
+		t.Fatalf("idempotent publish diverged: %s vs %s", env1.Data, env2.Data)
+	}
+	var pub struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(env2.Data, &pub); err != nil {
+		t.Fatal(err)
+	}
+	resp, getEnv := doV2(t, http.MethodGet, srv.URL+"/api/v2/servables/"+pub.ID, nil, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("published servable not fetchable")
+	}
+	var gotDoc struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(getEnv.Data, &gotDoc); err != nil {
+		t.Fatal(err)
+	}
+	if gotDoc.Version != 1 {
+		t.Fatalf("idempotent publish minted version %d", gotDoc.Version)
+	}
+}
+
+func TestV2TaskEventsStream(t *testing.T) {
+	tb, srv := v2TB(t)
+	id, err := tb.MS.Publish(t.Context(), core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(t.Context(), core.Anonymous, id, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	taskID, err := tb.MS.RunAsync(t.Context(), core.Anonymous, id, "async-in", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/api/v2/tasks/" + taskID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []string
+	var final struct {
+		Status string `json:"status"`
+		Reply  *struct {
+			Output any `json:"output"`
+		} `json:"reply"`
+	}
+	scanner := bufio.NewScanner(resp.Body)
+	event := ""
+	deadline := time.After(5 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for scanner.Scan() {
+			lines <- scanner.Text()
+		}
+		close(lines)
+	}()
+scan:
+	for {
+		select {
+		case <-deadline:
+			t.Fatal("stream did not complete")
+		case line, ok := <-lines:
+			if !ok {
+				break scan
+			}
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				event = strings.TrimPrefix(line, "event: ")
+				events = append(events, event)
+			case strings.HasPrefix(line, "data: ") && event == "done":
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &final); err != nil {
+					t.Fatal(err)
+				}
+				break scan
+			}
+		}
+	}
+	if len(events) == 0 || events[0] != "status" {
+		t.Fatalf("stream must open with a status event, got %v", events)
+	}
+	if events[len(events)-1] != "done" {
+		t.Fatalf("stream must end with done, got %v", events)
+	}
+	if final.Status != "completed" || final.Reply == nil || final.Reply.Output != "hello world" {
+		t.Fatalf("final event wrong: %+v", final)
+	}
+	// Unknown task: typed 404.
+	respErr, errEnv := doV2(t, http.MethodGet, srv.URL+"/api/v2/tasks/ghost/events", nil, nil)
+	if respErr.StatusCode != http.StatusNotFound || errEnv.Error == nil || errEnv.Error.Code != string(core.CodeTaskNotFound) {
+		t.Fatalf("ghost task events: %d %+v", respErr.StatusCode, errEnv.Error)
+	}
+}
+
+// TestV1CompatRoutes locks the v1 surface: same paths, same unenveloped
+// shapes, now served as shims over the context-first core.
+func TestV1CompatRoutes(t *testing.T) {
+	tb, srv := v2TB(t)
+	id, err := tb.MS.Publish(t.Context(), core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(t.Context(), core.Anonymous, id, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+
+	// v1 run: bare RunResult, no envelope.
+	body, _ := json.Marshal(map[string]any{"input": "x"})
+	resp, err := http.Post(srv.URL+"/api/run/"+id, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("v1 run status %d: %s", resp.StatusCode, raw)
+	}
+	var v1res struct {
+		Output    any    `json:"output"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(raw, &v1res); err != nil {
+		t.Fatal(err)
+	}
+	if v1res.Output != "hello world" {
+		t.Fatalf("v1 run output %v", v1res.Output)
+	}
+	if v1res.RequestID != "" {
+		t.Fatal("v1 response must not grow envelope fields")
+	}
+
+	// v1 error shape: {"error": "..."} with the table-driven status.
+	resp, err = http.Get(srv.URL + "/api/servables/ghost/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("v1 404 got %d", resp.StatusCode)
+	}
+	var v1err struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &v1err); err != nil || v1err.Error == "" {
+		t.Fatalf("v1 error shape broken: %s", raw)
+	}
+	// v1 status poll still works.
+	taskID, err := tb.MS.RunAsync(t.Context(), core.Anonymous, id, "y", core.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 2*time.Second, func() bool {
+		resp, err := http.Get(srv.URL + "/api/status/" + taskID)
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var st struct {
+			Status string `json:"status"`
+		}
+		return json.NewDecoder(resp.Body).Decode(&st) == nil && st.Status == "completed"
+	})
+}
+
+// TestV2IdempotencyTransientNotReplayed: transient failures (here
+// no_task_manager 503) must not be stored for replay — the retry the
+// key exists for has to execute fresh. Definitive 4xx outcomes ARE
+// replayed.
+func TestV2IdempotencyTransientNotReplayed(t *testing.T) {
+	ms := core.New(core.Config{})
+	defer ms.Close()
+	srv := httptest.NewServer(ms.Handler())
+	defer srv.Close()
+	id, err := ms.Publish(t.Context(), core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runURL := srv.URL + "/api/v2/servables/" + id + "/run"
+	hdrs := map[string]string{core.IdempotencyKeyHeader: "transient-1"}
+
+	// No TM registered: both attempts hit 503, and the second must be a
+	// fresh execution (no replay marker), not a replay of the outage.
+	for attempt := 1; attempt <= 2; attempt++ {
+		resp, env := doV2(t, http.MethodPost, runURL, map[string]any{"input": "x"}, hdrs)
+		if resp.StatusCode != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != string(core.CodeNoTaskManager) {
+			t.Fatalf("attempt %d: status %d env %+v", attempt, resp.StatusCode, env.Error)
+		}
+		if resp.Header.Get(core.IdempotencyReplayedHeader) != "" {
+			t.Fatalf("attempt %d: transient failure was replayed", attempt)
+		}
+	}
+
+	// A definitive 404 under a key IS replayed.
+	ghostURL := srv.URL + "/api/v2/servables/ghost/model/run"
+	hdrs = map[string]string{core.IdempotencyKeyHeader: "definitive-1"}
+	resp, _ := doV2(t, http.MethodPost, ghostURL, map[string]any{"input": "x"}, hdrs)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(core.IdempotencyReplayedHeader) != "" {
+		t.Fatalf("first 404: status %d replay=%q", resp.StatusCode, resp.Header.Get(core.IdempotencyReplayedHeader))
+	}
+	resp, env := doV2(t, http.MethodPost, ghostURL, map[string]any{"input": "x"}, hdrs)
+	if resp.StatusCode != http.StatusNotFound || resp.Header.Get(core.IdempotencyReplayedHeader) != "true" {
+		t.Fatalf("second 404 should replay: status %d env %+v", resp.StatusCode, env.Error)
+	}
+}
+
+// TestV2IdempotencyWaiterSurvivesCanceledLeader: a keyed duplicate
+// waiting on an in-flight execution whose client cancels must not
+// inherit the 499 — it re-executes as the new leader and succeeds.
+func TestV2IdempotencyWaiterSurvivesCanceledLeader(t *testing.T) {
+	ms, tmID := blackHoleTM(t)
+	srv := httptest.NewServer(ms.Handler())
+	defer srv.Close()
+	id, err := ms.Publish(t.Context(), core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	runURL := srv.URL + "/api/v2/servables/" + id + "/run"
+	body := []byte(`{"input":"x","no_cache":true,"no_memo":true}`)
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	leaderDone := make(chan error, 1)
+	go func() {
+		req, _ := http.NewRequestWithContext(leaderCtx, http.MethodPost, runURL, bytes.NewReader(body))
+		req.Header.Set(core.IdempotencyKeyHeader, "wk1")
+		_, err := http.DefaultClient.Do(req)
+		leaderDone <- err
+	}()
+	waitFor(t, 2*time.Second, func() bool { return ms.TMLoad()[tmID] == 1 })
+
+	type out struct {
+		status int
+		data   []byte
+		err    error
+	}
+	dupDone := make(chan out, 1)
+	go func() {
+		req, _ := http.NewRequest(http.MethodPost, runURL, bytes.NewReader(body))
+		req.Header.Set(core.IdempotencyKeyHeader, "wk1")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			dupDone <- out{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		dupDone <- out{status: resp.StatusCode, data: raw}
+	}()
+	time.Sleep(50 * time.Millisecond) // duplicate parks on the in-flight entry
+	cancelLeader()
+	if err := <-leaderDone; err == nil {
+		t.Fatal("leader request should have failed on cancel")
+	}
+	// The duplicate re-executes: serve its fresh dispatch.
+	replyOnce(t, ms, tmID, "survived")
+	select {
+	case o := <-dupDone:
+		if o.err != nil || o.status != http.StatusOK {
+			t.Fatalf("duplicate inherited leader's cancellation: status=%d err=%v body=%s", o.status, o.err, o.data)
+		}
+		if !bytes.Contains(o.data, []byte("survived")) {
+			t.Fatalf("duplicate got wrong result: %s", o.data)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("duplicate still blocked after leader cancel")
+	}
+}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -70,15 +71,15 @@ func TestHeartbeatLivenessFiltering(t *testing.T) {
 	}
 
 	// New deploys + runs route only to the live site and succeed.
-	id, err := ms.Publish(core.Anonymous, servable.NoopPackage())
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 6; i++ {
-		if _, err := ms.Run(core.Anonymous, id, i, core.RunOptions{}); err != nil {
+		if _, err := ms.Run(context.Background(), core.Anonymous, id, i, core.RunOptions{}); err != nil {
 			t.Fatalf("run %d should route to the live site: %v", i, err)
 		}
 	}
@@ -101,11 +102,11 @@ func TestAllTMsStale(t *testing.T) {
 	tm.Close()
 	time.Sleep(250 * time.Millisecond)
 
-	id, err := ms.Publish(core.Anonymous, servable.NoopPackage())
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(core.Anonymous, id, 1, "parsl"); !errors.Is(err, core.ErrNoTaskManager) {
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); !errors.Is(err, core.ErrNoTaskManager) {
 		t.Fatalf("all-stale should surface ErrNoTaskManager, got %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -52,29 +53,29 @@ func TestMultiTaskManagerRouting(t *testing.T) {
 
 	// Publish two servables; placement-aware routing deploys them
 	// round-robin across the sites.
-	idNoop, err := ms.Publish(core.Anonymous, servable.NoopPackage())
+	idNoop, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
 	utilPkg := servable.MatminerUtilPackage()
-	idUtil, err := ms.Publish(core.Anonymous, utilPkg)
+	idUtil, err := ms.Publish(context.Background(), core.Anonymous, utilPkg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(core.Anonymous, idNoop, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, idNoop, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(core.Anonymous, idUtil, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, idUtil, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
 
 	// Every run must succeed: requests are routed to the hosting TM,
 	// never blindly round-robined to a site without the servable.
 	for i := 0; i < 10; i++ {
-		if _, err := ms.Run(core.Anonymous, idNoop, i, core.RunOptions{}); err != nil {
+		if _, err := ms.Run(context.Background(), core.Anonymous, idNoop, i, core.RunOptions{}); err != nil {
 			t.Fatalf("noop run %d misrouted: %v", i, err)
 		}
-		if _, err := ms.Run(core.Anonymous, idUtil, "NaCl", core.RunOptions{}); err != nil {
+		if _, err := ms.Run(context.Background(), core.Anonymous, idUtil, "NaCl", core.RunOptions{}); err != nil {
 			t.Fatalf("util run %d misrouted: %v", i, err)
 		}
 	}
@@ -96,20 +97,20 @@ func TestDeployToBothSites(t *testing.T) {
 	if err := ms.WaitForTM(2, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	id, err := ms.Publish(core.Anonymous, servable.NoopPackage())
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Deploying twice places the servable on one site, then re-deploys
 	// route to the same site (sticky placement).
-	if err := ms.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := ms.Deploy(core.Anonymous, id, 2, "parsl"); err != nil {
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 2, "parsl"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 8; i++ {
-		if _, err := ms.Run(core.Anonymous, id, i, core.RunOptions{}); err != nil {
+		if _, err := ms.Run(context.Background(), core.Anonymous, id, i, core.RunOptions{}); err != nil {
 			t.Fatalf("run %d failed: %v", i, err)
 		}
 	}

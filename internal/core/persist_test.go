@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -22,15 +23,15 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	id1, err := ms.Publish(core.Anonymous, cifar)
+	id1, err := ms.Publish(context.Background(), core.Anonymous, cifar)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ms.Publish(core.Anonymous, servable.NoopPackage()); err != nil {
+	if _, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage()); err != nil {
 		t.Fatal(err)
 	}
 	cifar2, _ := servable.CIFAR10Package(2)
-	if _, err := ms.Publish(core.Anonymous, cifar2); err != nil { // version 2
+	if _, err := ms.Publish(context.Background(), core.Anonymous, cifar2); err != nil { // version 2
 		t.Fatal(err)
 	}
 	if err := ms.SaveSnapshot(dir); err != nil {
@@ -59,7 +60,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatalf("version history lost: %d", len(versions))
 	}
 	// Search index rebuilt.
-	res := ms2.Search(core.Anonymous, search.Query{Must: []search.Clause{{FreeText: "cifar convolutional"}}})
+	res, _ := ms2.Search(context.Background(), core.Anonymous, search.Query{Must: []search.Clause{{FreeText: "cifar convolutional"}}})
 	if res.Total != 1 {
 		t.Fatalf("index not rebuilt: %d hits", res.Total)
 	}
@@ -69,7 +70,7 @@ func TestSnapshotServesAfterRestore(t *testing.T) {
 	dir := t.TempDir()
 	// Save from one deployment...
 	ms := core.New(core.Config{Registry: container.NewRegistry()})
-	id, err := ms.Publish(core.Anonymous, servable.MatminerUtilPackage())
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,10 +89,10 @@ func TestSnapshotServesAfterRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The package (components included) survived, so deploy works.
-	if err := tb.MS.Deploy(core.Anonymous, id, 1, "parsl"); err != nil {
+	if err := tb.MS.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := tb.MS.Run(core.Anonymous, id, "NaCl", core.RunOptions{})
+	res, err := tb.MS.Run(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSnapshotAtomicNoTempLeftovers(t *testing.T) {
 	dir := t.TempDir()
 	ms := core.New(core.Config{Registry: container.NewRegistry()})
 	defer ms.Close()
-	ms.Publish(core.Anonymous, servable.NoopPackage()) //nolint:errcheck
+	ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage()) //nolint:errcheck
 	if err := ms.SaveSnapshot(dir); err != nil {
 		t.Fatal(err)
 	}

@@ -18,9 +18,19 @@
 // before routing, and least-outstanding-requests routing (pickTM) that
 // sends new work to the idlest live Task Manager instead of blind
 // round-robin. See docs/ARCHITECTURE.md for the request lifecycle.
+//
+// The API is context-first: Run, RunBatch, RunAsync, Publish, Search,
+// Deploy, Scale and RunCoalesced take a context whose cancellation or
+// deadline propagates through routing, the queue and the reply wait —
+// a canceled request frees its TM load slot immediately, withdraws its
+// still-unclaimed task, and releases its singleflight followers.
+// Failures are classified *Error values (errors.go) with stable codes
+// mapped to HTTP statuses; the wire surface is versioned under /api/v2
+// (http_v2.go) with the original /api routes kept as shims (http.go).
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -35,15 +45,6 @@ import (
 	"repro/internal/servable"
 	"repro/internal/taskmanager"
 	"repro/internal/transfer"
-)
-
-// Errors.
-var (
-	ErrNotFound      = errors.New("core: servable not found")
-	ErrForbidden     = errors.New("core: access denied")
-	ErrNoTaskManager = errors.New("core: no task manager registered")
-	ErrTaskNotFound  = errors.New("core: task not found")
-	ErrTimeout       = errors.New("core: task timed out")
 )
 
 // Config configures the Management Service.
@@ -73,6 +74,12 @@ type Config struct {
 	// Cache tunes the service-layer result cache (zero value: enabled
 	// with defaults; set Disabled to turn it off).
 	Cache CacheConfig
+	// LogRequests enables HTTP access logging through the middleware
+	// chain (off by default: benches and tests stay quiet).
+	LogRequests bool
+	// IdempotencyTTL bounds how long completed idempotency-keyed
+	// responses are replayable (default 10m).
+	IdempotencyTTL time.Duration
 }
 
 // Service is the Management Service.
@@ -103,10 +110,18 @@ type Service struct {
 	placements map[string][]string
 
 	taskMu sync.RWMutex
-	tasks  map[string]*AsyncTask
+	tasks  map[string]*asyncTask
 
 	batchMu  sync.Mutex
 	batchers map[string]*batcher
+
+	// idem stores idempotency-keyed v2 responses for replay.
+	idem *idemStore
+
+	// routeMu guards routeStats, the per-route HTTP counters the
+	// middleware chain maintains.
+	routeMu    sync.Mutex
+	routeStats map[string]*routeStat
 
 	stop     chan struct{}
 	regWG    sync.WaitGroup
@@ -123,6 +138,15 @@ type AsyncTask struct {
 	Error    string             `json:"error,omitempty"`
 	Created  time.Time          `json:"created"`
 	Finished time.Time          `json:"finished,omitempty"`
+}
+
+// asyncTask pairs the public task state with its completion signal;
+// done is closed exactly once, when the task leaves "pending". SSE
+// streams (GET /api/v2/tasks/{id}/events) block on it instead of
+// polling.
+type asyncTask struct {
+	AsyncTask
+	done chan struct{}
 }
 
 // New creates a Management Service with its own broker.
@@ -144,7 +168,7 @@ func New(cfg Config) *Service {
 		docs:       make(map[string]*schema.Document),
 		versions:   make(map[string][]*schema.Document),
 		packages:   make(map[string]*servable.Package),
-		tasks:      make(map[string]*AsyncTask),
+		tasks:      make(map[string]*asyncTask),
 		placements: make(map[string][]string),
 		tmSeen:     make(map[string]time.Time),
 		tmInflight: make(map[string]int),
@@ -154,6 +178,7 @@ func New(cfg Config) *Service {
 	if !cfg.Cache.Disabled {
 		s.cache = newResultCache(cfg.Cache)
 	}
+	s.idem = newIdemStore(cfg.IdempotencyTTL)
 	s.regWG.Add(1)
 	go s.registrationLoop()
 	return s
@@ -338,8 +363,12 @@ func (s *Service) ResolveCaller(bearer string) (Caller, error) {
 // --- repository --------------------------------------------------------------
 
 // Publish validates, versions, builds and indexes a servable package
-// (§IV-A "Servables"). It returns the assigned servable ID.
-func (s *Service) Publish(caller Caller, pkg *servable.Package) (string, error) {
+// (§IV-A "Servables"). It returns the assigned servable ID. ctx bounds
+// the container build; a canceled publish returns before indexing.
+func (s *Service) Publish(ctx context.Context, caller Caller, pkg *servable.Package) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", wrapCtxErr(err)
+	}
 	doc := pkg.Doc
 	if err := schema.Validate(doc); err != nil {
 		return "", err
@@ -366,6 +395,9 @@ func (s *Service) Publish(caller Caller, pkg *servable.Package) (string, error) 
 	// Build the servable container and store it in the registry
 	// (pipelines are virtual — they have no container of their own).
 	if doc.Servable.Type != schema.TypePipeline {
+		if err := ctx.Err(); err != nil {
+			return "", wrapCtxErr(err)
+		}
 		if _, err := buildImage(s.builder, pkg); err != nil {
 			return "", fmt.Errorf("core: servable build failed: %w", err)
 		}
@@ -459,10 +491,17 @@ func visibleTo(doc *schema.Document, caller Caller) bool {
 }
 
 // Search runs an ACL-filtered query over the repository (§IV-A "Model
-// discovery").
-func (s *Service) Search(caller Caller, q search.Query) search.Result {
+// discovery"). The index is in-memory, so ctx only gates entry — it is
+// part of the signature so the search path can move to a remote index
+// without another API break. A canceled ctx is an error, never an
+// empty result: "no servables" and "the request never ran" must stay
+// distinguishable.
+func (s *Service) Search(ctx context.Context, caller Caller, q search.Query) (search.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return search.Result{}, wrapCtxErr(err)
+	}
 	q.Principals = caller.Principals
-	return s.index.Search(q)
+	return s.index.Search(q), nil
 }
 
 // buildImage builds the servable container exactly as §IV-A describes.
@@ -531,7 +570,25 @@ type RunOptions struct {
 	// routing without forgoing site-local caching.
 	NoCache bool
 	// Timeout overrides the service default.
+	//
+	// Deprecated: pass a context.WithTimeout ctx instead; a non-zero
+	// Timeout is folded into the request context and kept only as a
+	// compatibility shim.
 	Timeout time.Duration
+}
+
+// reqCtx applies the request deadline policy: the deprecated
+// RunOptions.Timeout shim wins when set, an inherited ctx deadline is
+// respected, and a deadline-free ctx gets the service default so no
+// dispatch can wait unboundedly. The returned cancel must be called.
+func (s *Service) reqCtx(ctx context.Context, opts RunOptions) (context.Context, context.CancelFunc) {
+	if opts.Timeout > 0 {
+		return context.WithTimeout(ctx, opts.Timeout)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		return context.WithTimeout(ctx, s.cfg.TaskTimeout)
+	}
+	return context.WithCancel(ctx)
 }
 
 // RunResult augments the TM reply with the MS-side request time (§V-A:
@@ -612,19 +669,17 @@ func (s *Service) invalidateCache(servableID string) {
 // runCached serves task from the result cache when possible, collapsing
 // concurrent identical requests into one dispatch (singleflight). The
 // leader's successful result is cached; followers and later callers are
-// marked CacheHit with their own request time.
-func (s *Service) runCached(key, servableID string, task taskmanager.Task, opts RunOptions) (RunResult, error) {
+// marked CacheHit with their own request time. A follower's wait is
+// bounded by its own ctx, never the leader's; a canceled leader
+// releases its followers, one of which re-dispatches.
+func (s *Service) runCached(ctx context.Context, key, servableID string, task taskmanager.Task) (RunResult, error) {
 	start := time.Now()
 	if res, ok := s.cache.get(key); ok {
 		return markCacheHit(res, start), nil
 	}
-	wait := opts.Timeout
-	if wait <= 0 {
-		wait = s.cfg.TaskTimeout
-	}
 	gen := s.cache.generation(servableID)
-	res, err, shared := s.flight.do(key, wait, func() (RunResult, error) {
-		res, err := s.dispatch(task, opts)
+	res, err, shared := s.flight.do(ctx, key, func() (RunResult, error) {
+		res, err := s.dispatch(ctx, task)
 		if err == nil {
 			s.cache.put(key, servableID, gen, res)
 		}
@@ -640,8 +695,12 @@ func (s *Service) runCached(key, servableID string, task taskmanager.Task, opts 
 	return res, nil
 }
 
-// Run synchronously invokes a servable with one input.
-func (s *Service) Run(caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
+// Run synchronously invokes a servable with one input. Cancelling ctx
+// aborts the dispatch, frees the routed TM's load slot, and returns an
+// error matching both context.Canceled and ErrCanceled.
+func (s *Service) Run(ctx context.Context, caller Caller, servableID string, input any, opts RunOptions) (RunResult, error) {
+	ctx, cancel := s.reqCtx(ctx, opts)
+	defer cancel()
 	doc, err := s.Get(caller, servableID)
 	if err != nil {
 		return RunResult{}, err
@@ -650,7 +709,7 @@ func (s *Service) Run(caller Caller, servableID string, input any, opts RunOptio
 		// Pipelines are not cached at the service layer: their step
 		// servables version independently, so a pipeline-level key
 		// cannot see staleness in an updated step.
-		return s.runPipeline(caller, doc, input, opts)
+		return s.runPipeline(ctx, caller, doc, input, opts)
 	}
 	task := taskmanager.Task{
 		ID:       queue.NewID(),
@@ -662,17 +721,19 @@ func (s *Service) Run(caller Caller, servableID string, input any, opts RunOptio
 	}
 	if s.cacheUsable(opts) {
 		if key, err := resultKey(servableID, doc.Version, "run", input); err == nil {
-			return s.runCached(key, servableID, task, opts)
+			return s.runCached(ctx, key, servableID, task)
 		}
 	}
-	return s.dispatch(task, opts)
+	return s.dispatch(ctx, task)
 }
 
 // RunBatch synchronously invokes a servable on many inputs in one task
 // (§V-B3 batching). The whole input slice is one cache unit: repeating
 // an identical batch hits, but its items do not cross-populate
 // single-input entries.
-func (s *Service) RunBatch(caller Caller, servableID string, inputs []any, opts RunOptions) (RunResult, error) {
+func (s *Service) RunBatch(ctx context.Context, caller Caller, servableID string, inputs []any, opts RunOptions) (RunResult, error) {
+	ctx, cancel := s.reqCtx(ctx, opts)
+	defer cancel()
 	doc, err := s.Get(caller, servableID)
 	if err != nil {
 		return RunResult{}, err
@@ -689,15 +750,15 @@ func (s *Service) RunBatch(caller Caller, servableID string, inputs []any, opts 
 	// step servables version independently of the pipeline document.
 	if s.cacheUsable(opts) && doc.Servable.Type != schema.TypePipeline {
 		if key, err := resultKey(servableID, doc.Version, "batch", inputs); err == nil {
-			return s.runCached(key, servableID, task, opts)
+			return s.runCached(ctx, key, servableID, task)
 		}
 	}
-	return s.dispatch(task, opts)
+	return s.dispatch(ctx, task)
 }
 
 // runPipeline sends the entire step chain to one TM for server-side
-// chaining (§VI-D).
-func (s *Service) runPipeline(caller Caller, doc *schema.Document, input any, opts RunOptions) (RunResult, error) {
+// chaining (§VI-D). Caller (Run) owns the deadline on ctx.
+func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Document, input any, opts RunOptions) (RunResult, error) {
 	// The caller must be able to see every step.
 	steps := make([]string, len(doc.Servable.Steps))
 	for i, step := range doc.Servable.Steps {
@@ -714,11 +775,12 @@ func (s *Service) runPipeline(caller Caller, doc *schema.Document, input any, op
 		Steps:  steps,
 		NoMemo: opts.NoMemo,
 	}
-	return s.dispatch(task, opts)
+	return s.dispatch(ctx, task)
 }
 
-// dispatch pushes a task to a TM queue and waits for the reply.
-func (s *Service) dispatch(task taskmanager.Task, opts RunOptions) (RunResult, error) {
+// dispatch pushes a task to a TM queue and waits for the reply, bounded
+// by ctx.
+func (s *Service) dispatch(ctx context.Context, task taskmanager.Task) (RunResult, error) {
 	route := task.Servable
 	if route == "" && len(task.Steps) > 0 {
 		route = task.Steps[0]
@@ -727,18 +789,25 @@ func (s *Service) dispatch(task taskmanager.Task, opts RunOptions) (RunResult, e
 	if err != nil {
 		return RunResult{}, err
 	}
-	return s.dispatchTo(tmID, task, opts)
+	return s.dispatchTo(ctx, tmID, task)
 }
 
-// dispatchTo pushes a task to a specific TM queue and waits. It owns
-// the in-flight accounting pickTM routes on: the count rises for the
-// whole queue+execute+reply round trip, so slow or backed-up TMs
-// naturally shed new work to idle ones. A timed-out dispatch also
-// decrements — the count tracks requests this service is waiting on,
-// not TM health, and must not leak when replies are lost; shedding a
-// wedged-but-heartbeating TM permanently is the liveness filter's
-// (TMStaleAfter) job, not load accounting's.
-func (s *Service) dispatchTo(tmID string, task taskmanager.Task, opts RunOptions) (RunResult, error) {
+// dispatchTo pushes a task to a specific TM queue and waits until the
+// reply arrives or ctx ends. It owns the in-flight accounting pickTM
+// routes on: the count rises for the whole queue+execute+reply round
+// trip, so slow or backed-up TMs naturally shed new work to idle ones.
+// A canceled or timed-out dispatch also decrements — the count tracks
+// requests this service is waiting on, not TM health, and must not leak
+// when replies are lost; shedding a wedged-but-heartbeating TM
+// permanently is the liveness filter's (TMStaleAfter) job, not load
+// accounting's. A ctx with no deadline gets the service default so the
+// wait is always bounded.
+func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.Task) (RunResult, error) {
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.TaskTimeout)
+		defer cancel()
+	}
 	s.mu.Lock()
 	s.tmInflight[tmID]++
 	s.mu.Unlock()
@@ -754,13 +823,9 @@ func (s *Service) dispatchTo(tmID string, task taskmanager.Task, opts RunOptions
 	if err != nil {
 		return RunResult{}, err
 	}
-	timeout := opts.Timeout
-	if timeout <= 0 {
-		timeout = s.cfg.TaskTimeout
-	}
-	replyBody, ok := s.broker.Request(taskmanager.TaskQueue(tmID), body, timeout)
-	if !ok {
-		return RunResult{}, fmt.Errorf("%w after %v", ErrTimeout, timeout)
+	replyBody, err := s.broker.RequestCtx(ctx, taskmanager.TaskQueue(tmID), body)
+	if err != nil {
+		return RunResult{}, wrapCtxErr(err)
 	}
 	var reply taskmanager.Reply
 	if err := jsonUnmarshal(replyBody, &reply); err != nil {
@@ -768,34 +833,47 @@ func (s *Service) dispatchTo(tmID string, task taskmanager.Task, opts RunOptions
 	}
 	res := RunResult{Reply: reply, RequestMicros: time.Since(start).Microseconds(), wireSize: int64(len(replyBody))}
 	if !reply.OK {
-		return res, fmt.Errorf("core: task failed: %s", reply.Error)
+		return res, fmt.Errorf("%w: %s", ErrTaskFailed, reply.Error)
 	}
 	return res, nil
 }
 
 // RunAsync starts an asynchronous invocation and returns its task UUID.
-func (s *Service) RunAsync(caller Caller, servableID string, input any, opts RunOptions) (string, error) {
+// ctx gates only the submission (visibility check): the spawned task is
+// detached from it, because the paper's async contract is exactly that
+// the client may go away and poll (or stream) the result later.
+func (s *Service) RunAsync(ctx context.Context, caller Caller, servableID string, input any, opts RunOptions) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", wrapCtxErr(err)
+	}
 	if _, err := s.Get(caller, servableID); err != nil {
 		return "", err
 	}
 	id := queue.NewID()
-	at := &AsyncTask{ID: id, Status: "pending", Created: s.timeFunc()}
+	at := &asyncTask{
+		AsyncTask: AsyncTask{ID: id, Status: "pending", Created: s.timeFunc()},
+		done:      make(chan struct{}),
+	}
 	s.taskMu.Lock()
 	s.tasks[id] = at
 	s.taskMu.Unlock()
 
+	// The detached context keeps ctx's values (identity, request ID)
+	// but not its cancellation; Run applies the usual deadline policy.
+	bg := context.WithoutCancel(ctx)
 	go func() {
-		res, err := s.Run(caller, servableID, input, opts)
+		res, err := s.Run(bg, caller, servableID, input, opts)
 		s.taskMu.Lock()
-		defer s.taskMu.Unlock()
 		at.Finished = s.timeFunc()
 		if err != nil {
 			at.Status = "failed"
 			at.Error = err.Error()
-			return
+		} else {
+			at.Status = "completed"
+			at.Reply = &res.Reply
 		}
-		at.Status = "completed"
-		at.Reply = &res.Reply
+		s.taskMu.Unlock()
+		close(at.done)
 	}()
 	return id, nil
 }
@@ -808,15 +886,30 @@ func (s *Service) TaskStatus(taskID string) (*AsyncTask, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrTaskNotFound, taskID)
 	}
-	cp := *at
+	cp := at.AsyncTask
 	return &cp, nil
+}
+
+// TaskWatch returns a channel closed when the task completes (already
+// closed for finished tasks), for event streams that must not poll.
+func (s *Service) TaskWatch(taskID string) (<-chan struct{}, error) {
+	s.taskMu.RLock()
+	defer s.taskMu.RUnlock()
+	at, ok := s.tasks[taskID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrTaskNotFound, taskID)
+	}
+	return at.done, nil
 }
 
 // --- deployment --------------------------------------------------------------
 
 // Deploy ships a published servable package to a Task Manager and
-// starts replicas on the named executor route.
-func (s *Service) Deploy(caller Caller, servableID string, replicas int, executorRoute string) error {
+// starts replicas on the named executor route. A deadline-free ctx gets
+// the 5-minute deployment budget (container shipping dominates).
+func (s *Service) Deploy(ctx context.Context, caller Caller, servableID string, replicas int, executorRoute string) error {
+	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
+	defer cancel()
 	if _, err := s.Get(caller, servableID); err != nil {
 		return err
 	}
@@ -844,11 +937,20 @@ func (s *Service) Deploy(caller Caller, servableID string, replicas int, executo
 	if err != nil {
 		return err
 	}
-	if _, err := s.dispatchTo(tmID, task, RunOptions{Timeout: 5 * time.Minute}); err != nil {
+	if _, err := s.dispatchTo(ctx, tmID, task); err != nil {
 		return err
 	}
 	s.recordPlacement(servableID, tmID)
 	return nil
+}
+
+// deployTimeout picks the deploy/scale default deadline: 5 minutes
+// unless the caller's ctx already carries one.
+func deployTimeout(ctx context.Context) time.Duration {
+	if _, ok := ctx.Deadline(); ok {
+		return 0
+	}
+	return 5 * time.Minute
 }
 
 // ResolveComponents downloads globus:// component references through
@@ -886,7 +988,9 @@ func (s *Service) ResolveComponents(bearer string, refs map[string]string) (map[
 }
 
 // Scale adjusts replica count on the deployed executor.
-func (s *Service) Scale(caller Caller, servableID string, replicas int, executorRoute string) error {
+func (s *Service) Scale(ctx context.Context, caller Caller, servableID string, replicas int, executorRoute string) error {
+	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
+	defer cancel()
 	if _, err := s.Get(caller, servableID); err != nil {
 		return err
 	}
@@ -897,7 +1001,7 @@ func (s *Service) Scale(caller Caller, servableID string, replicas int, executor
 		Executor: executorRoute,
 		Replicas: replicas,
 	}
-	if _, err := s.dispatch(task, RunOptions{Timeout: 5 * time.Minute}); err != nil {
+	if _, err := s.dispatch(ctx, task); err != nil {
 		return err
 	}
 	// Replica churn restarts servable processes; drop cached results so

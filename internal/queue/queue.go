@@ -13,8 +13,10 @@ package queue
 
 import (
 	"container/list"
+	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"strings"
 	"sync"
 	"time"
 )
@@ -34,7 +36,15 @@ type Message struct {
 	Body []byte `json:"body"`
 	// Attempt counts deliveries (1 on first delivery).
 	Attempt int `json:"attempt"`
+	// enqueued is stamped by Push; the sweeper uses it to expire
+	// stranded replies on abandoned reply queues.
+	enqueued time.Time
 }
+
+// replyQueuePrefix names the per-request reply queues; the sweeper
+// garbage-collects them (see sweep) so canceled or completed requests
+// do not leak queue state.
+const replyQueuePrefix = "reply."
 
 // NewID returns a random 128-bit hex identifier.
 func NewID() string {
@@ -116,9 +126,35 @@ func (b *Broker) Push(queueName string, body []byte, replyTo, correlationID stri
 		ReplyTo:       replyTo,
 		CorrelationID: correlationID,
 		Body:          body,
+		enqueued:      time.Now(),
 	}
 	b.deliver(b.queue(queueName), msg)
 	return msg.ID
+}
+
+// DeleteQueue removes an idle queue — no ready messages, no in-flight
+// deliveries, no parked consumers — from the broker, reporting whether
+// it was removed. The ready check matters: a reply delivered between a
+// requester's polls must not be deleted with the queue (the requester
+// would then wait out its full deadline for work that completed).
+// Request sides call it on their reply queues when done; a reply
+// racing the deletion simply recreates the queue and the sweeper
+// collects it.
+func (b *Broker) DeleteQueue(name string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	q, ok := b.queues[name]
+	if !ok {
+		return false
+	}
+	q.mu.Lock()
+	idle := q.ready.Len() == 0 && len(q.pending) == 0 && q.waiters.Len() == 0
+	q.mu.Unlock()
+	if !idle {
+		return false
+	}
+	delete(b.queues, name)
+	return true
 }
 
 func (b *Broker) deliver(q *namedQueue, msg Message) {
@@ -142,6 +178,14 @@ func (b *Broker) deliver(q *namedQueue, msg Message) {
 // on timeout. Delivered messages must be Ack'd before the visibility
 // timeout or they are requeued.
 func (b *Broker) Pull(queueName string, timeout time.Duration) (Message, bool) {
+	return b.PullCtx(context.Background(), queueName, timeout)
+}
+
+// PullCtx is Pull bounded additionally by ctx: it returns early (ok
+// false) when ctx ends, so a canceled consumer never sits out its full
+// poll timeout. A timeout <= 0 means "bounded by ctx alone"; with a
+// background ctx that degenerates to the old non-blocking poll.
+func (b *Broker) PullCtx(ctx context.Context, queueName string, timeout time.Duration) (Message, bool) {
 	q := b.queue(queueName)
 	q.mu.Lock()
 	if q.ready.Len() > 0 {
@@ -153,7 +197,7 @@ func (b *Broker) Pull(queueName string, timeout time.Duration) (Message, bool) {
 		q.mu.Unlock()
 		return msg, true
 	}
-	if timeout <= 0 {
+	if timeout <= 0 && ctx.Done() == nil {
 		q.mu.Unlock()
 		return Message{}, false
 	}
@@ -161,12 +205,13 @@ func (b *Broker) Pull(queueName string, timeout time.Duration) (Message, bool) {
 	elem := q.waiters.PushBack(ch)
 	q.mu.Unlock()
 
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
-	select {
-	case msg := <-ch:
-		return msg, true
-	case <-timer.C:
+	var timerC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timerC = timer.C
+	}
+	abort := func() (Message, bool) {
 		q.mu.Lock()
 		// Remove our waiter; a concurrent deliver may have already
 		// removed it and sent — check the channel once more.
@@ -179,6 +224,31 @@ func (b *Broker) Pull(queueName string, timeout time.Duration) (Message, bool) {
 			return Message{}, false
 		}
 	}
+	select {
+	case msg := <-ch:
+		return msg, true
+	case <-timerC:
+		return abort()
+	case <-ctx.Done():
+		return abort()
+	}
+}
+
+// Drop removes a not-yet-delivered message from a queue's ready list,
+// reporting whether it was found. A canceled requester uses it to
+// withdraw its task before any consumer picks it up; once delivered
+// (pending) the message is the consumer's and Drop reports false.
+func (b *Broker) Drop(queueName, msgID string) bool {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for e := q.ready.Front(); e != nil; e = e.Next() {
+		if e.Value.(Message).ID == msgID {
+			q.ready.Remove(e)
+			return true
+		}
+	}
+	return false
 }
 
 // Ack confirms processing of a delivered message, removing it from the
@@ -207,6 +277,14 @@ func (b *Broker) Nack(queueName, msgID string) bool {
 	q.mu.Unlock()
 	b.deliver(q, p.msg)
 	return true
+}
+
+// Queues reports how many named queues the broker currently holds —
+// the observability hook for reply-queue garbage collection.
+func (b *Broker) Queues() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.queues)
 }
 
 // Len reports ready (not in-flight) messages on a queue.
@@ -245,13 +323,15 @@ func (b *Broker) sweeper() {
 
 func (b *Broker) sweep(now time.Time) {
 	b.mu.RLock()
-	queues := make([]*namedQueue, 0, len(b.queues))
-	for _, q := range b.queues {
-		queues = append(queues, q)
+	queues := make(map[string]*namedQueue, len(b.queues))
+	for name, q := range b.queues {
+		queues[name] = q
 	}
 	b.mu.RUnlock()
-	for _, q := range queues {
+	staleCutoff := now.Add(-b.visibility)
+	for name, q := range queues {
 		var expired []Message
+		isReply := strings.HasPrefix(name, replyQueuePrefix)
 		q.mu.Lock()
 		for id, p := range q.pending {
 			if now.After(p.deadline) {
@@ -259,9 +339,28 @@ func (b *Broker) sweep(now time.Time) {
 				delete(q.pending, id)
 			}
 		}
+		if isReply {
+			// Reply queues are single-consumer and short-lived: a ready
+			// reply older than the visibility window means its requester
+			// is gone (canceled after the task was pulled) — drop it so
+			// abandoned replies cannot accumulate.
+			for e := q.ready.Front(); e != nil; {
+				next := e.Next()
+				if e.Value.(Message).enqueued.Before(staleCutoff) {
+					q.ready.Remove(e)
+				}
+				e = next
+			}
+		}
+		empty := q.ready.Len() == 0 && len(q.pending) == 0 && q.waiters.Len() == 0
 		q.mu.Unlock()
 		for _, msg := range expired {
 			b.deliver(q, msg)
+		}
+		if isReply && empty && len(expired) == 0 {
+			// GC the queue itself once fully idle (its requester either
+			// finished — and deleted it already — or abandoned it).
+			b.DeleteQueue(name)
 		}
 	}
 }
@@ -269,22 +368,51 @@ func (b *Broker) sweep(now time.Time) {
 // Request pushes body on queueName with a fresh reply queue, then waits
 // for the reply. It is the synchronous-invocation primitive of §IV-A.
 func (b *Broker) Request(queueName string, body []byte, timeout time.Duration) ([]byte, bool) {
-	replyQ := "reply." + NewID()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	reply, err := b.RequestCtx(ctx, queueName, body)
+	return reply, err == nil
+}
+
+// RequestCtx is Request bounded by ctx instead of a flat timeout: the
+// wait ends as soon as ctx is canceled or its deadline passes, and the
+// error distinguishes the two (ctx.Err()). A ctx with neither deadline
+// nor cancel waits indefinitely (polling in visibility-sized windows).
+// On early termination the request message is withdrawn from the task
+// queue when no consumer has pulled it yet, so canceled work never
+// executes needlessly; the per-request reply queue is deleted on every
+// exit path (the sweeper collects it if a straggling reply recreates
+// it).
+func (b *Broker) RequestCtx(ctx context.Context, queueName string, body []byte) ([]byte, error) {
+	replyQ := replyQueuePrefix + NewID()
 	corr := NewID()
-	b.Push(queueName, body, replyQ, corr)
-	deadline := time.Now().Add(timeout)
+	msgID := b.Push(queueName, body, replyQ, corr)
+	defer b.DeleteQueue(replyQ)
+	// With no Done channel, PullCtx needs a finite poll window to block
+	// at all; loop forever in visibility-sized slices.
+	window := time.Duration(0)
+	if ctx.Done() == nil {
+		window = b.visibility
+	}
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, false
+		if err := ctx.Err(); err != nil {
+			b.Drop(queueName, msgID)
+			return nil, err
 		}
-		msg, ok := b.Pull(replyQ, remaining)
+		msg, ok := b.PullCtx(ctx, replyQ, window)
 		if !ok {
-			return nil, false
+			if window > 0 && ctx.Err() == nil {
+				continue // unbounded wait: poll again
+			}
+			b.Drop(queueName, msgID)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, context.DeadlineExceeded
 		}
 		b.Ack(replyQ, msg.ID)
 		if msg.CorrelationID == corr {
-			return msg.Body, true
+			return msg.Body, nil
 		}
 	}
 }

@@ -2,6 +2,7 @@ package queue
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -312,5 +313,79 @@ func TestTransportPullTimeout(t *testing.T) {
 	}
 	if ok {
 		t.Fatal("pull on empty remote queue should time out")
+	}
+}
+
+// TestRequestCleansReplyQueue: a completed request must not leave its
+// per-request reply queue behind in the broker (the map would otherwise
+// grow by one entry per request, forever).
+func TestRequestCleansReplyQueue(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		msg, ok := b.Pull("work", 2*time.Second)
+		if !ok {
+			t.Error("no request arrived")
+			return
+		}
+		b.Reply(msg, []byte("pong"))
+	}()
+	if _, ok := b.Request("work", []byte("ping"), 2*time.Second); !ok {
+		t.Fatal("request failed")
+	}
+	<-done
+	if n := b.Queues(); n != 1 { // only "work" remains
+		t.Fatalf("reply queue leaked: %d queues, want 1", n)
+	}
+}
+
+// TestCanceledRequestReplyGC: a request canceled after its task was
+// pulled strands the late reply; the sweeper must expire it and collect
+// the orphaned reply queue.
+func TestCanceledRequestReplyGC(t *testing.T) {
+	b := NewBroker(50 * time.Millisecond) // fast visibility -> fast GC
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := b.RequestCtx(ctx, "work", []byte("ping"))
+		errCh <- err
+	}()
+	msg, ok := b.Pull("work", 2*time.Second) // consumer claims the task
+	if !ok {
+		t.Fatal("no request arrived")
+	}
+	cancel()
+	if err := <-errCh; err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	b.Reply(msg, []byte("too late")) // recreates the reply queue
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.Queues() == 1 { // only "work" survives
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("stranded reply queue not collected: %d queues", b.Queues())
+}
+
+// TestRequestCtxUnboundedContext: a ctx with neither deadline nor
+// cancel must wait for the reply, not fail immediately.
+func TestRequestCtxUnboundedContext(t *testing.T) {
+	b := NewBroker(time.Minute)
+	defer b.Close()
+	go func() {
+		msg, ok := b.Pull("work", 2*time.Second)
+		if ok {
+			time.Sleep(50 * time.Millisecond)
+			b.Reply(msg, []byte("pong"))
+		}
+	}()
+	reply, err := b.RequestCtx(context.Background(), "work", []byte("ping"))
+	if err != nil || string(reply) != "pong" {
+		t.Fatalf("unbounded RequestCtx: %q %v", reply, err)
 	}
 }

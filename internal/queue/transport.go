@@ -3,6 +3,7 @@ package queue
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -27,6 +28,7 @@ func NewServer(b *Broker) *Server {
 	s.rpc.Handle("queue.pull", s.handlePull)
 	s.rpc.Handle("queue.ack", s.handleAck)
 	s.rpc.Handle("queue.nack", s.handleNack)
+	s.rpc.Handle("queue.delete", s.handleDelete)
 	return s
 }
 
@@ -94,6 +96,15 @@ func (s *Server) handleNack(_ context.Context, payload []byte) ([]byte, error) {
 	return json.Marshal(map[string]bool{"ok": ok})
 }
 
+func (s *Server) handleDelete(_ context.Context, payload []byte) ([]byte, error) {
+	var req ackReq // only Queue is used
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return nil, fmt.Errorf("queue: bad delete request: %w", err)
+	}
+	ok := s.broker.DeleteQueue(req.Queue)
+	return json.Marshal(map[string]bool{"ok": ok})
+}
+
 // Client gives remote components the Broker API over a (possibly
 // netsim-shaped) connection.
 type Client struct {
@@ -125,12 +136,18 @@ func (c *Client) Push(queueName string, body []byte, replyTo, correlationID stri
 
 // Pull long-polls the remote queue. ok is false on timeout.
 func (c *Client) Pull(queueName string, timeout time.Duration) (Message, bool, error) {
+	return c.PullCtx(context.Background(), queueName, timeout)
+}
+
+// PullCtx is Pull bounded additionally by ctx: cancellation aborts the
+// in-flight RPC instead of waiting out the poll timeout.
+func (c *Client) PullCtx(ctx context.Context, queueName string, timeout time.Duration) (Message, bool, error) {
 	payload, err := json.Marshal(pullReq{Queue: queueName, TimeoutMS: timeout.Milliseconds()})
 	if err != nil {
 		return Message{}, false, err
 	}
 	// Give the RPC itself headroom beyond the poll timeout.
-	ctx, cancel := context.WithTimeout(context.Background(), timeout+10*time.Second)
+	ctx, cancel := context.WithTimeout(ctx, timeout+10*time.Second)
 	defer cancel()
 	out, err := c.rc.Call(ctx, "queue.pull", payload)
 	if err != nil {
@@ -169,29 +186,71 @@ func (c *Client) Reply(msg Message, body []byte) error {
 
 // Request pushes body and waits for the correlated reply.
 func (c *Client) Request(queueName string, body []byte, timeout time.Duration) ([]byte, bool, error) {
-	replyQ := "reply." + NewID()
-	corr := NewID()
-	if _, err := c.Push(queueName, body, replyQ, corr); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	reply, err := c.RequestCtx(ctx, queueName, body)
+	switch {
+	case err == nil:
+		return reply, true, nil
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return nil, false, nil
+	default:
 		return nil, false, err
 	}
-	deadline := time.Now().Add(timeout)
+}
+
+// DeleteQueue removes an idle remote queue (reply-queue cleanup).
+func (c *Client) DeleteQueue(name string) error {
+	payload, _ := json.Marshal(ackReq{Queue: name})
+	_, err := c.rc.Call(context.Background(), "queue.delete", payload)
+	return err
+}
+
+// RequestCtx pushes body and waits for the correlated reply until ctx
+// ends; a context termination is returned as ctx.Err() so callers can
+// distinguish cancellation from deadline expiry or transport failure.
+// The per-request reply queue is deleted on exit (best effort — the
+// broker's sweeper collects strays).
+func (c *Client) RequestCtx(ctx context.Context, queueName string, body []byte) ([]byte, error) {
+	replyQ := replyQueuePrefix + NewID()
+	corr := NewID()
+	if _, err := c.Push(queueName, body, replyQ, corr); err != nil {
+		return nil, err
+	}
+	defer c.DeleteQueue(replyQ) //nolint:errcheck — sweeper backstops
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, false, nil
+		remaining := pollWindow
+		if deadline, ok := ctx.Deadline(); ok {
+			remaining = time.Until(deadline)
+			if remaining <= 0 {
+				return nil, context.DeadlineExceeded
+			}
+			if remaining > pollWindow {
+				remaining = pollWindow
+			}
 		}
-		msg, ok, err := c.Pull(replyQ, remaining)
+		msg, ok, err := c.PullCtx(ctx, replyQ, remaining)
 		if err != nil {
-			return nil, false, err
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
 		}
 		if !ok {
-			return nil, false, nil
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			continue
 		}
 		if err := c.Ack(replyQ, msg.ID); err != nil {
-			return nil, false, err
+			return nil, err
 		}
 		if msg.CorrelationID == corr {
-			return msg.Body, true, nil
+			return msg.Body, nil
 		}
 	}
 }
+
+// pollWindow bounds one remote reply poll so an unbounded-context
+// RequestCtx still re-checks cancellation periodically.
+const pollWindow = 30 * time.Second

@@ -200,6 +200,10 @@ type Query struct {
 	Principals []string
 	// Limit bounds results (0 = no limit).
 	Limit int
+	// Offset skips that many ranked hits before the returned page —
+	// the server side of cursor pagination (Total still counts the
+	// full result set).
+	Offset int
 }
 
 // Hit is one scored result.
@@ -274,6 +278,13 @@ func (ix *Index) Search(q Query) Result {
 				}
 			}
 			res.Facets[field] = counts
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(hits) {
+			hits = nil
+		} else {
+			hits = hits[q.Offset:]
 		}
 	}
 	if q.Limit > 0 && len(hits) > q.Limit {

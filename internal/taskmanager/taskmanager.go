@@ -142,7 +142,11 @@ type TM struct {
 	routes  map[string]string
 
 	stop chan struct{}
-	wg   sync.WaitGroup
+	// ctx is the TM lifetime context: executor invocations run under it
+	// so Close cancels in-flight work instead of orphaning it.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	statMu    sync.Mutex
 	completed uint64
@@ -170,6 +174,7 @@ func New(cfg Config) (*TM, error) {
 		routes: make(map[string]string),
 		stop:   make(chan struct{}),
 	}
+	tm.ctx, tm.cancel = context.WithCancel(context.Background())
 	// Register with the Management Service.
 	execs := make([]string, 0, len(cfg.Executors))
 	for name := range cfg.Executors {
@@ -226,9 +231,11 @@ func (tm *TM) Stats() (uint64, uint64) {
 	return tm.completed, tm.hits
 }
 
-// Close stops the pull loops (in-flight tasks finish first).
+// Close stops the pull loops (in-flight tasks finish first, but their
+// executor invocations are canceled via the TM lifetime context).
 func (tm *TM) Close() {
 	close(tm.stop)
+	tm.cancel()
 	tm.wg.Wait()
 	for _, ex := range tm.cfg.Executors {
 		ex.Close()
@@ -286,7 +293,7 @@ func (tm *TM) handle(msg queue.Message) {
 	}
 	rep.TaskID = task.ID
 	if rep.InvocationMicros == 0 {
-		rep.InvocationMicros = time.Since(start).Microseconds()
+		rep.InvocationMicros = invocationMicros(start)
 	}
 	tm.reply(msg, rep)
 	tm.statMu.Lock()
@@ -376,6 +383,17 @@ func (tm *TM) handleUndeploy(task *Task) Reply {
 	return Reply{OK: true}
 }
 
+// invocationMicros measures elapsed wall time, clamped to ≥1µs: a 0
+// reads as "unset" on the wire (omitempty), and sub-microsecond
+// executions (trivial servables on fast hosts) must still report that
+// an invocation happened.
+func invocationMicros(start time.Time) int64 {
+	if us := time.Since(start).Microseconds(); us > 0 {
+		return us
+	}
+	return 1
+}
+
 // memoKey hashes servable + canonical input JSON.
 func memoKey(servableID string, input any) (string, error) {
 	data, err := json.Marshal(input)
@@ -406,7 +424,7 @@ func (tm *TM) handleRun(task *Task) Reply {
 				if json.Unmarshal(cached, &rep) == nil {
 					rep.Cached = true
 					rep.InferenceMicros = 0
-					rep.InvocationMicros = time.Since(start).Microseconds()
+					rep.InvocationMicros = invocationMicros(start)
 					tm.statMu.Lock()
 					tm.hits++
 					tm.statMu.Unlock()
@@ -420,7 +438,7 @@ func (tm *TM) handleRun(task *Task) Reply {
 	if err != nil {
 		return Reply{OK: false, Error: err.Error()}
 	}
-	res, err := ex.Invoke(context.Background(), task.Servable, task.Input)
+	res, err := ex.Invoke(tm.ctx, task.Servable, task.Input)
 	if err != nil {
 		return Reply{OK: false, Error: err.Error()}
 	}
@@ -428,7 +446,7 @@ func (tm *TM) handleRun(task *Task) Reply {
 		OK:               true,
 		Output:           res.Output,
 		InferenceMicros:  res.InferenceMicros,
-		InvocationMicros: time.Since(start).Microseconds(),
+		InvocationMicros: invocationMicros(start),
 	}
 	if useMemo && key != "" {
 		if body, err := json.Marshal(rep); err == nil {
@@ -457,7 +475,7 @@ func (tm *TM) handleBatch(task *Task) Reply {
 		wg.Add(1)
 		go func(i int, input any) {
 			defer wg.Done()
-			res, err := ex.Invoke(context.Background(), task.Servable, input)
+			res, err := ex.Invoke(tm.ctx, task.Servable, input)
 			if err != nil {
 				errs[i] = err
 				return
@@ -478,7 +496,7 @@ func (tm *TM) handleBatch(task *Task) Reply {
 		OK:               true,
 		Outputs:          outs,
 		InferenceMicros:  totalInf,
-		InvocationMicros: time.Since(start).Microseconds(),
+		InvocationMicros: invocationMicros(start),
 	}
 }
 
@@ -498,7 +516,7 @@ func (tm *TM) handlePipeline(task *Task) Reply {
 		if err != nil {
 			return Reply{OK: false, Error: fmt.Sprintf("step %s: %v", step, err)}
 		}
-		res, err := ex.Invoke(context.Background(), step, current)
+		res, err := ex.Invoke(tm.ctx, step, current)
 		if err != nil {
 			return Reply{OK: false, Error: fmt.Sprintf("step %s: %v", step, err)}
 		}
@@ -509,7 +527,7 @@ func (tm *TM) handlePipeline(task *Task) Reply {
 		OK:               true,
 		Output:           current,
 		InferenceMicros:  totalInf,
-		InvocationMicros: time.Since(start).Microseconds(),
+		InvocationMicros: invocationMicros(start),
 	}
 }
 
