@@ -32,6 +32,8 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache capacity in result-JSON bytes (default 256 MiB)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry TTL (default 5m)")
 	logRequests := flag.Bool("log-requests", false, "log every HTTP request (method, path, status, latency, request ID)")
+	autoscaleInterval := flag.Duration("autoscale-interval", 0, "autoscaler control-loop tick (default 1s)")
+	maxQueue := flag.Int("max-queue", 0, "service-wide admission bound: reject runs (429) for a servable once this many are pending (0 = unbounded)")
 	flag.Parse()
 
 	ms := core.New(core.Config{
@@ -41,7 +43,9 @@ func main() {
 			MaxBytes:   *cacheBytes,
 			TTL:        *cacheTTL,
 		},
-		LogRequests: *logRequests,
+		LogRequests:       *logRequests,
+		AutoscaleInterval: *autoscaleInterval,
+		MaxQueue:          *maxQueue,
 	})
 	defer ms.Close()
 	if *snapshotDir != "" {

@@ -40,6 +40,7 @@ func main() {
 	memoize := flag.Bool("memoize", false, "enable the TM memoization cache")
 	executors := flag.String("executors", "parsl", "comma-separated executors: parsl,tfserving-grpc,tfserving-rest,sagemaker,clipper")
 	wanRTT := flag.Duration("wan-rtt", 0, "shape the queue connection with this RTT (paper: 20.7ms)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "re-registration interval; heartbeats carry liveness and the executing-task count (0 disables)")
 	flag.Parse()
 
 	// Install the built-in "Python modules" (the functions servable
@@ -95,11 +96,12 @@ func main() {
 	defer qc.Close()
 
 	tm, err := taskmanager.New(taskmanager.Config{
-		ID:        *id,
-		Queue:     qc,
-		Executors: execs,
-		Memoize:   *memoize,
-		Pullers:   8,
+		ID:                *id,
+		Queue:             qc,
+		Executors:         execs,
+		Memoize:           *memoize,
+		Pullers:           8,
+		HeartbeatInterval: *heartbeat,
 	})
 	if err != nil {
 		log.Fatalf("taskmanager: %v", err)

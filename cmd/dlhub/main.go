@@ -54,6 +54,8 @@ func main() {
 		err = cmdSearch(args)
 	case "status":
 		err = cmdStatus(args)
+	case "autoscale":
+		err = cmdAutoscale(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -77,7 +79,8 @@ commands:
   run      invoke a published servable with JSON input
   ls       list servables tracked in this directory
   search   search the model repository
-  status   check an asynchronous task`)
+  status   check an asynchronous task
+  autoscale  view or set a servable's replica autoscaling policy`)
 }
 
 func client(fs *flag.FlagSet) *dlhub.Client {
@@ -339,6 +342,56 @@ func cmdStatus(args []string) error {
 		st, err = c.WaitTaskCtx(waitCtx, fs.Arg(0))
 	default:
 		st, err = c.StatusCtx(ctx, fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(out))
+	return nil
+}
+
+func cmdAutoscale(args []string) error {
+	fs := flag.NewFlagSet("autoscale", flag.ExitOnError)
+	serverFlag(fs)
+	enable := fs.Bool("enable", false, "enable autoscaling for the servable")
+	disable := fs.Bool("disable", false, "disable autoscaling (policy stays visible in stats)")
+	minR := fs.Int("min", 1, "minimum replicas")
+	maxR := fs.Int("max", 32, "maximum replicas")
+	target := fs.Float64("target-load", 2, "per-replica demand the controller steers toward")
+	upCooldown := fs.Duration("up-cooldown", 0, "minimum gap between scale-ups (default 1s)")
+	downCooldown := fs.Duration("down-cooldown", 0, "how long demand must stay low before scaling down (default 30s)")
+	maxQueue := fs.Int("max-queue", 0, "admission-control bound: reject runs (429) beyond this pending depth (0 = server default, <0 = off)")
+	executorRoute := fs.String("executor", "", `executor route to scale (default "parsl")`)
+	fs.Parse(args) //nolint:errcheck
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: dlhub autoscale [flags] <owner/name>")
+	}
+	id := fs.Arg(0)
+	c := client(fs)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var (
+		st  *dlhub.AutoscaleStatus
+		err error
+	)
+	if *enable || *disable {
+		if *enable && *disable {
+			return fmt.Errorf("-enable and -disable are mutually exclusive")
+		}
+		st, err = c.SetAutoscale(ctx, id, dlhub.AutoscalePolicy{
+			Enabled:           *enable,
+			MinReplicas:       *minR,
+			MaxReplicas:       *maxR,
+			TargetLoad:        *target,
+			ScaleUpCooldown:   *upCooldown,
+			ScaleDownCooldown: *downCooldown,
+			MaxQueue:          *maxQueue,
+			Executor:          *executorRoute,
+		})
+	} else {
+		st, err = c.Autoscale(ctx, id)
 	}
 	if err != nil {
 		return err

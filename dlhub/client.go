@@ -549,6 +549,35 @@ func (c *Client) ScaleCtx(ctx context.Context, id string, replicas int, executor
 		core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil, "")
 }
 
+// AutoscalePolicy configures server-side replica autoscaling for a
+// servable — an alias of the service's wire type so the two cannot
+// drift. Duration fields travel as int64 nanoseconds.
+type AutoscalePolicy = core.AutoscalePolicy
+
+// AutoscaleStatus is a servable's autoscaler state: the installed
+// policy, current/desired replicas, smoothed demand, and scale-up/
+// scale-down/rejection counters.
+type AutoscaleStatus = core.AutoscaleStatus
+
+// SetAutoscale installs (or, with Enabled false, disables) a servable's
+// autoscale policy and returns the resulting controller state.
+func (c *Client) SetAutoscale(ctx context.Context, id string, policy AutoscalePolicy) (*AutoscaleStatus, error) {
+	var st AutoscaleStatus
+	if err := c.call(ctx, http.MethodPut, "/api/v2/servables/"+id+"/autoscale", policy, &st, ""); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Autoscale reports a servable's autoscaler policy and state.
+func (c *Client) Autoscale(ctx context.Context, id string) (*AutoscaleStatus, error) {
+	var st AutoscaleStatus
+	if err := c.call(ctx, http.MethodGet, "/api/v2/servables/"+id+"/autoscale", nil, &st, ""); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
 // UpdateVisibility replaces the ACL principal list of a servable — how
 // CANDLE models move from group-restricted to public (§VI-A).
 func (c *Client) UpdateVisibility(id string, visibleTo []string) error {
@@ -601,6 +630,19 @@ func (c *Client) TaskManagerLoad() (map[string]int, error) {
 		return nil, err
 	}
 	return resp.Load, nil
+}
+
+// TaskManagerQueueDepth reports broker-side backlog (ready + pulled but
+// unacknowledged tasks) per registered Task Manager — one of the
+// demand signals the server's autoscaler samples.
+func (c *Client) TaskManagerQueueDepth() (map[string]int, error) {
+	var resp struct {
+		QueueDepth map[string]int `json:"queue_depth"`
+	}
+	if err := c.call(context.Background(), http.MethodGet, "/api/v2/tms", nil, &resp, ""); err != nil {
+		return nil, err
+	}
+	return resp.QueueDepth, nil
 }
 
 // Healthy reports liveness of the Management Service. Probes report

@@ -49,6 +49,13 @@ type Options struct {
 	Auth *auth.Service
 	// RunScope is required when Auth is set.
 	RunScope string
+	// AutoscaleInterval overrides the Management Service's autoscaler
+	// tick (0 keeps the 1s default). The autoscale ablation and tests
+	// use fast ticks so convergence fits in bench timescales.
+	AutoscaleInterval time.Duration
+	// MaxQueue sets the service-wide admission-control bound (0 =
+	// unbounded, matching production default).
+	MaxQueue int
 }
 
 // Testbed is an assembled deployment.
@@ -107,10 +114,12 @@ func NewTestbed(opts Options) (*Testbed, error) {
 
 	// Site 1: the Management Service and its broker.
 	tb.MS = core.New(core.Config{
-		Auth:     opts.Auth,
-		RunScope: opts.RunScope,
-		Registry: registry,
-		Cache:    core.CacheConfig{Disabled: !opts.ServiceCache},
+		Auth:              opts.Auth,
+		RunScope:          opts.RunScope,
+		Registry:          registry,
+		Cache:             core.CacheConfig{Disabled: !opts.ServiceCache},
+		AutoscaleInterval: opts.AutoscaleInterval,
+		MaxQueue:          opts.MaxQueue,
 	})
 
 	// Site 2: the Task Manager, connected over the WAN or in-process.
@@ -151,6 +160,18 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		return nil, err
 	}
 	return tb, nil
+}
+
+// ExecutorReplicas reports the actual replica count a site executor is
+// running for a servable (0 for unknown routes) — ground truth for
+// autoscaler tests and the autoscale ablation, independent of the
+// Management Service's desired-state view.
+func (tb *Testbed) ExecutorReplicas(route, servableID string) int {
+	ex, ok := tb.execs[route]
+	if !ok {
+		return 0
+	}
+	return ex.Replicas(servableID)
 }
 
 // Close tears the deployment down.

@@ -64,10 +64,17 @@ type batcher struct {
 	mu      sync.Mutex
 	pending []*pendingReq
 	timer   *time.Timer
+	// closed marks a batcher shut down by Service.Close: enqueue fails
+	// new requests immediately instead of parking them on a timer that
+	// will dispatch into a dead broker.
+	closed bool
 	// profileUS is the EWMA of per-item service time in microseconds.
 	profileUS float64
 	flushes   uint64
 	items     uint64
+	// failures counts dispatches whose coalesced batch failed (every
+	// member saw the error).
+	failures uint64
 }
 
 // EnableCoalescing turns adaptive batching on for a servable.
@@ -91,17 +98,76 @@ func (s *Service) DisableCoalescing(servableID string) {
 	delete(s.batchers, servableID)
 }
 
-// CoalescingStats reports (flushes, items) for a servable's batcher.
-func (s *Service) CoalescingStats(servableID string) (uint64, uint64) {
+// CoalesceStats counts a batcher's activity: dispatched batches,
+// coalesced member requests, failed dispatches (batches whose every
+// member received the error), and the currently held backlog.
+type CoalesceStats struct {
+	Flushes  uint64 `json:"flushes"`
+	Items    uint64 `json:"items"`
+	Failures uint64 `json:"failures"`
+	// Pending is the number of requests currently held for the next
+	// flush (a point-in-time gauge, not a counter).
+	Pending int `json:"pending"`
+}
+
+// CoalescingStats reports a servable's batcher counters (zero when
+// coalescing is not enabled).
+func (s *Service) CoalescingStats(servableID string) CoalesceStats {
 	s.batchMu.Lock()
 	b := s.batchers[servableID]
 	s.batchMu.Unlock()
 	if b == nil {
-		return 0, 0
+		return CoalesceStats{}
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.flushes, b.items
+	return CoalesceStats{Flushes: b.flushes, Items: b.items, Failures: b.failures, Pending: len(b.pending)}
+}
+
+// batcherPending reports how many requests a servable's batcher is
+// currently holding — part of the autoscaler's demand signal and the
+// admission-control count.
+func (s *Service) batcherPending(servableID string) int {
+	s.batchMu.Lock()
+	b := s.batchers[servableID]
+	s.batchMu.Unlock()
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// closeBatchers fails every batcher's pending requests with ErrCanceled
+// on Service.Close. Without this, requests parked on a hold-window
+// timer would dispatch into a closed broker and strand their callers
+// until each caller's own deadline.
+func (s *Service) closeBatchers() {
+	s.batchMu.Lock()
+	batchers := make([]*batcher, 0, len(s.batchers))
+	for _, b := range s.batchers {
+		batchers = append(batchers, b)
+	}
+	s.batchMu.Unlock()
+	for _, b := range batchers {
+		b.close()
+	}
+}
+
+// close marks the batcher dead and fails its pending requests.
+func (b *batcher) close() {
+	b.mu.Lock()
+	b.closed = true
+	pend := b.take()
+	if len(pend) > 0 {
+		b.failures++
+	}
+	b.mu.Unlock()
+	err := fmt.Errorf("%w: service shutting down", ErrCanceled)
+	for _, r := range pend {
+		r.done <- coalesceOutcome{err: err}
+	}
 }
 
 // RunCoalesced invokes a servable through its batcher; with no batcher
@@ -136,6 +202,15 @@ func (s *Service) RunCoalesced(ctx context.Context, caller Caller, servableID st
 			gen = s.cache.generation(servableID)
 		}
 	}
+	// Admission control gates the enqueue exactly like a plain Run's
+	// dispatch: a held coalescing slot is pending demand too. The
+	// reservation is held until this member's outcome arrives (or its
+	// ctx ends) — parked requests keep counting against the bound.
+	release, err := s.admitRun(servableID, 1)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer release()
 	req := &pendingReq{input: input, done: make(chan coalesceOutcome, 1)}
 	b.enqueue(req)
 
@@ -157,9 +232,14 @@ func (s *Service) RunCoalesced(ctx context.Context, caller Caller, servableID st
 }
 
 // enqueue adds a request, arming the flush timer or flushing on a full
-// batch.
+// batch. On a closed batcher the request fails immediately.
 func (b *batcher) enqueue(req *pendingReq) {
 	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		req.done <- coalesceOutcome{err: fmt.Errorf("%w: service shutting down", ErrCanceled)}
+		return
+	}
 	b.pending = append(b.pending, req)
 	if len(b.pending) >= b.policy.MaxBatch {
 		pend := b.take()
@@ -226,10 +306,14 @@ func (b *batcher) dispatch(pend []*pendingReq) {
 		NoMemo:   true,
 	}
 	start := time.Now()
-	// The batch aggregates many callers, so it dispatches under its own
-	// service-default deadline rather than any single member's ctx.
-	res, err := b.svc.dispatch(context.Background(), task)
+	// The batch aggregates many callers, so it dispatches under the
+	// service lifetime ctx with the service-default deadline rather
+	// than any single member's ctx — and Service.Close aborts it.
+	res, err := b.svc.dispatch(b.svc.lifeCtx, task)
 	if err != nil {
+		b.mu.Lock()
+		b.failures++
+		b.mu.Unlock()
 		for _, r := range pend {
 			r.done <- coalesceOutcome{err: err}
 		}
@@ -249,6 +333,9 @@ func (b *batcher) dispatch(pend []*pendingReq) {
 
 	if len(res.Outputs) != len(pend) {
 		err := fmt.Errorf("core: coalesced batch returned %d outputs for %d requests", len(res.Outputs), len(pend))
+		b.mu.Lock()
+		b.failures++
+		b.mu.Unlock()
 		for _, r := range pend {
 			r.done <- coalesceOutcome{err: err}
 		}

@@ -34,7 +34,7 @@ func TestCoalescingFallsBackWithoutPolicy(t *testing.T) {
 	if m := res.Output.(map[string]any); len(m) != 2 {
 		t.Fatalf("fallback run wrong: %v", res.Output)
 	}
-	if f, items := tb.MS.CoalescingStats(id); f != 0 || items != 0 {
+	if st := tb.MS.CoalescingStats(id); st != (core.CoalesceStats{}) {
 		t.Fatal("no batcher should mean no stats")
 	}
 }
@@ -84,12 +84,12 @@ func TestCoalescingGroupsConcurrentRequests(t *testing.T) {
 			}
 		}
 	}
-	flushes, items := tb.MS.CoalescingStats(id)
-	if items != n {
-		t.Fatalf("want %d coalesced items, got %d", n, items)
+	st := tb.MS.CoalescingStats(id)
+	if st.Items != n {
+		t.Fatalf("want %d coalesced items, got %d", n, st.Items)
 	}
-	if flushes >= n {
-		t.Fatalf("requests were not coalesced: %d flushes for %d items", flushes, n)
+	if st.Flushes >= n {
+		t.Fatalf("requests were not coalesced: %d flushes for %d items", st.Flushes, n)
 	}
 }
 
@@ -168,7 +168,7 @@ func TestCoalescingDisable(t *testing.T) {
 	if _, err := tb.MS.RunCoalesced(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if f, _ := tb.MS.CoalescingStats(id); f != 0 {
+	if st := tb.MS.CoalescingStats(id); st.Flushes != 0 {
 		t.Fatal("stats should be gone after disable")
 	}
 }

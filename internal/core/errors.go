@@ -30,6 +30,7 @@ const (
 	CodeTimeout       Code = "timeout"
 	CodeCanceled      Code = "canceled"
 	CodeTaskFailed    Code = "task_failed"
+	CodeOverloaded    Code = "overloaded"
 	CodeUpstream      Code = "upstream_error"
 	CodeInternal      Code = "internal"
 )
@@ -94,6 +95,7 @@ var (
 	ErrTimeout       = &Error{Code: CodeTimeout, HTTPStatus: http.StatusGatewayTimeout, Message: "core: task timed out"}
 	ErrCanceled      = &Error{Code: CodeCanceled, HTTPStatus: StatusClientClosedRequest, Message: "core: request canceled"}
 	ErrTaskFailed    = &Error{Code: CodeTaskFailed, HTTPStatus: http.StatusBadGateway, Message: "core: task failed"}
+	ErrOverloaded    = &Error{Code: CodeOverloaded, HTTPStatus: http.StatusTooManyRequests, Message: "core: servable overloaded"}
 	ErrUpstream      = &Error{Code: CodeUpstream, HTTPStatus: http.StatusBadGateway, Message: "core: upstream failure"}
 	ErrInternal      = &Error{Code: CodeInternal, HTTPStatus: http.StatusInternalServerError, Message: "core: internal error"}
 )
@@ -103,7 +105,7 @@ var (
 var sentinels = []*Error{
 	ErrBadRequest, ErrUnauthorized, ErrForbidden, ErrNotFound,
 	ErrTaskNotFound, ErrConflict, ErrNoTaskManager, ErrTimeout,
-	ErrCanceled, ErrTaskFailed, ErrUpstream, ErrInternal,
+	ErrCanceled, ErrTaskFailed, ErrOverloaded, ErrUpstream, ErrInternal,
 }
 
 // errorStatus is the code→HTTP-status table driving both API versions'

@@ -23,6 +23,7 @@ func TestSentinelStatusTable(t *testing.T) {
 		ErrTimeout:       http.StatusGatewayTimeout,
 		ErrCanceled:      StatusClientClosedRequest,
 		ErrTaskFailed:    http.StatusBadGateway,
+		ErrOverloaded:    http.StatusTooManyRequests,
 		ErrUpstream:      http.StatusBadGateway,
 		ErrInternal:      http.StatusInternalServerError,
 	}

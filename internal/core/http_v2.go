@@ -52,6 +52,8 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/run", s.handleV2Run)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/deploy", s.handleV2Deploy)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/scale", s.handleV2Scale)
+	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}/autoscale", s.handleV2AutoscaleGet)
+	mux.HandleFunc("PUT /api/v2/servables/{owner}/{name}/autoscale", s.handleV2AutoscalePut)
 	mux.HandleFunc("POST /api/v2/search", s.handleV2Search)
 	mux.HandleFunc("GET /api/v2/tasks/{task}", s.handleV2Task)
 	mux.HandleFunc("GET /api/v2/tasks/{task}/events", s.handleV2TaskEvents)
@@ -548,6 +550,44 @@ func (s *Service) handleV2Scale(w http.ResponseWriter, r *http.Request) {
 	writeV2(w, r, http.StatusOK, map[string]string{"status": "scaled"})
 }
 
+// handleV2AutoscaleGet reports a servable's autoscaler policy + state.
+func (s *Service) handleV2AutoscaleGet(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	st, err := s.AutoscaleStatus(c, r.PathValue("owner")+"/"+r.PathValue("name"))
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, st)
+}
+
+// handleV2AutoscalePut installs (or disables, with "enabled": false) a
+// servable's autoscale policy and returns the resulting status.
+func (s *Service) handleV2AutoscalePut(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	var policy AutoscalePolicy
+	if !readV2(w, r, &policy) {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	if err := s.SetAutoscalePolicy(c, id, policy); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	st, err := s.AutoscaleStatus(c, id)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, st)
+}
+
 // --- tasks ------------------------------------------------------------------
 
 func (s *Service) handleV2Task(w http.ResponseWriter, r *http.Request) {
@@ -637,6 +677,8 @@ func (s *Service) handleV2TMs(w http.ResponseWriter, r *http.Request) {
 		"task_managers": s.TaskManagers(),
 		"live":          s.LiveTaskManagers(),
 		"load":          s.TMLoad(),
+		"queue_depth":   s.TMQueueDepth(),
+		"active":        s.TMActive(),
 	})
 }
 
@@ -662,5 +704,8 @@ func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.callerV2(w, r); !ok {
 		return
 	}
-	writeV2(w, r, http.StatusOK, map[string]any{"routes": s.RouteStats()})
+	writeV2(w, r, http.StatusOK, map[string]any{
+		"routes":     s.RouteStats(),
+		"autoscaler": s.AutoscalerStats(),
+	})
 }

@@ -26,6 +26,9 @@ type snapshot struct {
 }
 
 // SaveSnapshot writes the repository to dir/repository.gob atomically.
+// Documents are deep-copied under the repository lock: the encoder runs
+// after RUnlock, and serializing live *schema.Document pointers there
+// would race UpdateMetadata mutating them concurrently.
 func (s *Service) SaveSnapshot(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -38,13 +41,23 @@ func (s *Service) SaveSnapshot(dir string) error {
 		Placements: make(map[string][]string, len(s.placements)),
 	}
 	for id, doc := range s.docs {
-		snap.Docs[id] = doc
+		snap.Docs[id] = doc.Clone()
 	}
 	for id, vs := range s.versions {
-		snap.Versions[id] = append([]*schema.Document(nil), vs...)
+		cp := make([]*schema.Document, len(vs))
+		for i, doc := range vs {
+			cp[i] = doc.Clone()
+		}
+		snap.Versions[id] = cp
 	}
 	for id, pkg := range s.packages {
-		snap.Components[id] = pkg.Components
+		// Component payloads are immutable after publish; copying the
+		// map itself is enough to decouple from later republications.
+		comps := make(map[string][]byte, len(pkg.Components))
+		for name, data := range pkg.Components {
+			comps[name] = data
+		}
+		snap.Components[id] = comps
 	}
 	for id, tms := range s.placements {
 		snap.Placements[id] = append([]string(nil), tms...)
@@ -67,7 +80,17 @@ func (s *Service) SaveSnapshot(dir string) error {
 }
 
 // LoadSnapshot restores a repository saved by SaveSnapshot, replacing
-// current state and rebuilding the search index.
+// current state and rebuilding the search index from scratch (the
+// index is reset first, so loading over a non-empty service leaves no
+// stale or duplicate entries). Restored placements are kept verbatim —
+// at the usual boot-time restore no TM has registered yet, so
+// filtering here would drop every placement; instead pickTM ignores
+// placement entries naming unregistered TMs at routing time, which
+// both survives the boot ordering (a TM re-registering under its old
+// ID gets its placements back) and never routes a request into a
+// ghost TM's queue. The result cache is flushed (generation bump), so
+// no pre-load cached result survives into the restored repository's
+// world.
 func (s *Service) LoadSnapshot(dir string) error {
 	f, err := os.Open(filepath.Join(dir, "repository.gob"))
 	if err != nil {
@@ -102,7 +125,9 @@ func (s *Service) LoadSnapshot(dir string) error {
 	}
 	s.mu.Unlock()
 
-	// Rebuild the index outside the lock.
+	// Rebuild the index outside the lock, from empty: entries for
+	// servables published before the load must not survive it.
+	s.index.Reset()
 	for _, doc := range docs {
 		s.index.Ingest(search.Doc{
 			ID:        doc.ID,
@@ -110,5 +135,9 @@ func (s *Service) LoadSnapshot(dir string) error {
 			VisibleTo: doc.Publication.VisibleTo,
 		})
 	}
+	// Cached results predate the restored repository; the flush also
+	// bumps the cache epoch so in-flight computations from the old
+	// world cannot write back after the load.
+	s.FlushCache()
 	return nil
 }

@@ -2,13 +2,17 @@ package core_test
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/container"
 	"repro/internal/core"
+	"repro/internal/schema"
 	"repro/internal/search"
 	"repro/internal/servable"
 )
@@ -98,6 +102,208 @@ func TestSnapshotServesAfterRestore(t *testing.T) {
 	}
 	if m := res.Output.(map[string]any); len(m) != 2 {
 		t.Fatalf("restored servable broken: %v", m)
+	}
+}
+
+// TestLoadSnapshotOverNonEmptyService pins the restore-over-live-state
+// contract: the search index is rebuilt from scratch (no entries
+// surviving for servables absent from the snapshot, no duplicates),
+// restored placements naming unknown TMs are dropped, and the result
+// cache is emptied.
+func TestLoadSnapshotOverNonEmptyService(t *testing.T) {
+	dir := t.TempDir()
+
+	// Build the snapshot in a full testbed so a placement is recorded
+	// (Deploy routes to the registered TM and remembers the site).
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	utilID, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(context.Background(), core.Anonymous, utilID, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.MS.Placements()[utilID]; len(got) != 1 {
+		t.Fatalf("testbed deploy recorded no placement: %v", got)
+	}
+	if err := tb.MS.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The target service is NOT empty: it has its own publication (not
+	// in the snapshot), a warm cache entry would live here too.
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	if _, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage()); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// The pre-load publication is gone from the repository AND from the
+	// index: a search for it must find nothing, not a ghost hit.
+	res, _ := ms.Search(context.Background(), core.Anonymous, search.Query{Must: []search.Clause{{FreeText: "noop baseline"}}})
+	if res.Total != 0 {
+		t.Fatalf("stale index entry survived the load: %d hits", res.Total)
+	}
+	// The restored publication is indexed exactly once.
+	res, _ = ms.Search(context.Background(), core.Anonymous, search.Query{})
+	if res.Total != 1 {
+		t.Fatalf("index should hold exactly the snapshot's 1 doc, got %d", res.Total)
+	}
+	// Placements are restored verbatim: at boot-time restore no TM has
+	// registered yet, so dropping unknown-TM placements here would drop
+	// everything on every restart. Routing (pickTM) is what ignores
+	// placements naming unregistered TMs — see the ghost-routing test.
+	if got := ms.Placements()[utilID]; len(got) != 1 {
+		t.Fatalf("restored placement lost: %v", got)
+	}
+	// Loading into a service that DOES know the TM keeps the placement
+	// usable end to end.
+	tb2, err := bench.NewTestbed(bench.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb2.Close()
+	if err := tb2.MS.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb2.MS.Placements()[utilID]; len(got) != 1 {
+		t.Fatalf("valid placement dropped: %v", got)
+	}
+}
+
+// TestRestoredGhostPlacementDoesNotBlackHole pins the routing half of
+// the stale-placement fix: a snapshot placement naming a TM that no
+// longer exists must not route requests into the ghost's queue (they
+// would hang until the full task timeout). Routing falls back to the
+// registered TMs, which answer fast — here with task_failed, because
+// the fresh site never deployed the servable.
+func TestRestoredGhostPlacementDoesNotBlackHole(t *testing.T) {
+	dir := t.TempDir()
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	utilID, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(context.Background(), core.Anonymous, utilID, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	tb.Close() // "cooley-tm-1" is now a ghost
+
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	newSite(t, ms, "fresh-tm")
+	if err := ms.WaitForTM(1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	// The placement names cooley-tm-1 (unregistered); the run must be
+	// routed to fresh-tm and fail fast with task_failed — NOT sit out
+	// the deadline in a queue nobody consumes.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err = ms.Run(ctx, core.Anonymous, utilID, "NaCl", core.RunOptions{})
+	if !errors.Is(err, core.ErrTaskFailed) {
+		t.Fatalf("want fast task_failed from the live TM, got %v after %v", err, time.Since(start))
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("run took %v — routed into the ghost queue", time.Since(start))
+	}
+}
+
+// TestLoadSnapshotFlushesCache pins that cached results from before the
+// load cannot be served after it.
+func TestLoadSnapshotFlushesCache(t *testing.T) {
+	dir := t.TempDir()
+	seed := core.New(core.Config{Registry: container.NewRegistry()})
+	if _, err := seed.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage()); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.SaveSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	seed.Close()
+
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4, ServiceCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	id, err := tb.MS.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Deploy(context.Background(), core.Anonymous, id, 1, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.MS.Run(context.Background(), core.Anonymous, id, "NaCl", core.RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := tb.MS.CacheStats(); st.Entries == 0 {
+		t.Fatal("setup: expected a warm cache entry")
+	}
+	if err := tb.MS.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if st := tb.MS.CacheStats(); st.Entries != 0 {
+		t.Fatalf("cache entries survived the load: %+v", st)
+	}
+}
+
+// TestSaveSnapshotConcurrentMetadataUpdates races SaveSnapshot against
+// UpdateMetadata; under -race this pins the deep-copy-under-lock fix
+// (the encoder must never serialize a document being mutated).
+func TestSaveSnapshotConcurrentMetadataUpdates(t *testing.T) {
+	dir := t.TempDir()
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			err := ms.UpdateMetadata(core.Anonymous, id, func(p *schema.Publication) {
+				p.Description = fmt.Sprintf("rev %d", i)
+				p.VisibleTo = []string{"public", fmt.Sprintf("group-%d", i)}
+			})
+			if err != nil {
+				t.Errorf("update: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if err := ms.SaveSnapshot(dir); err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+	}
+	<-done
+	// The last snapshot must still round-trip.
+	ms2 := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms2.Close()
+	if err := ms2.LoadSnapshot(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms2.Get(core.Anonymous, id); err != nil {
+		t.Fatal(err)
 	}
 }
 

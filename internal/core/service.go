@@ -80,6 +80,16 @@ type Config struct {
 	// IdempotencyTTL bounds how long completed idempotency-keyed
 	// responses are replayable (default 10m).
 	IdempotencyTTL time.Duration
+	// AutoscaleInterval is the autoscaler control-loop tick (default
+	// 1s). The loop is idle-cheap: with no enabled policies a tick is a
+	// map read under a mutex.
+	AutoscaleInterval time.Duration
+	// MaxQueue is the service-wide admission-control default: when > 0,
+	// synchronous runs for a servable whose pending demand (dispatched
+	// + coalescing) reaches this bound fail fast with ErrOverloaded
+	// instead of queueing. A per-servable AutoscalePolicy.MaxQueue
+	// overrides it.
+	MaxQueue int
 }
 
 // Service is the Management Service.
@@ -104,6 +114,20 @@ type Service struct {
 	// tmInflight counts dispatched-but-unanswered tasks per TM; pickTM
 	// routes to the least loaded live candidate.
 	tmInflight map[string]int
+	// tmActive holds the executing-task counts each TM self-reports in
+	// its heartbeat registrations — the TM-side view of queue depth.
+	tmActive map[string]int
+	// svInflight counts dispatched-but-unanswered run/batch/pipeline
+	// work units per servable (batches weigh their input count) — the
+	// demand signal the autoscaler acts on.
+	svInflight map[string]int
+	// svReserved counts admission-control reservations per servable:
+	// admitted-but-unfinished requests, reserved atomically at the
+	// admission check so concurrent bursts cannot overrun the bound.
+	svReserved map[string]int
+	// replicas tracks the desired replica count per servable, updated by
+	// Deploy/Scale — the autoscaler's notion of current scale.
+	replicas map[string]int
 	// placements maps servable ID -> Task Managers hosting it, so runs
 	// are routed to capable sites (§IV-A: the Management Service
 	// "route[s] workloads to suitable executors").
@@ -118,14 +142,24 @@ type Service struct {
 	// idem stores idempotency-keyed v2 responses for replay.
 	idem *idemStore
 
+	// scaler is the replica autoscaler (autoscaler.go); its control
+	// loop runs for the service lifetime.
+	scaler *autoscaler
+
 	// routeMu guards routeStats, the per-route HTTP counters the
 	// middleware chain maintains.
 	routeMu    sync.Mutex
 	routeStats map[string]*routeStat
 
-	stop     chan struct{}
-	regWG    sync.WaitGroup
-	timeFunc func() time.Time
+	stop      chan struct{}
+	closeOnce sync.Once
+	regWG     sync.WaitGroup
+	timeFunc  func() time.Time
+	// lifeCtx is the service lifetime context: background dispatches
+	// (coalesced batches, autoscaler scale tasks) run under it so Close
+	// aborts them instead of leaving them to their own deadlines.
+	lifeCtx    context.Context
+	lifeCancel context.CancelFunc
 }
 
 // AsyncTask tracks an asynchronous invocation (§IV-A: "the Management
@@ -172,15 +206,23 @@ func New(cfg Config) *Service {
 		placements: make(map[string][]string),
 		tmSeen:     make(map[string]time.Time),
 		tmInflight: make(map[string]int),
+		tmActive:   make(map[string]int),
+		svInflight: make(map[string]int),
+		svReserved: make(map[string]int),
+		replicas:   make(map[string]int),
 		stop:       make(chan struct{}),
 		timeFunc:   time.Now,
 	}
+	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	if !cfg.Cache.Disabled {
 		s.cache = newResultCache(cfg.Cache)
 	}
 	s.idem = newIdemStore(cfg.IdempotencyTTL)
+	s.scaler = newAutoscaler(s, cfg.AutoscaleInterval)
 	s.regWG.Add(1)
 	go s.registrationLoop()
+	s.regWG.Add(1)
+	go s.scaler.loop()
 	return s
 }
 
@@ -188,11 +230,18 @@ func New(cfg Config) *Service {
 // remote via queue.Server) can connect to it.
 func (s *Service) Broker() *queue.Broker { return s.broker }
 
-// Close shuts the service down.
+// Close shuts the service down: background loops stop, in-flight
+// lifetime-scoped dispatches are canceled, and pending coalesced
+// requests are failed with ErrCanceled rather than stranded until
+// their own deadlines (batcher.go). Safe to call more than once.
 func (s *Service) Close() {
-	close(s.stop)
-	s.regWG.Wait()
-	s.broker.Close()
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.lifeCancel()
+		s.closeBatchers()
+		s.regWG.Wait()
+		s.broker.Close()
+	})
 }
 
 // registrationLoop consumes TM registrations.
@@ -222,6 +271,7 @@ func (s *Service) registrationLoop() {
 				s.tms = append(s.tms, reg.TMID)
 			}
 			s.tmSeen[reg.TMID] = s.timeFunc()
+			s.tmActive[reg.TMID] = reg.Active
 			s.mu.Unlock()
 		}
 		s.broker.Ack(taskmanager.RegisterQueue, msg.ID)
@@ -251,13 +301,29 @@ func (s *Service) WaitForTM(n int, timeout time.Duration) error {
 // the live candidates (restricted to placement sites when servableID is
 // known to be placed), the one with the fewest in-flight dispatches
 // wins; ties fall back to round-robin so uniform load still spreads.
+// Placement entries naming unregistered TMs — typically restored from
+// a snapshot of a previous deployment — are ignored: routing into a
+// ghost TM's queue would strand the request until its deadline. When
+// no placed TM is registered, routing falls back to every registered
+// TM (a fast task_failed from an undeployed site beats a silent hang).
 func (s *Service) pickTM(servableID string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	candidates := s.tms
 	if servableID != "" {
 		if placed := s.placements[servableID]; len(placed) > 0 {
-			candidates = placed
+			registered := make([]string, 0, len(placed))
+			for _, id := range placed {
+				for _, known := range s.tms {
+					if id == known {
+						registered = append(registered, id)
+						break
+					}
+				}
+			}
+			if len(registered) > 0 {
+				candidates = registered
+			}
 		}
 	}
 	candidates = s.liveLocked(candidates)
@@ -291,6 +357,55 @@ func (s *Service) TMLoad() map[string]int {
 		load[id] = s.tmInflight[id]
 	}
 	return load
+}
+
+// TMQueueDepth reports broker-side backlog per registered Task Manager:
+// tasks ready on its queue (pushed, not yet pulled) plus tasks pulled
+// but unacknowledged. The broker lives with the Management Service, so
+// this view is exact for local and remote TMs alike.
+func (s *Service) TMQueueDepth() map[string]int {
+	s.mu.RLock()
+	tms := append([]string(nil), s.tms...)
+	s.mu.RUnlock()
+	depth := make(map[string]int, len(tms))
+	for _, id := range tms {
+		q := taskmanager.TaskQueue(id)
+		depth[id] = s.broker.Len(q) + s.broker.InFlight(q)
+	}
+	return depth
+}
+
+// TMActive reports the executing-task counts each Task Manager last
+// self-reported in its heartbeat registration — the TM-side complement
+// to TMQueueDepth (tasks already pulled and running at the site).
+func (s *Service) TMActive() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	active := make(map[string]int, len(s.tms))
+	for _, id := range s.tms {
+		active[id] = s.tmActive[id]
+	}
+	return active
+}
+
+// ServableLoad reports the in-flight (dispatched, not yet answered)
+// run/batch/pipeline task count for one servable — the demand signal
+// the autoscaler steers on.
+func (s *Service) ServableLoad(servableID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.svInflight[servableID]
+}
+
+// Placements reports which Task Managers host each servable.
+func (s *Service) Placements() map[string][]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string][]string, len(s.placements))
+	for id, tms := range s.placements {
+		out[id] = append([]string(nil), tms...)
+	}
+	return out
 }
 
 // liveLocked filters TMs by heartbeat freshness; with liveness disabled
@@ -679,6 +794,14 @@ func (s *Service) runCached(ctx context.Context, key, servableID string, task ta
 	}
 	gen := s.cache.generation(servableID)
 	res, err, shared := s.flight.do(ctx, key, func() (RunResult, error) {
+		// Admission is checked by the leader only: followers add no
+		// load, and a leader rejection is the overload answer for the
+		// whole flight.
+		release, aerr := s.admitRun(servableID, 1)
+		if aerr != nil {
+			return RunResult{}, aerr
+		}
+		defer release()
 		res, err := s.dispatch(ctx, task)
 		if err == nil {
 			s.cache.put(key, servableID, gen, res)
@@ -724,6 +847,11 @@ func (s *Service) Run(ctx context.Context, caller Caller, servableID string, inp
 			return s.runCached(ctx, key, servableID, task)
 		}
 	}
+	release, err := s.admitRun(servableID, 1)
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer release()
 	return s.dispatch(ctx, task)
 }
 
@@ -753,6 +881,13 @@ func (s *Service) RunBatch(ctx context.Context, caller Caller, servableID string
 			return s.runCached(ctx, key, servableID, task)
 		}
 	}
+	// A batch reserves its input count: admitting a 250-item batch as
+	// one unit would let a single request blow far past the bound.
+	release, err := s.admitRun(servableID, len(inputs))
+	if err != nil {
+		return RunResult{}, err
+	}
+	defer release()
 	return s.dispatch(ctx, task)
 }
 
@@ -808,13 +943,42 @@ func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.TaskTimeout)
 		defer cancel()
 	}
+	// Demand accounting: servable-level counts cover only serving kinds
+	// (run/run_batch/pipeline) so control-plane tasks (deploy, scale —
+	// notably the autoscaler's own scale-ups under load) never trip
+	// admission control or inflate the demand signal. A batch weighs
+	// its input count: one flushed coalesced batch of N members is N
+	// units of demand, not 1, so the autoscaler's signal does not
+	// collapse every flush cycle.
+	sv, svWeight := "", 0
+	switch task.Kind {
+	case "run", "run_batch", "pipeline":
+		sv = task.Servable
+		if sv == "" && len(task.Steps) > 0 {
+			sv = task.Steps[0]
+		}
+		svWeight = 1
+		if task.Kind == "run_batch" && len(task.Inputs) > 1 {
+			svWeight = len(task.Inputs)
+		}
+	}
 	s.mu.Lock()
 	s.tmInflight[tmID]++
+	if sv != "" {
+		s.svInflight[sv] += svWeight
+	}
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		if s.tmInflight[tmID] > 0 {
 			s.tmInflight[tmID]--
+		}
+		if sv != "" {
+			if s.svInflight[sv] >= svWeight {
+				s.svInflight[sv] -= svWeight
+			} else {
+				s.svInflight[sv] = 0
+			}
 		}
 		s.mu.Unlock()
 	}()
@@ -941,7 +1105,24 @@ func (s *Service) Deploy(ctx context.Context, caller Caller, servableID string, 
 		return err
 	}
 	s.recordPlacement(servableID, tmID)
+	s.recordReplicas(servableID, max(replicas, 1))
 	return nil
+}
+
+// recordReplicas remembers the desired replica count set by the last
+// successful Deploy/Scale — the autoscaler's view of current scale.
+func (s *Service) recordReplicas(servableID string, replicas int) {
+	s.mu.Lock()
+	s.replicas[servableID] = replicas
+	s.mu.Unlock()
+}
+
+// DesiredReplicas reports the replica count last set by Deploy or Scale
+// (0 when the servable was never deployed through this service).
+func (s *Service) DesiredReplicas(servableID string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.replicas[servableID]
 }
 
 // deployTimeout picks the deploy/scale default deadline: 5 minutes
@@ -989,11 +1170,18 @@ func (s *Service) ResolveComponents(bearer string, refs map[string]string) (map[
 
 // Scale adjusts replica count on the deployed executor.
 func (s *Service) Scale(ctx context.Context, caller Caller, servableID string, replicas int, executorRoute string) error {
-	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
-	defer cancel()
 	if _, err := s.Get(caller, servableID); err != nil {
 		return err
 	}
+	return s.scaleReplicas(ctx, servableID, replicas, executorRoute)
+}
+
+// scaleReplicas is Scale after the ACL check — the shared core the
+// autoscaler drives directly (its decisions are service-internal, not
+// made on behalf of any caller).
+func (s *Service) scaleReplicas(ctx context.Context, servableID string, replicas int, executorRoute string) error {
+	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
+	defer cancel()
 	task := taskmanager.Task{
 		ID:       queue.NewID(),
 		Kind:     "scale",
@@ -1004,6 +1192,7 @@ func (s *Service) Scale(ctx context.Context, caller Caller, servableID string, r
 	if _, err := s.dispatch(ctx, task); err != nil {
 		return err
 	}
+	s.recordReplicas(servableID, replicas)
 	// Replica churn restarts servable processes; drop cached results so
 	// post-scale traffic re-exercises the fresh deployment.
 	s.invalidateCache(servableID)

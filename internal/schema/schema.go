@@ -116,6 +116,51 @@ type Document struct {
 	Servable    Servable    `json:"servable"`
 }
 
+// Clone returns a deep copy of the document: no slice, map or raw-JSON
+// storage is shared with the receiver. Snapshot persistence clones
+// documents under the repository lock so concurrent metadata updates
+// can never race the encoder.
+func (d *Document) Clone() *Document {
+	if d == nil {
+		return nil
+	}
+	cp := *d
+	cp.Publication.Authors = append([]string(nil), d.Publication.Authors...)
+	cp.Publication.Domains = append([]string(nil), d.Publication.Domains...)
+	cp.Publication.RelatedDatasets = append([]string(nil), d.Publication.RelatedDatasets...)
+	cp.Publication.VisibleTo = append([]string(nil), d.Publication.VisibleTo...)
+	cp.Servable.Dependencies = cloneMap(d.Servable.Dependencies)
+	cp.Servable.ModelComponents = cloneMap(d.Servable.ModelComponents)
+	cp.Servable.Steps = append([]string(nil), d.Servable.Steps...)
+	cp.Servable.Input.Shape = append([]int(nil), d.Servable.Input.Shape...)
+	cp.Servable.Output.Shape = append([]int(nil), d.Servable.Output.Shape...)
+	cp.Servable.Hyperparameters = cloneRawMap(d.Servable.Hyperparameters)
+	cp.Servable.TrainingMetadata = cloneRawMap(d.Servable.TrainingMetadata)
+	return &cp
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneRawMap(m map[string]json.RawMessage) map[string]json.RawMessage {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]json.RawMessage, len(m))
+	for k, v := range m {
+		out[k] = append(json.RawMessage(nil), v...)
+	}
+	return out
+}
+
 var nameRe = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]{0,63}$`)
 
 // ErrInvalid wraps all validation failures.

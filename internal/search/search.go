@@ -113,6 +113,18 @@ func (ix *Index) indexNumber(field string, v float64, docID string) {
 	byDoc[docID] = v
 }
 
+// Reset empties the index in place: every document, posting and
+// numeric entry is dropped while concurrent readers keep a consistent
+// (old-or-new) view. Snapshot restore uses it so loading over a
+// non-empty index cannot leave stale entries behind.
+func (ix *Index) Reset() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.docs = make(map[string]*Doc)
+	ix.inverted = make(map[string]map[string]map[string]bool)
+	ix.numeric = make(map[string]map[string]float64)
+}
+
 // Delete removes a document. It returns ErrNotFound for unknown IDs.
 func (ix *Index) Delete(id string) error {
 	ix.mu.Lock()

@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/matsci"
 	"repro/internal/ml/nn"
 	"repro/internal/ml/rf"
 	"repro/internal/pyruntime"
 	"repro/internal/schema"
+	"repro/internal/simconst"
 )
 
 // This file registers the "Python modules" baked into DLHub servable
@@ -33,6 +35,14 @@ func RegisterBuiltins() {
 				return nil, fmt.Errorf("test:length wants a string, got %T", arg)
 			}
 			return len(s), nil
+		})
+		// "test sleep": a synthetic-load servable that holds its
+		// (single-threaded) pod for 50 ms per request — deterministic
+		// demand for autoscaler smokes and load experiments, without
+		// burning CPU the way a real model would.
+		pyruntime.Register("test:sleep", func(arg any) (any, error) {
+			time.Sleep(simconst.D(50 * time.Millisecond))
+			return "ok", nil
 		})
 		// "matminer util": parse a composition string with pymatgen.
 		pyruntime.Register("pymatgen:parse_composition", func(arg any) (any, error) {

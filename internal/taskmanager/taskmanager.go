@@ -77,10 +77,16 @@ type Reply struct {
 	Cached           bool  `json:"cached,omitempty"`
 }
 
-// Registration announces a TM to the Management Service.
+// Registration announces a TM to the Management Service. Heartbeat
+// re-registrations also carry the TM's current queue-depth view, so the
+// service-side autoscaler can see load that has already left the broker
+// but not yet finished executing.
 type Registration struct {
 	TMID      string   `json:"tm_id"`
 	Executors []string `json:"executors"`
+	// Active counts tasks currently executing at this TM (pulled from
+	// the queue, reply not yet sent). Zero on initial registration.
+	Active int `json:"active,omitempty"`
 }
 
 // QueueAPI abstracts the broker connection (in-process broker or remote
@@ -151,6 +157,11 @@ type TM struct {
 	statMu    sync.Mutex
 	completed uint64
 	hits      uint64
+	active    int
+
+	// reg is the registration body template re-marshaled (with the
+	// current active count) on every heartbeat.
+	reg Registration
 }
 
 // New creates and registers a Task Manager and starts its pull loops.
@@ -180,7 +191,8 @@ func New(cfg Config) (*TM, error) {
 	for name := range cfg.Executors {
 		execs = append(execs, name)
 	}
-	reg, err := json.Marshal(Registration{TMID: cfg.ID, Executors: execs})
+	tm.reg = Registration{TMID: cfg.ID, Executors: execs}
+	reg, err := json.Marshal(tm.reg)
 	if err != nil {
 		return nil, err
 	}
@@ -193,14 +205,15 @@ func New(cfg Config) (*TM, error) {
 	}
 	if cfg.HeartbeatInterval > 0 {
 		tm.wg.Add(1)
-		go tm.heartbeatLoop(reg)
+		go tm.heartbeatLoop()
 	}
 	return tm, nil
 }
 
 // heartbeatLoop re-sends the registration periodically; the Management
-// Service uses the arrival times for liveness.
-func (tm *TM) heartbeatLoop(body []byte) {
+// Service uses the arrival times for liveness and the carried Active
+// count as the TM-side queue-depth signal.
+func (tm *TM) heartbeatLoop() {
 	defer tm.wg.Done()
 	ticker := time.NewTicker(tm.cfg.HeartbeatInterval)
 	defer ticker.Stop()
@@ -209,9 +222,20 @@ func (tm *TM) heartbeatLoop(body []byte) {
 		case <-tm.stop:
 			return
 		case <-ticker.C:
-			tm.cfg.Queue.Push(RegisterQueue, body, "", "") //nolint:errcheck — next beat retries
+			reg := tm.reg
+			reg.Active = tm.Active()
+			if body, err := json.Marshal(reg); err == nil {
+				tm.cfg.Queue.Push(RegisterQueue, body, "", "") //nolint:errcheck — next beat retries
+			}
 		}
 	}
+}
+
+// Active reports how many tasks this TM is currently executing.
+func (tm *TM) Active() int {
+	tm.statMu.Lock()
+	defer tm.statMu.Unlock()
+	return tm.active
 }
 
 // SetMemoize toggles the TM cache (cleared when disabled).
@@ -271,6 +295,14 @@ func (tm *TM) handle(msg queue.Message) {
 		tm.reply(msg, Reply{OK: false, Error: "bad task: " + err.Error()})
 		return
 	}
+	tm.statMu.Lock()
+	tm.active++
+	tm.statMu.Unlock()
+	defer func() {
+		tm.statMu.Lock()
+		tm.active--
+		tm.statMu.Unlock()
+	}()
 	start := time.Now()
 	var rep Reply
 	switch task.Kind {
