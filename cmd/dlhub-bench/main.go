@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exps := flag.String("exp", "table1,table2,fig3,fig4,fig5,fig6,fig7,fig8,ablation,cache,autoscale", "comma-separated experiments to run")
+	exps := flag.String("exp", "table1,table2,fig3,fig4,fig5,fig6,fig7,fig8,ablation,cache,autoscale,pipeline", "comma-separated experiments to run")
 	paperScale := flag.Bool("paper-scale", false, "use the paper's full experiment sizes (slow)")
 	scale := flag.Float64("scale", 1, "divide injected environmental latencies by this factor")
 	requests := flag.Int("requests", 0, "override requests per configuration (figs 3/4/8)")
@@ -65,6 +65,7 @@ func main() {
 		{"ablation", bench.AblationCoalescing},
 		{"cache", bench.AblationServiceCache},
 		{"autoscale", bench.AblationAutoscale},
+		{"pipeline", bench.AblationPipeline},
 	}
 	want := map[string]bool{}
 	for _, name := range strings.Split(*exps, ",") {

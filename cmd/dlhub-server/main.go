@@ -34,6 +34,7 @@ func main() {
 	logRequests := flag.Bool("log-requests", false, "log every HTTP request (method, path, status, latency, request ID)")
 	autoscaleInterval := flag.Duration("autoscale-interval", 0, "autoscaler control-loop tick (default 1s)")
 	maxQueue := flag.Int("max-queue", 0, "service-wide admission bound: reject runs (429) for a servable once this many are pending (0 = unbounded)")
+	taskRetention := flag.Duration("task-retention", 0, "how long finished async tasks stay queryable before the sweeper deletes them (default 15m, negative retains forever)")
 	flag.Parse()
 
 	ms := core.New(core.Config{
@@ -46,6 +47,7 @@ func main() {
 		LogRequests:       *logRequests,
 		AutoscaleInterval: *autoscaleInterval,
 		MaxQueue:          *maxQueue,
+		TaskRetention:     *taskRetention,
 	})
 	defer ms.Close()
 	if *snapshotDir != "" {

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/schema"
+	"repro/internal/taskmanager"
 )
 
 // Client talks to a Management Service over its REST API (v2 surface).
@@ -122,7 +123,17 @@ type RunResult struct {
 	InferenceMicros  int64 `json:"inference_us"`
 	InvocationMicros int64 `json:"invocation_us"`
 	RequestMicros    int64 `json:"request_us"`
+	// Steps decomposes a pipeline run per step, in execution order. A
+	// step with RequestMicros > 0 was orchestrated by the Management
+	// Service (distributed across Task Managers, possibly answered from
+	// the result cache — see CacheHit); one without ran inside a
+	// TM-local monolith dispatch.
+	Steps []StepTiming `json:"steps,omitempty"`
 }
+
+// StepTiming is one pipeline step's timing and cache record — an alias
+// of the wire type so client and server cannot drift.
+type StepTiming = taskmanager.StepStat
 
 // CacheStats mirrors the Management Service's result-cache counters.
 type CacheStats = core.CacheStats
@@ -538,6 +549,14 @@ func (c *Client) DeployCtx(ctx context.Context, id string, replicas int, executo
 		core.DeployRequest{Replicas: replicas, Executor: executorRoute}, nil, "")
 }
 
+// DeployTo is Deploy pinned to a named registered Task Manager — how
+// operators place pipeline steps on disjoint sites deterministically
+// instead of riding routing tie-breaks.
+func (c *Client) DeployTo(ctx context.Context, id string, replicas int, executorRoute, tmID string) error {
+	return c.call(ctx, http.MethodPost, "/api/v2/servables/"+id+"/deploy",
+		core.DeployRequest{Replicas: replicas, Executor: executorRoute, TM: tmID}, nil, "")
+}
+
 // Scale adjusts the replica count of a deployed servable.
 func (c *Client) Scale(id string, replicas int, executorRoute string) error {
 	return c.ScaleCtx(context.Background(), id, replicas, executorRoute)
@@ -589,6 +608,12 @@ func (c *Client) UpdateVisibility(id string, visibleTo []string) error {
 func (c *Client) UpdateDescription(id, description string) error {
 	return c.call(context.Background(), http.MethodPatch, "/api/v2/servables/"+id,
 		core.UpdateRequest{Description: &description}, nil, "")
+}
+
+// Unpublish removes a servable (every version) from the repository.
+// Owner-only.
+func (c *Client) Unpublish(ctx context.Context, id string) error {
+	return c.call(ctx, http.MethodDelete, "/api/v2/servables/"+id, nil, nil, "")
 }
 
 // CacheStats fetches the Management Service's result-cache counters;

@@ -67,8 +67,13 @@ type Testbed struct {
 	Clipper *clipper.System
 
 	queueSrv    *queue.Server
+	queueAddr   string
 	queueClient *queue.Client
 	execs       map[string]executor.Executor
+
+	// extra sites attached with AddTM, torn down by Close.
+	extraTMs     []*taskmanager.TM
+	extraClients []*queue.Client
 }
 
 // NewTestbed assembles a deployment per opts.
@@ -135,6 +140,7 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		// half the RTT).
 		wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
 		go tb.queueSrv.Serve(netsim.NewListener(l, wan)) //nolint:errcheck
+		tb.queueAddr = l.Addr().String()
 		conn, err := net.Dial("tcp", l.Addr().String())
 		if err != nil {
 			return nil, err
@@ -162,6 +168,48 @@ func NewTestbed(opts Options) (*Testbed, error) {
 	return tb, nil
 }
 
+// AddTM attaches an additional Task Manager site to the testbed: its
+// own registry, mini cluster and parsl executor, connected to the
+// Management Service's broker — over the same WAN shaping as the first
+// site when the testbed runs in WAN mode. Multi-site experiments
+// (distributed pipelines, disjoint placements) build on it.
+func (tb *Testbed) AddTM(id string, nodes int) (*taskmanager.TM, error) {
+	if nodes <= 0 {
+		nodes = 4
+	}
+	registry := container.NewRegistry()
+	rt := container.NewRuntime(registry)
+	rt.RegisterProcess("dlhub-ipp-engine", executor.NewPodProcessFactory(true))
+	cluster := k8s.NewCluster(rt, nodes, k8s.Resources{MilliCPU: 32000, MemMB: 64 * 1024})
+	link := netsim.RTT(simconst.D(simconst.RTTTMToCluster), simconst.LinkBandwidth)
+	parsl := executor.NewParsl(cluster, container.NewBuilder(registry), link)
+
+	var q taskmanager.QueueAPI
+	if tb.queueAddr != "" {
+		wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
+		conn, err := net.Dial("tcp", tb.queueAddr)
+		if err != nil {
+			return nil, err
+		}
+		client := queue.NewClient(netsim.Wrap(conn, wan))
+		tb.extraClients = append(tb.extraClients, client)
+		q = client
+	} else {
+		q = taskmanager.BrokerAdapter{B: tb.MS.Broker()}
+	}
+	tm, err := taskmanager.New(taskmanager.Config{
+		ID:        id,
+		Queue:     q,
+		Executors: map[string]executor.Executor{"parsl": parsl},
+		Pullers:   8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.extraTMs = append(tb.extraTMs, tm)
+	return tm, nil
+}
+
 // ExecutorReplicas reports the actual replica count a site executor is
 // running for a servable (0 for unknown routes) — ground truth for
 // autoscaler tests and the autoscale ablation, independent of the
@@ -176,6 +224,12 @@ func (tb *Testbed) ExecutorReplicas(route, servableID string) int {
 
 // Close tears the deployment down.
 func (tb *Testbed) Close() {
+	for _, tm := range tb.extraTMs {
+		tm.Close()
+	}
+	for _, c := range tb.extraClients {
+		c.Close()
+	}
 	if tb.TM != nil {
 		tb.TM.Close() // closes executors too
 	}

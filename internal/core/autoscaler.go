@@ -178,6 +178,15 @@ func (a *autoscaler) setPolicy(servableID string, p AutoscalePolicy) error {
 	return nil
 }
 
+// removePolicy drops a servable's controller state entirely — the
+// Unpublish hook. A scale task already in flight finishes on its own;
+// its completion callback tolerates the missing entry.
+func (a *autoscaler) removePolicy(servableID string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.svs, servableID)
+}
+
 // status snapshots one servable's controller state (ok false when no
 // policy was ever set).
 func (a *autoscaler) status(servableID string) (AutoscaleStatus, bool) {

@@ -390,23 +390,34 @@ func TestCacheHTTPHeaderAndStats(t *testing.T) {
 		t.Fatalf("no_cache header = %q, want bypass", got)
 	}
 
-	// Pipelines never use the cache: header must say bypass, not miss.
+	// Pipelines participate per step: the first run shares step 1's
+	// entry with the plain runs above (same key space) but dispatches
+	// step 2 — a miss overall; repeating it serves every step from
+	// cache and reports a hit.
 	pipeDoc := pipelineDoc("hdr-pipe", []string{id, id})
 	pipeID, err := ms.Publish(context.Background(), core.Anonymous, &servable.Package{Doc: pipeDoc})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pdata, _ := json.Marshal(map[string]any{"input": "x"})
-	presp, err := srv.Client().Post(srv.URL+"/api/run/"+pipeID, "application/json", bytes.NewReader(pdata))
-	if err != nil {
-		t.Fatal(err)
+	pipeRun := func() *http.Response {
+		t.Helper()
+		pdata, _ := json.Marshal(map[string]any{"input": "x"})
+		presp, err := srv.Client().Post(srv.URL+"/api/run/"+pipeID, "application/json", bytes.NewReader(pdata))
+		if err != nil {
+			t.Fatal(err)
+		}
+		presp.Body.Close()
+		return presp
 	}
-	presp.Body.Close()
-	if got := presp.Header.Get(core.CacheHeader); got != "bypass" {
-		t.Fatalf("pipeline run header = %q, want bypass", got)
+	if got := pipeRun().Header.Get(core.CacheHeader); got != "miss" {
+		t.Fatalf("first pipeline run header = %q, want miss", got)
+	}
+	if got := pipeRun().Header.Get(core.CacheHeader); got != "hit" {
+		t.Fatalf("repeated pipeline run header = %q, want hit", got)
 	}
 
-	// Stats endpoint.
+	// Stats endpoint: 1 plain hit + 1 step hit on the first pipeline
+	// run + 2 step hits on the repeat; entries for the two step keys.
 	sresp, err := srv.Client().Get(srv.URL + "/api/cache/stats")
 	if err != nil {
 		t.Fatal(err)
@@ -419,7 +430,7 @@ func TestCacheHTTPHeaderAndStats(t *testing.T) {
 	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
-	if !stats.Enabled || stats.Stats.Hits != 1 || stats.Stats.Entries != 1 {
+	if !stats.Enabled || stats.Stats.Hits != 4 || stats.Stats.Entries != 2 {
 		t.Fatalf("stats endpoint wrong: %+v", stats)
 	}
 
@@ -427,7 +438,7 @@ func TestCacheHTTPHeaderAndStats(t *testing.T) {
 	if _, err := srv.Client().Post(srv.URL+"/api/cache/flush", "application/json", nil); err != nil {
 		t.Fatal(err)
 	}
-	if st := ms.CacheStats(); st.Entries != 0 || st.Hits != 1 {
+	if st := ms.CacheStats(); st.Entries != 0 || st.Hits != 4 {
 		t.Fatalf("flush wrong: %+v", st)
 	}
 }

@@ -271,15 +271,16 @@ type RunRequest struct {
 }
 
 // CacheHeader is set on synchronous /api/run responses: "hit" when the
-// service-layer cache (or singleflight) answered, "miss" when the cache
-// was consulted but the task dispatched, "bypass" when the cache never
-// applied (disabled, no_cache/no_memo, or an uncacheable pipeline run).
+// service-layer cache (or singleflight) answered — for pipelines, when
+// every step did — "miss" when the cache was consulted but a task
+// dispatched, "bypass" when the cache never applied (disabled, or
+// no_cache/no_memo).
 const CacheHeader = "X-DLHub-Cache"
 
 // setCacheHeader annotates a synchronous run response for servableID.
 func (s *Service) setCacheHeader(w http.ResponseWriter, servableID string, opts RunOptions, res RunResult) {
 	switch {
-	case !s.cacheUsable(opts) || !s.cacheableID(servableID):
+	case !s.cacheUsable(opts) || !s.cacheableID(servableID) || res.cacheSkipped:
 		w.Header().Set(CacheHeader, "bypass")
 	case res.CacheHit:
 		w.Header().Set(CacheHeader, "hit")
@@ -352,6 +353,10 @@ func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
 type DeployRequest struct {
 	Replicas int    `json:"replicas"`
 	Executor string `json:"executor,omitempty"`
+	// TM pins the deploy to a named registered Task Manager (DeployTo)
+	// — how operators place pipeline steps on disjoint sites. Empty
+	// routes via pickTM as before. Scale ignores it.
+	TM string `json:"tm,omitempty"`
 }
 
 func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
@@ -365,7 +370,7 @@ func (s *Service) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("owner") + "/" + r.PathValue("name")
-	if err := s.Deploy(r.Context(), c, id, req.Replicas, req.Executor); err != nil {
+	if err := s.DeployTo(r.Context(), c, id, req.Replicas, req.Executor, req.TM); err != nil {
 		writeServiceError(w, err)
 		return
 	}

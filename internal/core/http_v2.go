@@ -49,6 +49,7 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}/versions", s.handleV2Versions)
 	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}/dockerfile", s.handleV2Dockerfile)
 	mux.HandleFunc("PATCH /api/v2/servables/{owner}/{name}", s.handleV2Update)
+	mux.HandleFunc("DELETE /api/v2/servables/{owner}/{name}", s.handleV2Unpublish)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/run", s.handleV2Run)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/deploy", s.handleV2Deploy)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/scale", s.handleV2Scale)
@@ -393,6 +394,22 @@ func (s *Service) handleV2Update(w http.ResponseWriter, r *http.Request) {
 	writeV2(w, r, http.StatusOK, doc)
 }
 
+// handleV2Unpublish removes a servable (all versions) from the
+// repository. Owner-only; in-flight runs of the servable fail at their
+// next resolution.
+func (s *Service) handleV2Unpublish(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	if err := s.Unpublish(c, id); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "unpublished"})
+}
+
 // SearchRequestV2 is the POST /api/v2/search body: the v1 query
 // language plus a resumption cursor.
 type SearchRequestV2 struct {
@@ -526,7 +543,7 @@ func (s *Service) handleV2Deploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.PathValue("owner") + "/" + r.PathValue("name")
-	if err := s.Deploy(r.Context(), c, id, req.Replicas, req.Executor); err != nil {
+	if err := s.DeployTo(r.Context(), c, id, req.Replicas, req.Executor, req.TM); err != nil {
 		writeV2Error(w, r, err)
 		return
 	}
@@ -707,5 +724,6 @@ func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 	writeV2(w, r, http.StatusOK, map[string]any{
 		"routes":     s.RouteStats(),
 		"autoscaler": s.AutoscalerStats(),
+		"tasks":      s.TaskStats(),
 	})
 }

@@ -10,7 +10,10 @@
 // registered Task Managers, synchronous and asynchronous task
 // execution, batching, pipelines and access control via the auth
 // substrate. The REST API in http.go wraps the methods here; benches
-// and tests may also drive the service in-process.
+// and tests may also drive the service in-process. Pipelines are
+// service-orchestrated: each step routes, caches and accounts demand
+// independently, with a TM-local monolith fast path when every step is
+// co-deployed on one site (pipeline.go).
 //
 // Two serving-layer mechanisms extend the paper's design for multi-TM
 // deployments: a service-layer result cache with singleflight
@@ -33,6 +36,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"strings"
 	"sync"
 	"time"
@@ -90,6 +94,12 @@ type Config struct {
 	// instead of queueing. A per-servable AutoscalePolicy.MaxQueue
 	// overrides it.
 	MaxQueue int
+	// TaskRetention bounds how long a finished async task stays
+	// queryable: the sweeper deletes completed/failed tasks this long
+	// after they finish (default 15m; < 0 retains forever). Without it
+	// the task map grows one entry per RunAsync for the service
+	// lifetime.
+	TaskRetention time.Duration
 }
 
 // Service is the Management Service.
@@ -135,6 +145,9 @@ type Service struct {
 
 	taskMu sync.RWMutex
 	tasks  map[string]*asyncTask
+	// taskSwept counts finished async tasks deleted by the retention
+	// sweeper (exposed in /api/v2/stats).
+	taskSwept uint64
 
 	batchMu  sync.Mutex
 	batchers map[string]*batcher
@@ -188,6 +201,9 @@ func New(cfg Config) *Service {
 	if cfg.TaskTimeout <= 0 {
 		cfg.TaskTimeout = 120 * time.Second
 	}
+	if cfg.TaskRetention == 0 {
+		cfg.TaskRetention = 15 * time.Minute
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = container.NewRegistry()
 	}
@@ -223,6 +239,10 @@ func New(cfg Config) *Service {
 	go s.registrationLoop()
 	s.regWG.Add(1)
 	go s.scaler.loop()
+	if cfg.TaskRetention > 0 {
+		s.regWG.Add(1)
+		go s.taskSweepLoop()
+	}
 	return s
 }
 
@@ -312,23 +332,40 @@ func (s *Service) pickTM(servableID string) (string, error) {
 	candidates := s.tms
 	if servableID != "" {
 		if placed := s.placements[servableID]; len(placed) > 0 {
-			registered := make([]string, 0, len(placed))
-			for _, id := range placed {
-				for _, known := range s.tms {
-					if id == known {
-						registered = append(registered, id)
-						break
-					}
-				}
-			}
-			if len(registered) > 0 {
+			if registered := s.registeredLocked(placed); len(registered) > 0 {
 				candidates = registered
 			}
 		}
 	}
-	candidates = s.liveLocked(candidates)
-	if len(candidates) == 0 {
+	tm, ok := s.leastLoadedLocked(s.liveLocked(candidates))
+	if !ok {
 		return "", ErrNoTaskManager
+	}
+	return tm, nil
+}
+
+// registeredLocked filters ids to those currently registered. Caller
+// holds s.mu.
+func (s *Service) registeredLocked(ids []string) []string {
+	registered := make([]string, 0, len(ids))
+	for _, id := range ids {
+		for _, known := range s.tms {
+			if id == known {
+				registered = append(registered, id)
+				break
+			}
+		}
+	}
+	return registered
+}
+
+// leastLoadedLocked picks the candidate with the fewest in-flight
+// dispatches, breaking ties round-robin (shared with every routing
+// decision so policies cannot diverge). Caller holds s.mu for writing
+// (the tie-break counter advances).
+func (s *Service) leastLoadedLocked(candidates []string) (string, bool) {
+	if len(candidates) == 0 {
+		return "", false
 	}
 	minLoad := -1
 	var tied []string
@@ -344,7 +381,7 @@ func (s *Service) pickTM(servableID string) (string, error) {
 	}
 	tm := tied[s.tmRR%len(tied)]
 	s.tmRR++
-	return tm, nil
+	return tm, true
 }
 
 // TMLoad reports in-flight (dispatched, not yet answered) task counts
@@ -431,16 +468,29 @@ func (s *Service) LiveTaskManagers() []string {
 	return s.liveLocked(s.tms)
 }
 
-// recordPlacement remembers that tmID hosts servableID.
-func (s *Service) recordPlacement(servableID, tmID string) {
+// recordDeployment records placement and desired replicas for a
+// completed deploy, but ONLY while the servable is still published: a
+// deploy whose task was in flight when an Unpublish won must not
+// resurrect routing state for a deleted servable. Reports whether the
+// record was made.
+func (s *Service) recordDeployment(servableID, tmID string, replicas int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if _, ok := s.docs[servableID]; !ok {
+		return false
+	}
+	placed := false
 	for _, id := range s.placements[servableID] {
 		if id == tmID {
-			return
+			placed = true
+			break
 		}
 	}
-	s.placements[servableID] = append(s.placements[servableID], tmID)
+	if !placed {
+		s.placements[servableID] = append(s.placements[servableID], tmID)
+	}
+	s.replicas[servableID] = replicas
+	return true
 }
 
 // --- identity ---------------------------------------------------------------
@@ -561,6 +611,57 @@ func (s *Service) UpdateMetadata(caller Caller, id string, update func(*schema.P
 	// flips); drop cached results rather than reason about which edits
 	// are benign.
 	s.invalidateCache(id)
+	return nil
+}
+
+// Unpublish removes a servable from the repository entirely: every
+// version, its package, search entry, cached results, placements,
+// replica record, autoscale policy and batcher — and best-effort
+// undeploys its replicas from every placed Task Manager, so serving
+// capacity does not stay stranded on sites for a servable no API can
+// reach anymore. Owner-only. In-flight work races naturally — a
+// pipeline step resolved before the unpublish completes normally; one
+// resolved after fails with ErrNotFound at its step boundary.
+func (s *Service) Unpublish(caller Caller, id string) error {
+	s.mu.Lock()
+	doc, ok := s.docs[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if doc.Owner != caller.IdentityID {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: only the owner may unpublish %s", ErrForbidden, id)
+	}
+	placed := append([]string(nil), s.placements[id]...)
+	delete(s.docs, id)
+	delete(s.versions, id)
+	delete(s.packages, id)
+	delete(s.placements, id)
+	delete(s.replicas, id)
+	// The index entry and cached results go under the same critical
+	// section: dropping them after unlock would race a concurrent
+	// re-Publish of the id and could destroy the fresh publication's
+	// entries. (The cache takes only its own lock; no inversion.)
+	s.index.Delete(id) //nolint:errcheck — already-absent is fine
+	s.invalidateCache(id)
+	s.mu.Unlock()
+	// Controller state cleanup happens outside s.mu (the autoscaler's
+	// status path acquires its own lock before s.mu — nesting here
+	// would invert that order). A re-Publish racing this exact window
+	// may need to re-install its policy; the window is benign
+	// otherwise. Without the cleanup, the autoscaler would keep
+	// driving Scale tasks (and logging ErrNotFound) for a servable
+	// that no longer exists, and a batcher entry would leak for the
+	// service lifetime.
+	s.scaler.removePolicy(id)
+	s.DisableCoalescing(id)
+	// Undeploy is asynchronous and best-effort: the repository entry is
+	// already gone, and a site that misses the task only leaks until
+	// its own restart.
+	for _, tmID := range placed {
+		s.undeployAsync(id, tmID)
+	}
 	return nil
 }
 
@@ -726,6 +827,11 @@ type RunResult struct {
 	// the result cache can charge its byte budget without
 	// re-marshaling.
 	wireSize int64
+	// cacheSkipped marks a result whose execution path never consulted
+	// the service-layer cache even though the request options allowed
+	// it (monolith pipelines, pipeline batches) — the X-DLHub-Cache
+	// header reports these as "bypass", not "miss".
+	cacheSkipped bool
 }
 
 // markCacheHit stamps a result served without dispatching: hit flags
@@ -748,14 +854,15 @@ func (s *Service) cacheUsable(opts RunOptions) bool {
 // CacheEnabled reports whether the service-layer result cache is on.
 func (s *Service) CacheEnabled() bool { return s.cache != nil }
 
-// cacheableID reports whether requests for servableID can ever use the
-// result cache (pipelines never do — their steps version
-// independently).
+// cacheableID reports whether requests for servableID can be answered
+// from the result cache. Pipelines qualify through their per-step
+// entries (a run whose every step hits is itself reported as a hit)
+// even though they have no pipeline-level entry of their own.
 func (s *Service) cacheableID(servableID string) bool {
 	s.mu.RLock()
-	doc, ok := s.docs[servableID]
+	_, ok := s.docs[servableID]
 	s.mu.RUnlock()
-	return ok && doc.Servable.Type != schema.TypePipeline
+	return ok
 }
 
 // CacheStats snapshots the service-layer cache counters (zero when the
@@ -829,9 +936,10 @@ func (s *Service) Run(ctx context.Context, caller Caller, servableID string, inp
 		return RunResult{}, err
 	}
 	if doc.Servable.Type == schema.TypePipeline {
-		// Pipelines are not cached at the service layer: their step
-		// servables version independently, so a pipeline-level key
-		// cannot see staleness in an updated step.
+		// Pipelines have no pipeline-LEVEL cache entry (step servables
+		// version independently, so one key cannot see staleness in an
+		// updated step); the engine caches per step instead — see
+		// pipeline.go for the execution and cache-key contract.
 		return s.runPipeline(ctx, caller, doc, input, opts)
 	}
 	task := taskmanager.Task{
@@ -888,39 +996,17 @@ func (s *Service) RunBatch(ctx context.Context, caller Caller, servableID string
 		return RunResult{}, err
 	}
 	defer release()
-	return s.dispatch(ctx, task)
-}
-
-// runPipeline sends the entire step chain to one TM for server-side
-// chaining (§VI-D). Caller (Run) owns the deadline on ctx.
-func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Document, input any, opts RunOptions) (RunResult, error) {
-	// The caller must be able to see every step.
-	steps := make([]string, len(doc.Servable.Steps))
-	for i, step := range doc.Servable.Steps {
-		stepDoc, err := s.Get(caller, step)
-		if err != nil {
-			return RunResult{}, fmt.Errorf("pipeline step %q: %w", step, err)
-		}
-		steps[i] = stepDoc.ID
+	res, err := s.dispatch(ctx, task)
+	if doc.Servable.Type == schema.TypePipeline {
+		res.cacheSkipped = true
 	}
-	task := taskmanager.Task{
-		ID:     queue.NewID(),
-		Kind:   "pipeline",
-		Input:  input,
-		Steps:  steps,
-		NoMemo: opts.NoMemo,
-	}
-	return s.dispatch(ctx, task)
+	return res, err
 }
 
 // dispatch pushes a task to a TM queue and waits for the reply, bounded
 // by ctx.
 func (s *Service) dispatch(ctx context.Context, task taskmanager.Task) (RunResult, error) {
-	route := task.Servable
-	if route == "" && len(task.Steps) > 0 {
-		route = task.Steps[0]
-	}
-	tmID, err := s.pickTM(route)
+	tmID, err := s.pickTM(task.Servable)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -949,14 +1035,15 @@ func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.
 	// admission control or inflate the demand signal. A batch weighs
 	// its input count: one flushed coalesced batch of N members is N
 	// units of demand, not 1, so the autoscaler's signal does not
-	// collapse every flush cycle.
+	// collapse every flush cycle. Demand is charged to the task's OWN
+	// servable: a monolith pipeline carries its published pipeline ID
+	// and distributed steps dispatch as plain runs under their step ID
+	// — never the old Steps[0] fallback, which billed whole pipelines
+	// to whatever servable happened to come first.
 	sv, svWeight := "", 0
 	switch task.Kind {
 	case "run", "run_batch", "pipeline":
 		sv = task.Servable
-		if sv == "" && len(task.Steps) > 0 {
-			sv = task.Steps[0]
-		}
 		svWeight = 1
 		if task.Kind == "run_batch" && len(task.Inputs) > 1 {
 			svWeight = len(task.Inputs)
@@ -1004,8 +1091,12 @@ func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.
 
 // RunAsync starts an asynchronous invocation and returns its task UUID.
 // ctx gates only the submission (visibility check): the spawned task is
-// detached from it, because the paper's async contract is exactly that
-// the client may go away and poll (or stream) the result later.
+// detached from the CALLER's cancellation, because the paper's async
+// contract is exactly that the client may go away and poll (or stream)
+// the result later — but not from the SERVICE's: the detached run is
+// re-parented onto the service lifetime context, so Close fails
+// still-pending async tasks with ErrCanceled instead of leaving their
+// goroutines dispatching into a closed broker.
 func (s *Service) RunAsync(ctx context.Context, caller Caller, servableID string, input any, opts RunOptions) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", wrapCtxErr(err)
@@ -1024,8 +1115,12 @@ func (s *Service) RunAsync(ctx context.Context, caller Caller, servableID string
 
 	// The detached context keeps ctx's values (identity, request ID)
 	// but not its cancellation; Run applies the usual deadline policy.
-	bg := context.WithoutCancel(ctx)
+	// Service.Close cancels it through the lifetime context.
+	bg, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	stop := context.AfterFunc(s.lifeCtx, cancel)
 	go func() {
+		defer stop()
+		defer cancel()
 		res, err := s.Run(bg, caller, servableID, input, opts)
 		s.taskMu.Lock()
 		at.Finished = s.timeFunc()
@@ -1040,6 +1135,70 @@ func (s *Service) RunAsync(ctx context.Context, caller Caller, servableID string
 		close(at.done)
 	}()
 	return id, nil
+}
+
+// TaskStats reports the async-task table's size and how many finished
+// tasks the retention sweeper has deleted.
+type TaskStats struct {
+	// Tracked is the current task-table size (pending + finished
+	// entries still within retention).
+	Tracked int `json:"tracked"`
+	// Swept counts finished tasks deleted by the retention sweeper.
+	Swept uint64 `json:"swept"`
+}
+
+// TaskStats snapshots the async-task counters.
+func (s *Service) TaskStats() TaskStats {
+	s.taskMu.RLock()
+	defer s.taskMu.RUnlock()
+	return TaskStats{Tracked: len(s.tasks), Swept: s.taskSwept}
+}
+
+// taskSweepLoop deletes finished async tasks TaskRetention after they
+// finish. The tick is a fraction of the retention so deletion lag stays
+// proportional to the window.
+func (s *Service) taskSweepLoop() {
+	defer s.regWG.Done()
+	interval := s.cfg.TaskRetention / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.sweepTasks()
+		}
+	}
+}
+
+// sweepTasks deletes tasks that finished (done closed) more than
+// TaskRetention ago, returning how many it removed. Pending tasks are
+// never touched — retention starts at Finished, not Created.
+func (s *Service) sweepTasks() int {
+	cutoff := s.timeFunc().Add(-s.cfg.TaskRetention)
+	swept := 0
+	s.taskMu.Lock()
+	for id, at := range s.tasks {
+		select {
+		case <-at.done:
+		default:
+			continue
+		}
+		if !at.Finished.IsZero() && at.Finished.Before(cutoff) {
+			delete(s.tasks, id)
+			swept++
+		}
+	}
+	s.taskSwept += uint64(swept)
+	s.taskMu.Unlock()
+	return swept
 }
 
 // TaskStatus fetches an async task's state.
@@ -1070,8 +1229,26 @@ func (s *Service) TaskWatch(taskID string) (<-chan struct{}, error) {
 
 // Deploy ships a published servable package to a Task Manager and
 // starts replicas on the named executor route. A deadline-free ctx gets
-// the 5-minute deployment budget (container shipping dominates).
+// the 5-minute deployment budget (container shipping dominates). The
+// target site is chosen by pickTM, so re-deploys land where the
+// servable already lives; DeployTo pins one explicitly.
 func (s *Service) Deploy(ctx context.Context, caller Caller, servableID string, replicas int, executorRoute string) error {
+	return s.deploy(ctx, caller, servableID, replicas, executorRoute, "")
+}
+
+// DeployTo is Deploy pinned to a specific registered Task Manager —
+// how operators place pipeline steps on disjoint sites (and how tests
+// make multi-TM placement deterministic instead of riding routing
+// tie-breaks). An empty tmID falls back to Deploy's default routing,
+// so the HTTP handlers can pass the request's optional "tm" field
+// through unconditionally.
+func (s *Service) DeployTo(ctx context.Context, caller Caller, servableID string, replicas int, executorRoute, tmID string) error {
+	return s.deploy(ctx, caller, servableID, replicas, executorRoute, tmID)
+}
+
+// deploy is the shared Deploy/DeployTo core; an empty tmID routes via
+// pickTM.
+func (s *Service) deploy(ctx context.Context, caller Caller, servableID string, replicas int, executorRoute, tmID string) error {
 	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
 	defer cancel()
 	if _, err := s.Get(caller, servableID); err != nil {
@@ -1095,26 +1272,59 @@ func (s *Service) Deploy(ctx context.Context, caller Caller, servableID string, 
 		Replicas: replicas,
 		Package:  wire,
 	}
-	// Route by servable so re-deploys land where the servable already
-	// lives, then record the placement.
-	tmID, err := s.pickTM(servableID)
-	if err != nil {
-		return err
+	if tmID == "" {
+		tmID, err = s.pickTM(servableID)
+		if err != nil {
+			return err
+		}
+	} else if !s.tmRegistered(tmID) {
+		return ErrNoTaskManager.WithDetail(fmt.Sprintf("task manager %q not registered", tmID))
 	}
 	if _, err := s.dispatchTo(ctx, tmID, task); err != nil {
 		return err
 	}
-	s.recordPlacement(servableID, tmID)
-	s.recordReplicas(servableID, max(replicas, 1))
+	if !s.recordDeployment(servableID, tmID, max(replicas, 1)) {
+		// Unpublished while the deploy task was in flight: the fresh
+		// replicas belong to a servable that no longer exists. Tear
+		// them down instead of resurrecting routing state for it.
+		s.undeployAsync(servableID, tmID)
+		return fmt.Errorf("%w: %s (unpublished during deploy)", ErrNotFound, servableID)
+	}
 	return nil
 }
 
+// undeployAsync best-effort removes a servable's replicas from one TM
+// in the background (Unpublish, and deploys that lost the race to it).
+// The lifetime ctx carries no deadline, so dispatchTo bounds the wait
+// with the service TaskTimeout — a dead TM costs one timed-out
+// goroutine, not a leak.
+func (s *Service) undeployAsync(servableID, tmID string) {
+	go func() {
+		task := taskmanager.Task{ID: queue.NewID(), Kind: "undeploy", Servable: servableID}
+		if _, err := s.dispatchTo(s.lifeCtx, tmID, task); err != nil && s.lifeCtx.Err() == nil {
+			log.Printf("core: undeploy %s from %s failed: %v", servableID, tmID, err)
+		}
+	}()
+}
+
+// tmRegistered reports whether a Task Manager ID has registered.
+func (s *Service) tmRegistered(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.registeredLocked([]string{id})) > 0
+}
+
 // recordReplicas remembers the desired replica count set by the last
-// successful Deploy/Scale — the autoscaler's view of current scale.
+// successful Scale — the autoscaler's view of current scale. A Scale
+// that raced an Unpublish records nothing (the replicas map must not
+// regrow an entry for a deleted servable).
 func (s *Service) recordReplicas(servableID string, replicas int) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[servableID]; !ok {
+		return
+	}
 	s.replicas[servableID] = replicas
-	s.mu.Unlock()
 }
 
 // DesiredReplicas reports the replica count last set by Deploy or Scale

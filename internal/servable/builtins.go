@@ -365,6 +365,25 @@ func MatminerModelPackage(trainN int, seed int64) (*Package, error) {
 	}, nil
 }
 
+// PipelineDoc builds the publication document for a pipeline chaining
+// the given published servable IDs in order (§VI-D). Pipelines are
+// virtual servables: no components, no container.
+func PipelineDoc(name, title string, steps []string) *schema.Document {
+	return &schema.Document{
+		Publication: schema.Publication{
+			Name:        name,
+			Title:       title,
+			Authors:     []string{"DLHub Team"},
+			VisibleTo:   []string{"public"},
+			Description: fmt.Sprintf("pipeline over %v", steps),
+		},
+		Servable: schema.Servable{
+			Type:  schema.TypePipeline,
+			Steps: steps,
+		},
+	}
+}
+
 // PaperServables builds all six §V-A servable packages keyed by name.
 func PaperServables(seed int64) (map[string]*Package, error) {
 	inception, err := InceptionPackage(seed)

@@ -75,6 +75,33 @@ type Reply struct {
 	InferenceMicros  int64 `json:"inference_us,omitempty"`
 	InvocationMicros int64 `json:"invocation_us,omitempty"`
 	Cached           bool  `json:"cached,omitempty"`
+	// Steps decomposes a pipeline reply per step, in execution order.
+	// The TM-local monolith path fills the executor-side timings; the
+	// Management Service's distributed path adds MS-side request time
+	// and cache flags.
+	Steps []StepStat `json:"steps,omitempty"`
+}
+
+// StepStat reports one pipeline step's execution: where the time went
+// and whether a cache tier answered instead of a servable.
+type StepStat struct {
+	Servable string `json:"servable"`
+	// Version is the step's published version at execution time. The
+	// TM monolith leaves it 0 — the repository lives at the Management
+	// Service, not here.
+	Version int `json:"version,omitempty"`
+	// InferenceMicros/InvocationMicros are the executor-side timings
+	// for this step alone.
+	InferenceMicros  int64 `json:"inference_us,omitempty"`
+	InvocationMicros int64 `json:"invocation_us,omitempty"`
+	// RequestMicros is the MS-side per-step round trip (routing +
+	// queue + execute + reply); zero on the TM-local monolith path,
+	// which makes the two execution modes distinguishable in a reply.
+	RequestMicros int64 `json:"request_us,omitempty"`
+	// Cached/CacheHit mirror Reply.Cached and the service-layer
+	// cache-hit flag for the individual step (distributed path only).
+	Cached   bool `json:"cached,omitempty"`
+	CacheHit bool `json:"cache_hit,omitempty"`
 }
 
 // Registration announces a TM to the Management Service. Heartbeat
@@ -142,6 +169,12 @@ type TM struct {
 	memoMu sync.RWMutex
 	memo   map[string][]byte // key -> JSON reply body
 	memoOn bool
+	// memoKeys indexes memo keys per servable so deploy/undeploy can
+	// drop exactly that servable's entries: a redeploy may carry a
+	// different model under the same name (notably republish-after-
+	// unpublish, which restarts at version 1), and its memoized
+	// outputs must not survive it — nor linger unreachable.
+	memoKeys map[string]map[string]struct{}
 
 	// servable -> executor route, set at deploy time.
 	routeMu sync.RWMutex
@@ -179,11 +212,12 @@ func New(cfg Config) (*TM, error) {
 		cfg.Pullers = 4
 	}
 	tm := &TM{
-		cfg:    cfg,
-		memo:   make(map[string][]byte),
-		memoOn: cfg.Memoize,
-		routes: make(map[string]string),
-		stop:   make(chan struct{}),
+		cfg:      cfg,
+		memo:     make(map[string][]byte),
+		memoOn:   cfg.Memoize,
+		memoKeys: make(map[string]map[string]struct{}),
+		routes:   make(map[string]string),
+		stop:     make(chan struct{}),
 	}
 	tm.ctx, tm.cancel = context.WithCancel(context.Background())
 	// Register with the Management Service.
@@ -244,6 +278,7 @@ func (tm *TM) SetMemoize(on bool) {
 	tm.memoOn = on
 	if !on {
 		tm.memo = make(map[string][]byte)
+		tm.memoKeys = make(map[string]map[string]struct{})
 	}
 	tm.memoMu.Unlock()
 }
@@ -380,6 +415,9 @@ func (tm *TM) handleDeploy(task *Task) Reply {
 	tm.routeMu.Lock()
 	tm.routes[pkg.Doc.ID] = routeName(task, ex)
 	tm.routeMu.Unlock()
+	// A (re)deploy may carry a different model under the same name;
+	// drop the previous deployment's memoized outputs.
+	tm.invalidateMemo(pkg.Doc.ID)
 	return Reply{OK: true, Output: fmt.Sprintf("deployed %s x%d on %s", pkg.Doc.ID, replicas, ex.Name())}
 }
 
@@ -412,6 +450,7 @@ func (tm *TM) handleUndeploy(task *Task) Reply {
 	tm.routeMu.Lock()
 	delete(tm.routes, task.Servable)
 	tm.routeMu.Unlock()
+	tm.invalidateMemo(task.Servable)
 	return Reply{OK: true}
 }
 
@@ -434,6 +473,18 @@ func memoKey(servableID string, input any) (string, error) {
 	}
 	sum := sha256.Sum256(append([]byte(servableID+"\x00"), data...))
 	return hex.EncodeToString(sum[:]), nil
+}
+
+// invalidateMemo drops a servable's memo entries — the deploy/undeploy
+// hook. Deleting (rather than epoch-orphaning) keeps the memo map
+// bounded across redeploys.
+func (tm *TM) invalidateMemo(servableID string) {
+	tm.memoMu.Lock()
+	for key := range tm.memoKeys[servableID] {
+		delete(tm.memo, key)
+	}
+	delete(tm.memoKeys, servableID)
+	tm.memoMu.Unlock()
 }
 
 func (tm *TM) handleRun(task *Task) Reply {
@@ -484,6 +535,12 @@ func (tm *TM) handleRun(task *Task) Reply {
 		if body, err := json.Marshal(rep); err == nil {
 			tm.memoMu.Lock()
 			tm.memo[key] = body
+			keys := tm.memoKeys[task.Servable]
+			if keys == nil {
+				keys = make(map[string]struct{})
+				tm.memoKeys[task.Servable] = keys
+			}
+			keys[key] = struct{}{}
 			tm.memoMu.Unlock()
 		}
 	}
@@ -534,7 +591,10 @@ func (tm *TM) handleBatch(task *Task) Reply {
 
 // handlePipeline chains steps server-side: "data are automatically
 // passed between each servable in the pipeline, meaning the entire
-// execution is performed server-side" (§VI-D).
+// execution is performed server-side" (§VI-D). This is the TM-local
+// fast path: the Management Service routes a whole pipeline here only
+// when every step is deployed on this one TM; otherwise it orchestrates
+// the steps itself across sites (core.runPipelineSteps).
 func (tm *TM) handlePipeline(task *Task) Reply {
 	start := time.Now()
 	if len(task.Steps) < 2 {
@@ -542,8 +602,10 @@ func (tm *TM) handlePipeline(task *Task) Reply {
 	}
 	current := task.Input
 	var totalInf int64
+	stats := make([]StepStat, 0, len(task.Steps))
 	for _, step := range task.Steps {
-		stepTask := &Task{Servable: step, Input: current}
+		stepStart := time.Now()
+		stepTask := &Task{Servable: step, Executor: task.Executor, Input: current}
 		ex, err := tm.executorFor(stepTask)
 		if err != nil {
 			return Reply{OK: false, Error: fmt.Sprintf("step %s: %v", step, err)}
@@ -554,12 +616,18 @@ func (tm *TM) handlePipeline(task *Task) Reply {
 		}
 		current = res.Output
 		totalInf += res.InferenceMicros
+		stats = append(stats, StepStat{
+			Servable:         step,
+			InferenceMicros:  res.InferenceMicros,
+			InvocationMicros: invocationMicros(stepStart),
+		})
 	}
 	return Reply{
 		OK:               true,
 		Output:           current,
 		InferenceMicros:  totalInf,
 		InvocationMicros: invocationMicros(start),
+		Steps:            stats,
 	}
 }
 
