@@ -31,6 +31,7 @@ func main() {
 	requests := flag.Int("requests", 0, "override requests per configuration (figs 3/4/8)")
 	fig7n := flag.Int("fig7-n", 0, "override inferences per replica point (fig 7)")
 	verbose := flag.Bool("v", true, "log progress")
+	jsonOut := flag.String("json", "", "also write machine-readable results (bench.Report) to this path")
 	flag.Parse()
 
 	simconst.Scale = *scale
@@ -73,6 +74,7 @@ func main() {
 	}
 
 	start := time.Now()
+	report := bench.Report{Started: start.UTC()}
 	for _, e := range all {
 		if !want[e.name] {
 			continue
@@ -83,8 +85,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
-		table.Note("completed in %s", time.Since(expStart).Round(time.Millisecond))
+		elapsed := time.Since(expStart)
+		table.Note("completed in %s", elapsed.Round(time.Millisecond))
 		table.Fprint(os.Stdout)
+		report.Experiments = append(report.Experiments, table.Entry(e.name, elapsed))
+	}
+	report.DurationMS = time.Since(start).Milliseconds()
+	if *jsonOut != "" {
+		if err := report.WriteFile(*jsonOut); err != nil {
+			log.Fatalf("write %s: %v", *jsonOut, err)
+		}
+		fmt.Fprintf(os.Stderr, "machine-readable results written to %s\n", *jsonOut)
 	}
 	fmt.Fprintf(os.Stderr, "all experiments done in %s\n", time.Since(start).Round(time.Second))
 }

@@ -35,6 +35,8 @@ func main() {
 	autoscaleInterval := flag.Duration("autoscale-interval", 0, "autoscaler control-loop tick (default 1s)")
 	maxQueue := flag.Int("max-queue", 0, "service-wide admission bound: reject runs (429) for a servable once this many are pending (0 = unbounded)")
 	taskRetention := flag.Duration("task-retention", 0, "how long finished async tasks stay queryable before the sweeper deletes them (default 15m, negative retains forever)")
+	tmStaleAfter := flag.Duration("tm-stale-after", 0, "drop TMs from routing when no heartbeat arrived within this window, and fail over dispatches stuck on them (0 disables liveness + failover)")
+	failoverRetries := flag.Int("failover-retries", 0, "re-dispatch budget per run after its TM misses the liveness window (default 2, negative disables; requires -tm-stale-after)")
 	flag.Parse()
 
 	ms := core.New(core.Config{
@@ -48,6 +50,8 @@ func main() {
 		AutoscaleInterval: *autoscaleInterval,
 		MaxQueue:          *maxQueue,
 		TaskRetention:     *taskRetention,
+		TMStaleAfter:      *tmStaleAfter,
+		FailoverRetries:   *failoverRetries,
 	})
 	defer ms.Close()
 	if *snapshotDir != "" {

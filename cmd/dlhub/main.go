@@ -56,6 +56,8 @@ func main() {
 		err = cmdStatus(args)
 	case "autoscale":
 		err = cmdAutoscale(args)
+	case "tm":
+		err = cmdTM(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -80,7 +82,8 @@ commands:
   ls       list servables tracked in this directory
   search   search the model repository
   status   check an asynchronous task
-  autoscale  view or set a servable's replica autoscaling policy`)
+  autoscale  view or set a servable's replica autoscaling policy
+  tm       task manager lifecycle: ls | drain | deregister | undeploy`)
 }
 
 func client(fs *flag.FlagSet) *dlhub.Client {
@@ -399,6 +402,70 @@ func cmdAutoscale(args []string) error {
 	out, _ := json.MarshalIndent(st, "", "  ")
 	fmt.Println(string(out))
 	return nil
+}
+
+// cmdTM is the Task Manager lifecycle surface:
+//
+//	dlhub tm ls                              fleet view (live/draining/load)
+//	dlhub tm drain <tm-id>                   drain a TM; placements migrate
+//	dlhub tm deregister <tm-id>              remove a (drained) TM
+//	dlhub tm undeploy <owner/name> <tm-id>   drop one placement of a servable
+func cmdTM(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dlhub tm <ls|drain|deregister|undeploy> [flags] [args]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("tm "+sub, flag.ExitOnError)
+	serverFlag(fs)
+	fs.Parse(rest) //nolint:errcheck
+	c := client(fs)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	switch sub {
+	case "ls":
+		info, err := c.TaskManagerInfo(ctx)
+		if err != nil {
+			return err
+		}
+		out, _ := json.MarshalIndent(info, "", "  ")
+		fmt.Println(string(out))
+		return nil
+	case "drain":
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: dlhub tm drain [flags] <tm-id>")
+		}
+		res, err := c.DrainTM(ctx, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		out, _ := json.MarshalIndent(res, "", "  ")
+		fmt.Println(string(out))
+		return nil
+	case "deregister":
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: dlhub tm deregister [flags] <tm-id>")
+		}
+		if err := c.DeregisterTM(ctx, fs.Arg(0)); err != nil {
+			return err
+		}
+		fmt.Printf("deregistered %s\n", fs.Arg(0))
+		return nil
+	case "undeploy":
+		if fs.NArg() < 2 {
+			return fmt.Errorf("usage: dlhub tm undeploy [flags] <owner/name> <tm-id>")
+		}
+		if err := c.Undeploy(ctx, fs.Arg(0), fs.Arg(1)); err != nil {
+			return err
+		}
+		placed, err := c.Placements(ctx, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("undeployed %s from %s; placements now %v\n", fs.Arg(0), fs.Arg(1), placed)
+		return nil
+	default:
+		return fmt.Errorf("unknown tm subcommand %q (want ls|drain|deregister|undeploy)", sub)
+	}
 }
 
 func splitNonEmpty(s string) []string {

@@ -616,6 +616,48 @@ func (c *Client) Unpublish(ctx context.Context, id string) error {
 	return c.call(ctx, http.MethodDelete, "/api/v2/servables/"+id, nil, nil, "")
 }
 
+// Undeploy removes ONE placement of a servable: its replicas on the
+// named Task Manager are torn down and routing stops sending requests
+// there, without unpublishing the servable. Owner-only.
+func (c *Client) Undeploy(ctx context.Context, id, tmID string) error {
+	return c.call(ctx, http.MethodDelete, "/api/v2/servables/"+id+"/placements/"+tmID, nil, nil, "")
+}
+
+// Placements reports which Task Managers currently host a servable.
+func (c *Client) Placements(ctx context.Context, id string) ([]string, error) {
+	var resp struct {
+		Placements []string `json:"placements"`
+	}
+	if err := c.call(ctx, http.MethodGet, "/api/v2/servables/"+id, nil, &resp, ""); err != nil {
+		return nil, err
+	}
+	return resp.Placements, nil
+}
+
+// DrainResult reports what a drain migrated — an alias of the service
+// type so client and server cannot drift.
+type DrainResult = core.DrainResult
+
+// DrainTM gracefully takes a Task Manager out of rotation: routing
+// stops immediately, in-flight and queued tasks finish, and its
+// placements are migrated onto the remaining Task Managers. Follow
+// with DeregisterTM to remove it entirely.
+func (c *Client) DrainTM(ctx context.Context, tmID string) (*DrainResult, error) {
+	var res DrainResult
+	if err := c.call(ctx, http.MethodPost, "/api/v2/tms/"+tmID+"/drain", struct{}{}, &res, ""); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// DeregisterTM removes a Task Manager from the service's registry and
+// routing state (normally after DrainTM). A TM process that is still
+// alive re-registers on its next heartbeat; stop it to make removal
+// final.
+func (c *Client) DeregisterTM(ctx context.Context, tmID string) error {
+	return c.call(ctx, http.MethodDelete, "/api/v2/tms/"+tmID, nil, nil, "")
+}
+
 // CacheStats fetches the Management Service's result-cache counters;
 // enabled reports whether the cache is on at all.
 func (c *Client) CacheStats() (stats CacheStats, enabled bool, err error) {
@@ -643,6 +685,26 @@ func (c *Client) TaskManagers() ([]string, error) {
 		return nil, err
 	}
 	return resp.TaskManagers, nil
+}
+
+// TaskManagerInfo is the operator view of the TM fleet.
+type TaskManagerInfo struct {
+	TaskManagers []string       `json:"task_managers"`
+	Live         []string       `json:"live"`
+	Draining     []string       `json:"draining"`
+	Load         map[string]int `json:"load"`
+	QueueDepth   map[string]int `json:"queue_depth"`
+	Active       map[string]int `json:"active"`
+}
+
+// TaskManagerInfo fetches the full fleet view: registered, live and
+// draining TMs plus the load/backlog signals routing uses.
+func (c *Client) TaskManagerInfo(ctx context.Context) (*TaskManagerInfo, error) {
+	var resp TaskManagerInfo
+	if err := c.call(ctx, http.MethodGet, "/api/v2/tms", nil, &resp, ""); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // TaskManagerLoad reports in-flight dispatch counts per registered Task

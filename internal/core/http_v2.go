@@ -52,6 +52,7 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("DELETE /api/v2/servables/{owner}/{name}", s.handleV2Unpublish)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/run", s.handleV2Run)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/deploy", s.handleV2Deploy)
+	mux.HandleFunc("DELETE /api/v2/servables/{owner}/{name}/placements/{tm}", s.handleV2Undeploy)
 	mux.HandleFunc("POST /api/v2/servables/{owner}/{name}/scale", s.handleV2Scale)
 	mux.HandleFunc("GET /api/v2/servables/{owner}/{name}/autoscale", s.handleV2AutoscaleGet)
 	mux.HandleFunc("PUT /api/v2/servables/{owner}/{name}/autoscale", s.handleV2AutoscalePut)
@@ -59,6 +60,8 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v2/tasks/{task}", s.handleV2Task)
 	mux.HandleFunc("GET /api/v2/tasks/{task}/events", s.handleV2TaskEvents)
 	mux.HandleFunc("GET /api/v2/tms", s.handleV2TMs)
+	mux.HandleFunc("POST /api/v2/tms/{tm}/drain", s.handleV2TMDrain)
+	mux.HandleFunc("DELETE /api/v2/tms/{tm}", s.handleV2TMDeregister)
 	mux.HandleFunc("GET /api/v2/cache/stats", s.handleV2CacheStats)
 	mux.HandleFunc("POST /api/v2/cache/flush", s.handleV2CacheFlush)
 	mux.HandleFunc("GET /api/v2/stats", s.handleV2Stats)
@@ -319,17 +322,32 @@ func (s *Service) handleV2List(w http.ResponseWriter, r *http.Request) {
 	writeV2(w, r, http.StatusOK, page)
 }
 
+// ServableView is the GET /api/v2/servables/{id} payload: the document
+// plus its current placements, so operators can observe where a
+// servable runs (and verify drains/undeploys moved it) without a
+// separate endpoint.
+type ServableView struct {
+	*schema.Document
+	Placements []string `json:"placements"`
+}
+
 func (s *Service) handleV2Get(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.callerV2(w, r)
 	if !ok {
 		return
 	}
-	doc, err := s.Get(c, r.PathValue("owner")+"/"+r.PathValue("name"))
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	doc, err := s.Get(c, id)
 	if err != nil {
 		writeV2Error(w, r, err)
 		return
 	}
-	writeV2(w, r, http.StatusOK, doc)
+	placed, err := s.ServablePlacements(c, id)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, ServableView{Document: doc, Placements: placed})
 }
 
 func (s *Service) handleV2Versions(w http.ResponseWriter, r *http.Request) {
@@ -567,6 +585,28 @@ func (s *Service) handleV2Scale(w http.ResponseWriter, r *http.Request) {
 	writeV2(w, r, http.StatusOK, map[string]string{"status": "scaled"})
 }
 
+// handleV2Undeploy removes one placement of a servable from a named
+// Task Manager (owner-only) — the operator's tool for shrinking where a
+// servable runs without unpublishing it.
+func (s *Service) handleV2Undeploy(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.callerV2(w, r)
+	if !ok {
+		return
+	}
+	id := r.PathValue("owner") + "/" + r.PathValue("name")
+	tmID := r.PathValue("tm")
+	if err := s.Undeploy(r.Context(), c, id, tmID); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	placed, err := s.ServablePlacements(c, id)
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]any{"status": "undeployed", "tm": tmID, "placements": placed})
+}
+
 // handleV2AutoscaleGet reports a servable's autoscaler policy + state.
 func (s *Service) handleV2AutoscaleGet(w http.ResponseWriter, r *http.Request) {
 	c, ok := s.callerV2(w, r)
@@ -693,10 +733,40 @@ func (s *Service) handleV2TMs(w http.ResponseWriter, r *http.Request) {
 	writeV2(w, r, http.StatusOK, map[string]any{
 		"task_managers": s.TaskManagers(),
 		"live":          s.LiveTaskManagers(),
+		"draining":      s.DrainingTMs(),
 		"load":          s.TMLoad(),
 		"queue_depth":   s.TMQueueDepth(),
 		"active":        s.TMActive(),
 	})
+}
+
+// handleV2TMDrain gracefully drains a Task Manager: routing stops
+// immediately, queued work finishes, placements migrate to the
+// remaining TMs. The response reports what moved where.
+func (s *Service) handleV2TMDrain(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	res, err := s.DrainTM(r.Context(), r.PathValue("tm"))
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, res)
+}
+
+// handleV2TMDeregister removes a Task Manager from the registry and
+// routing state (normally after a drain).
+func (s *Service) handleV2TMDeregister(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	tmID := r.PathValue("tm")
+	if err := s.DeregisterTM(tmID); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "deregistered", "tm": tmID})
 }
 
 func (s *Service) handleV2CacheStats(w http.ResponseWriter, r *http.Request) {
@@ -725,5 +795,6 @@ func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 		"routes":     s.RouteStats(),
 		"autoscaler": s.AutoscalerStats(),
 		"tasks":      s.TaskStats(),
+		"failovers":  s.FailoverStats(),
 	})
 }

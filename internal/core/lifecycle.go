@@ -1,0 +1,468 @@
+package core
+
+// Task Manager lifecycle: graceful drain, dead-TM failover and
+// per-placement undeploy. The paper's serving fabric assumes Task
+// Managers at remote sites come and go (§IV-B registers them
+// dynamically), but registration alone only covers ARRIVAL. This file
+// owns the other half:
+//
+//   - DrainTM takes a site out of rotation without killing it: the TM
+//     is excluded from every routing decision, acknowledges the drain
+//     in its heartbeats, finishes the work already queued to it, and
+//     has its placements migrated onto the remaining routable TMs
+//     (replica records follow) before DeregisterTM removes it.
+//
+//   - The dead-TM watchdog (dispatchWatched) aborts a dispatch as soon
+//     as its routed TM misses the liveness window, instead of letting
+//     the caller wait out the full task deadline; dispatch() then
+//     re-routes still-idempotent serving tasks to another placed TM
+//     under a bounded retry budget. Idempotency is structural: plain
+//     run / run_batch tasks (and pipeline steps, which dispatch as
+//     plain runs) are pure inference — re-executing one after an
+//     uncertain first attempt returns the same answer and mutates
+//     nothing. Control-plane kinds and anything whose reply was
+//     already delivered have no pending dispatch to fail over.
+//
+//   - Undeploy removes ONE placement of a servable — PR 4 could only
+//     shrink placement by unpublishing the whole servable.
+//
+// See docs/ARCHITECTURE.md "Failure model & TM lifecycle".
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/queue"
+	"repro/internal/taskmanager"
+)
+
+// errTMLost marks a dispatch aborted by the dead-TM watchdog: the
+// routed Task Manager missed its liveness window while the request
+// waited. Always wrapped together with ErrNoTaskManager so an
+// unrecovered loss maps to 503, while errors.Is(err, errTMLost) stays
+// a precise failover trigger (ErrNoTaskManager alone also matches
+// routing failures that must NOT re-dispatch).
+var errTMLost = errors.New("task manager missed its liveness window mid-dispatch")
+
+// failoverBudget resolves Config.FailoverRetries: how many re-dispatch
+// attempts one request may consume (default 2; negative disables).
+func (s *Service) failoverBudget() int {
+	switch {
+	case s.cfg.FailoverRetries < 0:
+		return 0
+	case s.cfg.FailoverRetries == 0:
+		return 2
+	default:
+		return s.cfg.FailoverRetries
+	}
+}
+
+// tmLost reports whether a TM currently fails the liveness window (or
+// was deregistered outright). Always false with liveness disabled —
+// there is no dead-TM signal to act on.
+func (s *Service) tmLost(tmID string) bool {
+	if s.cfg.TMStaleAfter <= 0 {
+		return false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen, ok := s.tmSeen[tmID]
+	if !ok {
+		return true
+	}
+	return s.timeFunc().Sub(seen) > s.cfg.TMStaleAfter
+}
+
+// tmIsDraining reports whether a TM is marked draining.
+func (s *Service) tmIsDraining(tmID string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, draining := s.tmDraining[tmID]
+	return draining
+}
+
+// DrainingTMs lists TMs currently marked draining.
+func (s *Service) DrainingTMs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tmDraining))
+	for id := range s.tmDraining {
+		out = append(out, id)
+	}
+	return out
+}
+
+// dispatchWatched is dispatchTo plus the dead-TM watchdog: a sidecar
+// goroutine polls the routed TM's liveness while the request waits and
+// aborts the wait with errTMLost the moment the TM misses its window —
+// the reply will never come, and failing fast is what gives dispatch()
+// room to re-route inside the caller's deadline. With liveness
+// disabled (TMStaleAfter == 0) it degenerates to plain dispatchTo.
+func (s *Service) dispatchWatched(ctx context.Context, tmID string, task taskmanager.Task) (RunResult, error) {
+	if s.cfg.TMStaleAfter <= 0 {
+		return s.dispatchTo(ctx, tmID, task)
+	}
+	wctx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	stopped := make(chan struct{})
+	defer close(stopped)
+	go func() {
+		tick := s.cfg.TMStaleAfter / 4
+		if tick < 2*time.Millisecond {
+			tick = 2 * time.Millisecond
+		}
+		if tick > time.Second {
+			tick = time.Second
+		}
+		ticker := time.NewTicker(tick)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopped:
+				return
+			case <-wctx.Done():
+				return
+			case <-ticker.C:
+				if s.tmLost(tmID) {
+					cancel(errTMLost)
+					return
+				}
+			}
+		}
+	}()
+	res, err := s.dispatchTo(wctx, tmID, task)
+	if err != nil && context.Cause(wctx) == errTMLost && ctx.Err() == nil {
+		return RunResult{}, fmt.Errorf("%w: %s: %w", ErrNoTaskManager, tmID, errTMLost)
+	}
+	return res, err
+}
+
+// noteTMLost reacts to a watchdog-detected loss: tasks the dead TM
+// claimed or never pulled are withdrawn from its broker queue (their
+// requesters' own watchdogs fire too — nothing waits for a queue
+// nobody consumes), and the loss is counted. Deliberately NOT a
+// deregistration: a TM that was merely partitioned resumes on an empty
+// queue at its next heartbeat.
+func (s *Service) noteTMLost(tmID string) {
+	purged := s.broker.Purge(taskmanager.TaskQueue(tmID))
+	s.mu.Lock()
+	s.failoverLost++
+	s.mu.Unlock()
+	if purged > 0 {
+		log.Printf("core: withdrew %d task(s) queued to lost TM %s", purged, tmID)
+	}
+}
+
+func (s *Service) noteFailoverRedispatch() {
+	s.mu.Lock()
+	s.failoverRedispatched++
+	s.mu.Unlock()
+}
+
+func (s *Service) noteFailoverExhausted() {
+	s.mu.Lock()
+	s.failoverExhausted++
+	s.mu.Unlock()
+}
+
+// FailoverStats counts dead-TM failover activity (the /api/v2/stats
+// "failovers" block).
+type FailoverStats struct {
+	// Lost counts dispatches aborted because their routed TM missed
+	// the liveness window mid-wait.
+	Lost uint64 `json:"lost"`
+	// Redispatched counts tasks re-routed to another TM after a loss.
+	Redispatched uint64 `json:"redispatched"`
+	// Exhausted counts requests that ran out of retry budget or
+	// routable TMs and surfaced the failure to the caller.
+	Exhausted uint64 `json:"exhausted"`
+}
+
+// FailoverStats snapshots the failover counters.
+func (s *Service) FailoverStats() FailoverStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return FailoverStats{
+		Lost:         s.failoverLost,
+		Redispatched: s.failoverRedispatched,
+		Exhausted:    s.failoverExhausted,
+	}
+}
+
+// --- graceful drain ----------------------------------------------------------
+
+// DrainResult reports what a completed drain did to the drained TM's
+// placements.
+type DrainResult struct {
+	TM string `json:"tm"`
+	// Migrated maps servable ID -> the TM that received a fresh
+	// deployment because the drained site held its only routable
+	// placement.
+	Migrated map[string]string `json:"migrated,omitempty"`
+	// Removed lists servables whose placement entry was simply dropped
+	// because another routable TM already hosts them.
+	Removed []string `json:"removed,omitempty"`
+}
+
+// DrainTM gracefully takes a Task Manager out of rotation: it is
+// immediately excluded from every routing decision (pickTM, the
+// pipeline monolith chooser, autoscaler scale dispatches), a drain task
+// tells the site to expect no new work (acknowledged in its subsequent
+// heartbeats), in-flight and already-queued tasks are allowed to
+// finish, and every placement it holds is migrated onto the remaining
+// routable TMs — re-deployed with the recorded replica count when the
+// drained site held the only copy, dropped when another site already
+// hosts the servable. The TM stays registered (and draining) until
+// DeregisterTM; the mark survives heartbeats, so draining is sticky.
+//
+// Idempotent: draining an already-draining TM re-runs the wait and
+// migration, which converges to nothing left to move. If migration
+// cannot place a servable (no routable TM remains), DrainTM returns the
+// error with the drain mark still set — add capacity and retry. A dead
+// or unresponsive TM is drained too: the ack dispatch fails fast via
+// the watchdog, its queue is purged instead of waited on, and migration
+// proceeds.
+func (s *Service) DrainTM(ctx context.Context, tmID string) (*DrainResult, error) {
+	if !s.tmRegistered(tmID) {
+		return nil, ErrNoTaskManager.WithDetail(fmt.Sprintf("task manager %q not registered", tmID))
+	}
+	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
+	defer cancel()
+
+	s.mu.Lock()
+	s.tmDraining[tmID] = struct{}{}
+	s.mu.Unlock()
+
+	// Ask the site to acknowledge; tolerate a dead site (that is what
+	// draining a crashed TM before deregistering it looks like).
+	ackTask := taskmanager.Task{ID: queue.NewID(), Kind: "drain"}
+	if _, err := s.dispatchWatched(ctx, tmID, ackTask); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, wrapCtxErr(ctxErr)
+		}
+		// Unacknowledged drain: nothing will consume the queue, so
+		// withdraw it rather than wait for it.
+		log.Printf("core: drain %s: ack failed (%v); withdrawing queued tasks", tmID, err)
+		s.broker.Purge(taskmanager.TaskQueue(tmID))
+	} else if err := s.awaitTMIdle(ctx, tmID); err != nil {
+		return nil, err
+	}
+	res, err := s.migratePlacements(ctx, tmID)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// awaitTMIdle blocks until nothing is outstanding against the TM: no
+// dispatches waited on (tmInflight) and an empty broker queue (ready or
+// claimed). Bounded by ctx; the drain mark guarantees no NEW work
+// arrives while we wait.
+func (s *Service) awaitTMIdle(ctx context.Context, tmID string) error {
+	q := taskmanager.TaskQueue(tmID)
+	for {
+		s.mu.RLock()
+		inflight := s.tmInflight[tmID]
+		s.mu.RUnlock()
+		if inflight == 0 && s.broker.Len(q) == 0 && s.broker.InFlight(q) == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("drain %s: %d task(s) still in flight: %w", tmID, inflight, wrapCtxErr(ctx.Err()))
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// migratePlacements moves every placement off a draining TM. Servables
+// also hosted by another routable TM just lose the draining entry;
+// sole-copy servables are re-deployed (recorded replica count — the
+// autoscaler's view follows the move) onto the least-loaded routable
+// TM first, so the window with no routable placement is zero. The
+// replicas on the drained site are then torn down best-effort.
+func (s *Service) migratePlacements(ctx context.Context, tmID string) (*DrainResult, error) {
+	res := &DrainResult{TM: tmID}
+	s.mu.RLock()
+	var held []string
+	for id, placed := range s.placements {
+		for _, p := range placed {
+			if p == tmID {
+				held = append(held, id)
+				break
+			}
+		}
+	}
+	s.mu.RUnlock()
+	for _, id := range held {
+		s.mu.RLock()
+		// "Hosted elsewhere" must mean a site routing would actually
+		// pick: routable AND live. A stale peer (registered, not
+		// draining, heartbeats stopped) must not excuse skipping the
+		// migration — dropping the drained placement would leave the
+		// servable placed only on a dead site.
+		elsewhere := len(s.liveLocked(s.routableLocked(s.placements[id], nil))) > 0
+		replicas := s.replicas[id]
+		pkg := s.packages[id]
+		s.mu.RUnlock()
+		if !elsewhere {
+			if pkg == nil {
+				// A placement for a since-unpublished servable; nothing
+				// to migrate, just drop the entry below.
+				elsewhere = true
+			} else {
+				target, err := s.pickTM("") // routable pool; tmID is draining
+				if err != nil {
+					return nil, fmt.Errorf("drain %s: cannot migrate %s: %w", tmID, id, err)
+				}
+				if replicas < 1 {
+					replicas = 1
+				}
+				wire, err := taskmanager.EncodePackage(pkg)
+				if err != nil {
+					return nil, fmt.Errorf("drain %s: migrate %s: %w", tmID, id, err)
+				}
+				task := taskmanager.Task{
+					ID:       queue.NewID(),
+					Kind:     "deploy",
+					Servable: id,
+					Replicas: replicas,
+					Package:  wire,
+				}
+				if _, err := s.dispatchWatched(ctx, target, task); err != nil {
+					return nil, fmt.Errorf("drain %s: migrate %s to %s: %w", tmID, id, target, err)
+				}
+				if err := s.recordDeployment(id, target, replicas); err != nil {
+					// Unpublished mid-drain (or the target itself began
+					// draining): undo and skip — the entry is dropped
+					// either way.
+					s.undeployAsync(id, target)
+				} else {
+					if res.Migrated == nil {
+						res.Migrated = make(map[string]string)
+					}
+					res.Migrated[id] = target
+				}
+			}
+		}
+		if elsewhere {
+			res.Removed = append(res.Removed, id)
+		}
+		s.removePlacement(id, tmID)
+		s.undeployAsync(id, tmID)
+	}
+	return res, nil
+}
+
+// removePlacement drops one (servable, TM) placement entry, deleting
+// the map key when it was the last one.
+func (s *Service) removePlacement(servableID, tmID string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.removePlacementLocked(servableID, tmID)
+}
+
+// removePlacementLocked is removePlacement with s.mu already held (the
+// deregistration path batches many removals under one lock).
+func (s *Service) removePlacementLocked(servableID, tmID string) bool {
+	placed := s.placements[servableID]
+	for i, p := range placed {
+		if p == tmID {
+			s.placements[servableID] = append(placed[:i], placed[i+1:]...)
+			if len(s.placements[servableID]) == 0 {
+				delete(s.placements, servableID)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// DeregisterTM removes a Task Manager from the registry and every piece
+// of routing state naming it, and withdraws whatever is still queued to
+// it. The intended flow is DrainTM then DeregisterTM; deregistering an
+// undrained TM is allowed (removing a crashed site) but simply abandons
+// its placements — sole-copy servables fall back to the full routable
+// pool until re-deployed. A deregistered TM that is still alive and
+// heartbeating re-registers on its next beat (as draining, if it had
+// acknowledged a drain — the ack is sticky TM-side); stop the process
+// to make removal final.
+func (s *Service) DeregisterTM(tmID string) error {
+	s.mu.Lock()
+	found := false
+	for i, id := range s.tms {
+		if id == tmID {
+			s.tms = append(s.tms[:i], s.tms[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		s.mu.Unlock()
+		return ErrNoTaskManager.WithDetail(fmt.Sprintf("task manager %q not registered", tmID))
+	}
+	delete(s.tmSeen, tmID)
+	delete(s.tmActive, tmID)
+	delete(s.tmInflight, tmID)
+	delete(s.tmDraining, tmID)
+	for id := range s.placements {
+		s.removePlacementLocked(id, tmID)
+	}
+	s.mu.Unlock()
+	if purged := s.broker.Purge(taskmanager.TaskQueue(tmID)); purged > 0 {
+		log.Printf("core: withdrew %d task(s) queued to deregistered TM %s", purged, tmID)
+	}
+	return nil
+}
+
+// --- per-placement undeploy --------------------------------------------------
+
+// Undeploy removes ONE placement of a servable: its replicas on the
+// named Task Manager are torn down and the placement entry dropped, so
+// operators can shrink where a servable runs without unpublishing it.
+// Owner-only, mirroring Unpublish. The placement entry is removed
+// FIRST — no new task can route to the site while the teardown task is
+// in flight — and the teardown itself tolerates a lost TM (its replicas
+// die with it). The desired-replica record is untouched: it describes
+// per-site scale, which the remaining placements keep.
+func (s *Service) Undeploy(ctx context.Context, caller Caller, servableID, tmID string) error {
+	s.mu.RLock()
+	doc, ok := s.docs[servableID]
+	s.mu.RUnlock()
+	if !ok || !visibleTo(doc, caller) {
+		return fmt.Errorf("%w: %s", ErrNotFound, servableID)
+	}
+	if doc.Owner != caller.IdentityID {
+		return fmt.Errorf("%w: only the owner may undeploy %s", ErrForbidden, servableID)
+	}
+	if !s.removePlacement(servableID, tmID) {
+		return ErrNotFound.WithDetail(fmt.Sprintf("%s has no placement on task manager %q", servableID, tmID))
+	}
+	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
+	defer cancel()
+	task := taskmanager.Task{ID: queue.NewID(), Kind: "undeploy", Servable: servableID}
+	if _, err := s.dispatchWatched(ctx, tmID, task); err != nil {
+		if errors.Is(err, errTMLost) || errors.Is(err, ErrTimeout) {
+			// The site is gone or unreachable; the placement record is
+			// already removed, which is the part that matters.
+			log.Printf("core: undeploy %s from %s: best-effort teardown failed: %v", servableID, tmID, err)
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// ServablePlacements reports which Task Managers host a servable,
+// subject to the caller's visibility.
+func (s *Service) ServablePlacements(caller Caller, servableID string) ([]string, error) {
+	if _, err := s.Get(caller, servableID); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string{}, s.placements[servableID]...), nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -71,7 +72,16 @@ func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Do
 			Steps:    steps,
 			NoMemo:   opts.NoMemo,
 		}
-		res, err := s.dispatchTo(ctx, tmID, task)
+		res, err := s.dispatchWatched(ctx, tmID, task)
+		if err != nil && errors.Is(err, errTMLost) && ctx.Err() == nil {
+			// The co-hosting TM died mid-chain. The steps are
+			// idempotent plain runs, so fail over to the distributed
+			// engine, which routes each step through the surviving
+			// placements instead of re-finding one common site.
+			s.noteTMLost(tmID)
+			s.noteFailoverRedispatch()
+			return s.runPipelineSteps(ctx, caller, steps, input, opts, start)
+		}
 		// The monolith chain runs entirely TM-side: the service-layer
 		// cache was never consulted.
 		res.cacheSkipped = true
@@ -80,10 +90,11 @@ func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Do
 	return s.runPipelineSteps(ctx, caller, steps, input, opts, start)
 }
 
-// pipelineMonolithTM returns a registered, live Task Manager hosting
-// EVERY step (least loaded wins, round-robin on ties) — the condition
-// for the TM-local fast path. Any step unplaced, or no common live
-// site, means the service must orchestrate the steps itself.
+// pipelineMonolithTM returns a routable (registered, not draining),
+// live Task Manager hosting EVERY step (least loaded wins, round-robin
+// on ties) — the condition for the TM-local fast path. Any step
+// unplaced, or no common routable live site, means the service must
+// orchestrate the steps itself.
 func (s *Service) pipelineMonolithTM(steps []string) (string, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -111,7 +122,7 @@ func (s *Service) pipelineMonolithTM(steps []string) (string, bool) {
 			return "", false
 		}
 	}
-	return s.leastLoadedLocked(s.liveLocked(s.registeredLocked(common)))
+	return s.leastLoadedLocked(s.liveLocked(s.routableLocked(common, nil)))
 }
 
 // runPipelineSteps is the distributed engine: each step is resolved,

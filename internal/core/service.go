@@ -100,6 +100,12 @@ type Config struct {
 	// the task map grows one entry per RunAsync for the service
 	// lifetime.
 	TaskRetention time.Duration
+	// FailoverRetries bounds how many times one synchronous run may be
+	// re-dispatched after its routed Task Manager misses the liveness
+	// window mid-request (default 2; < 0 disables dead-TM failover).
+	// Failover requires TMStaleAfter > 0 — without a liveness window
+	// there is no dead-TM signal to act on.
+	FailoverRetries int
 }
 
 // Service is the Management Service.
@@ -121,6 +127,16 @@ type Service struct {
 	tms      []string
 	tmSeen   map[string]time.Time
 	tmRR     int
+	// tmDraining marks TMs taken out of rotation by DrainTM: they stay
+	// registered (heartbeats keep arriving, in-flight work finishes) but
+	// no routing decision selects them. Cleared only by DeregisterTM.
+	tmDraining map[string]struct{}
+	// failover counters (lifecycle.go): dispatches aborted by the
+	// dead-TM watchdog, re-dispatches to another site, and requests
+	// that ran out of budget or sites.
+	failoverLost         uint64
+	failoverRedispatched uint64
+	failoverExhausted    uint64
 	// tmInflight counts dispatched-but-unanswered tasks per TM; pickTM
 	// routes to the least loaded live candidate.
 	tmInflight map[string]int
@@ -221,6 +237,7 @@ func New(cfg Config) *Service {
 		tasks:      make(map[string]*asyncTask),
 		placements: make(map[string][]string),
 		tmSeen:     make(map[string]time.Time),
+		tmDraining: make(map[string]struct{}),
 		tmInflight: make(map[string]int),
 		tmActive:   make(map[string]int),
 		svInflight: make(map[string]int),
@@ -292,6 +309,13 @@ func (s *Service) registrationLoop() {
 			}
 			s.tmSeen[reg.TMID] = s.timeFunc()
 			s.tmActive[reg.TMID] = reg.Active
+			if reg.Draining {
+				// The TM asserts it is draining (the drain-task ack
+				// echoed in heartbeats). Set-only: a heartbeat without
+				// the flag must not clear a service-side drain mark the
+				// drain task simply has not reached yet.
+				s.tmDraining[reg.TMID] = struct{}{}
+			}
 			s.mu.Unlock()
 		}
 		s.broker.Ack(taskmanager.RegisterQueue, msg.ID)
@@ -321,19 +345,28 @@ func (s *Service) WaitForTM(n int, timeout time.Duration) error {
 // the live candidates (restricted to placement sites when servableID is
 // known to be placed), the one with the fewest in-flight dispatches
 // wins; ties fall back to round-robin so uniform load still spreads.
-// Placement entries naming unregistered TMs — typically restored from
-// a snapshot of a previous deployment — are ignored: routing into a
-// ghost TM's queue would strand the request until its deadline. When
-// no placed TM is registered, routing falls back to every registered
-// TM (a fast task_failed from an undeployed site beats a silent hang).
+// Placement entries naming unregistered OR draining TMs — snapshot
+// ghosts, sites being taken out of rotation — are ignored: routing into
+// their queues would strand the request until its deadline. When no
+// placed TM is routable, routing falls back to every routable
+// registered TM (a fast task_failed from an undeployed site beats a
+// silent hang).
 func (s *Service) pickTM(servableID string) (string, error) {
+	return s.pickTMExcluding(servableID, nil)
+}
+
+// pickTMExcluding is pickTM with an exclusion list — the failover path
+// re-picks with the lost TM excluded so routing cannot hand the request
+// straight back to the dead site while its last heartbeat still looks
+// fresh.
+func (s *Service) pickTMExcluding(servableID string, excluded []string) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	candidates := s.tms
+	candidates := s.routableLocked(s.tms, excluded)
 	if servableID != "" {
 		if placed := s.placements[servableID]; len(placed) > 0 {
-			if registered := s.registeredLocked(placed); len(registered) > 0 {
-				candidates = registered
+			if routable := s.routableLocked(placed, excluded); len(routable) > 0 {
+				candidates = routable
 			}
 		}
 	}
@@ -342,6 +375,25 @@ func (s *Service) pickTM(servableID string) (string, error) {
 		return "", ErrNoTaskManager
 	}
 	return tm, nil
+}
+
+// routableLocked filters ids to TMs routing may select: registered, not
+// draining, and not on the caller's exclusion list. Caller holds s.mu.
+func (s *Service) routableLocked(ids, excluded []string) []string {
+	out := make([]string, 0, len(ids))
+next:
+	for _, id := range s.registeredLocked(ids) {
+		if _, draining := s.tmDraining[id]; draining {
+			continue
+		}
+		for _, ex := range excluded {
+			if id == ex {
+				continue next
+			}
+		}
+		out = append(out, id)
+	}
+	return out
 }
 
 // registeredLocked filters ids to those currently registered. Caller
@@ -469,15 +521,25 @@ func (s *Service) LiveTaskManagers() []string {
 }
 
 // recordDeployment records placement and desired replicas for a
-// completed deploy, but ONLY while the servable is still published: a
-// deploy whose task was in flight when an Unpublish won must not
-// resurrect routing state for a deleted servable. Reports whether the
-// record was made.
-func (s *Service) recordDeployment(servableID, tmID string, replicas int) bool {
+// completed deploy, but ONLY while the servable is still published AND
+// the target TM is still routable: a deploy whose task was in flight
+// when an Unpublish won must not resurrect routing state for a deleted
+// servable, and one that lost the race to a concurrent DrainTM (or a
+// deregistration) must not re-grow placement on a site being emptied —
+// the drain's migration pass has already run or will never see this
+// entry. A non-nil error tells the caller to undeploy the fresh
+// replicas.
+func (s *Service) recordDeployment(servableID, tmID string, replicas int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.docs[servableID]; !ok {
-		return false
+		return fmt.Errorf("%w: %s (unpublished during deploy)", ErrNotFound, servableID)
+	}
+	if _, draining := s.tmDraining[tmID]; draining {
+		return fmt.Errorf("%w: task manager %s is draining", ErrConflict, tmID)
+	}
+	if len(s.registeredLocked([]string{tmID})) == 0 {
+		return fmt.Errorf("%w: task manager %s deregistered during deploy", ErrConflict, tmID)
 	}
 	placed := false
 	for _, id := range s.placements[servableID] {
@@ -490,7 +552,7 @@ func (s *Service) recordDeployment(servableID, tmID string, replicas int) bool {
 		s.placements[servableID] = append(s.placements[servableID], tmID)
 	}
 	s.replicas[servableID] = replicas
-	return true
+	return nil
 }
 
 // --- identity ---------------------------------------------------------------
@@ -1003,14 +1065,43 @@ func (s *Service) RunBatch(ctx context.Context, caller Caller, servableID string
 	return res, err
 }
 
-// dispatch pushes a task to a TM queue and waits for the reply, bounded
-// by ctx.
+// dispatch routes a task via pickTM and waits for the reply, bounded by
+// ctx. Synchronous serving dispatches (plain runs and batch runs —
+// including pipeline steps, which dispatch as plain runs) are
+// failover-protected: when the routed TM misses its liveness window
+// mid-wait (the dead-TM watchdog in dispatchWatched), the task is
+// re-dispatched to another routable TM up to the failover retry budget
+// instead of letting the caller eat ErrTimeout. These tasks are
+// idempotent by construction — pure inference with no site-side state —
+// so a re-dispatch after an uncertain first execution is safe; control
+// plane kinds (deploy/scale/undeploy) mutate site state and target
+// specific sites, so they fast-fail on a lost TM rather than re-route.
 func (s *Service) dispatch(ctx context.Context, task taskmanager.Task) (RunResult, error) {
-	tmID, err := s.pickTM(task.Servable)
-	if err != nil {
-		return RunResult{}, err
+	eligible := task.Kind == "run" || task.Kind == "run_batch"
+	var excluded []string
+	for {
+		tmID, err := s.pickTMExcluding(task.Servable, excluded)
+		if err != nil {
+			if len(excluded) > 0 {
+				s.noteFailoverExhausted()
+				err = fmt.Errorf("%w (after %d failover attempt(s))", err, len(excluded))
+			}
+			return RunResult{}, err
+		}
+		if len(excluded) > 0 {
+			s.noteFailoverRedispatch()
+		}
+		res, err := s.dispatchWatched(ctx, tmID, task)
+		if err == nil || !eligible || !errors.Is(err, errTMLost) || ctx.Err() != nil {
+			return res, err
+		}
+		s.noteTMLost(tmID)
+		if len(excluded) >= s.failoverBudget() {
+			s.noteFailoverExhausted()
+			return res, err
+		}
+		excluded = append(excluded, tmID)
 	}
-	return s.dispatchTo(ctx, tmID, task)
 }
 
 // dispatchTo pushes a task to a specific TM queue and waits until the
@@ -1279,16 +1370,19 @@ func (s *Service) deploy(ctx context.Context, caller Caller, servableID string, 
 		}
 	} else if !s.tmRegistered(tmID) {
 		return ErrNoTaskManager.WithDetail(fmt.Sprintf("task manager %q not registered", tmID))
+	} else if s.tmIsDraining(tmID) {
+		return fmt.Errorf("%w: task manager %s is draining", ErrConflict, tmID)
 	}
-	if _, err := s.dispatchTo(ctx, tmID, task); err != nil {
+	if _, err := s.dispatchWatched(ctx, tmID, task); err != nil {
 		return err
 	}
-	if !s.recordDeployment(servableID, tmID, max(replicas, 1)) {
-		// Unpublished while the deploy task was in flight: the fresh
-		// replicas belong to a servable that no longer exists. Tear
-		// them down instead of resurrecting routing state for it.
+	if err := s.recordDeployment(servableID, tmID, max(replicas, 1)); err != nil {
+		// Unpublished (or the target drained/deregistered) while the
+		// deploy task was in flight: the fresh replicas belong to
+		// routing state that must not exist. Tear them down instead of
+		// resurrecting it.
 		s.undeployAsync(servableID, tmID)
-		return fmt.Errorf("%w: %s (unpublished during deploy)", ErrNotFound, servableID)
+		return err
 	}
 	return nil
 }

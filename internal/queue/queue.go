@@ -251,6 +251,24 @@ func (b *Broker) Drop(queueName, msgID string) bool {
 	return false
 }
 
+// Purge withdraws every message from a queue — ready AND delivered-but-
+// unacknowledged — returning how many were removed. It is the
+// dead-consumer cleanup: when a Task Manager is declared lost or
+// deregistered, tasks it claimed (pulled, never acked) must not sit out
+// the visibility timeout only to be redelivered into a queue nobody
+// consumes, and tasks still ready must not strand their requesters.
+// Parked consumers are left in place: a revived consumer simply resumes
+// on an empty queue.
+func (b *Broker) Purge(queueName string) int {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.ready.Len() + len(q.pending)
+	q.ready.Init()
+	q.pending = make(map[string]*pendingMsg)
+	return n
+}
+
 // Ack confirms processing of a delivered message, removing it from the
 // redelivery set. It reports whether the message was pending.
 func (b *Broker) Ack(queueName, msgID string) bool {

@@ -389,3 +389,33 @@ func TestRequestCtxUnboundedContext(t *testing.T) {
 		t.Fatalf("unbounded RequestCtx: %q %v", reply, err)
 	}
 }
+
+// TestPurge: purging a queue withdraws ready AND claimed-but-unacked
+// messages (the dead-consumer cleanup), leaves parked consumers alone,
+// and prevents the visibility sweeper from resurrecting claimed tasks.
+func TestPurge(t *testing.T) {
+	b := NewBroker(50 * time.Millisecond)
+	defer b.Close()
+	b.Push("tasks", []byte("claimed"), "", "")
+	b.Push("tasks", []byte("ready-1"), "", "")
+	b.Push("tasks", []byte("ready-2"), "", "")
+	if _, ok := b.Pull("tasks", time.Second); !ok { // claim one, never ack
+		t.Fatal("no message to claim")
+	}
+	if n := b.Purge("tasks"); n != 3 {
+		t.Fatalf("purged %d, want 3 (1 claimed + 2 ready)", n)
+	}
+	if b.Len("tasks") != 0 || b.InFlight("tasks") != 0 {
+		t.Fatalf("queue not empty after purge: ready=%d inflight=%d", b.Len("tasks"), b.InFlight("tasks"))
+	}
+	// The claimed message's visibility timeout must NOT redeliver it.
+	time.Sleep(120 * time.Millisecond)
+	if b.Len("tasks") != 0 {
+		t.Fatal("purged claimed message was redelivered by the sweeper")
+	}
+	// The queue still works for new traffic.
+	b.Push("tasks", []byte("fresh"), "", "")
+	if msg, ok := b.Pull("tasks", time.Second); !ok || string(msg.Body) != "fresh" {
+		t.Fatalf("post-purge delivery broken: %v %v", msg, ok)
+	}
+}

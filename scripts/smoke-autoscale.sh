@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Autoscale smoke: server + task manager as separate processes, publish
+# the builtin test:sleep servable through the CLI, enable autoscaling,
+# drive concurrent load, and require the replica count to move off 1 on
+# its own.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/smoke-lib.sh
+
+HTTP=127.0.0.1:18081
+QUEUE=127.0.0.1:17001
+BASE=http://$HTTP
+
+build_bins dlhub-server dlhub-taskmanager dlhub
+"$SMOKE_BIN/dlhub-server" -http "$HTTP" -queue "$QUEUE" -autoscale-interval 100ms &
+wait_for_healthy "$BASE"
+"$SMOKE_BIN/dlhub-taskmanager" -queue "$QUEUE" -id smoke-tm -nodes 4 &
+wait_for_ready "$BASE"
+
+export DLHUB_SERVER=$BASE
+cd "$SMOKE_WORK"
+"$SMOKE_BIN/dlhub" init -name smoke -title "Autoscale smoke" -author "CI" \
+  -type python_function -entry test:sleep
+"$SMOKE_BIN/dlhub" publish -deploy 1
+"$SMOKE_BIN/dlhub" autoscale -enable -min 1 -max 4 -target-load 1 \
+  -up-cooldown 200ms anonymous/smoke
+
+# 8 concurrent clients against a 50ms-serial servable: demand far above
+# target-load 1, so the controller must scale up.
+for c in $(seq 1 8); do
+  ( end=$((SECONDS+30)); while [ $SECONDS -lt $end ]; do
+      curl -s -o /dev/null -X POST -d '{"input":"x","no_memo":true}' \
+        "$BASE/api/v2/servables/anonymous/smoke/run"
+    done ) &
+done
+
+ok=""
+for i in $(seq 1 60); do
+  reps=$(curl -fsS "$BASE/api/v2/servables/anonymous/smoke/autoscale" \
+    | grep -o '"replicas":[0-9]*' | head -1 | cut -d: -f2)
+  echo "replicas=$reps"
+  if [ -n "$reps" ] && [ "$reps" -gt 1 ]; then ok=yes; break; fi
+  sleep 0.5
+done
+[ -n "$ok" ] || { echo "autoscaler never scaled up"; exit 1; }
+echo "smoke-autoscale: OK"

@@ -1,0 +1,113 @@
+#!/usr/bin/env bash
+# Chaos smoke: two Task Managers serve steady load, one is kill -9'd
+# mid-run. The acceptance contract of the TM lifecycle subsystem:
+#
+#   1. zero client-visible failures — every idempotent run that was
+#      routed to the dead TM is re-dispatched to the survivor by the
+#      dead-TM watchdog (failover), within the request deadline;
+#   2. /api/v2/stats records the failovers (redispatched > 0);
+#   3. draining + deregistering the dead TM leaves the servable's
+#      placements observable on the survivor via /api/v2/servables/{id},
+#      and requests keep succeeding afterwards.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/smoke-lib.sh
+
+HTTP=127.0.0.1:18083
+QUEUE=127.0.0.1:17003
+BASE=http://$HTTP
+
+build_bins dlhub-server dlhub-taskmanager dlhub
+
+# Liveness window 1500ms against 300ms heartbeats: 5 missed beats
+# declare a TM dead — fast enough that failover lands well inside the
+# default 120s request deadline, slow enough that a loaded-but-alive TM
+# is never falsely declared lost.
+"$SMOKE_BIN/dlhub-server" -http "$HTTP" -queue "$QUEUE" -tm-stale-after 1500ms &
+wait_for_healthy "$BASE"
+"$SMOKE_BIN/dlhub-taskmanager" -queue "$QUEUE" -id chaos-tm-1 -nodes 2 -heartbeat 300ms &
+TM1_PID=$!
+"$SMOKE_BIN/dlhub-taskmanager" -queue "$QUEUE" -id chaos-tm-2 -nodes 2 -heartbeat 300ms &
+wait_for_ready "$BASE"
+wait_for_tm "$BASE" chaos-tm-1
+wait_for_tm "$BASE" chaos-tm-2
+
+export DLHUB_SERVER=$BASE
+cd "$SMOKE_WORK"
+"$SMOKE_BIN/dlhub" init -name chaos -title "Chaos smoke" -author "CI" \
+  -type python_function -entry test:sleep
+"$SMOKE_BIN/dlhub" publish
+# Place the servable on BOTH sites: failover re-dispatches to another
+# PLACED TM — replication is what buys availability.
+curl -fsS -X POST -d '{"replicas":1,"tm":"chaos-tm-1"}' \
+  "$BASE/api/v2/servables/anonymous/chaos/deploy" >/dev/null
+curl -fsS -X POST -d '{"replicas":1,"tm":"chaos-tm-2"}' \
+  "$BASE/api/v2/servables/anonymous/chaos/deploy" >/dev/null
+
+# Steady load: 6 clients, unique inputs (defeats both cache tiers so
+# every request is a real dispatch), each recording any non-200.
+FAILS=$SMOKE_WORK/fails
+mkdir -p "$FAILS"
+CLIENT_PIDS=()
+for c in $(seq 1 6); do
+  (
+    set +e # a failed request must be RECORDED, not abort the client
+    i=0; end=$((SECONDS+22))
+    while [ $SECONDS -lt $end ]; do
+      i=$((i+1))
+      code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+        -d "{\"input\":\"c${c}-${i}\",\"no_memo\":true}" \
+        "$BASE/api/v2/servables/anonymous/chaos/run" || echo "curl-exit-$?")
+      if [ "$code" != "200" ]; then
+        echo "client $c request $i -> $code" >>"$FAILS/client-$c"
+      fi
+    done
+    exit 0
+  ) &
+  CLIENT_PIDS+=($!)
+done
+
+# Let both sites take traffic, then kill one the hard way.
+sleep 5
+echo "chaos: kill -9 chaos-tm-1 (pid $TM1_PID)"
+kill -9 "$TM1_PID"
+
+for pid in "${CLIENT_PIDS[@]}"; do wait "$pid"; done
+
+# (find, not a cat glob: zero failure files must count as 0, not trip
+# pipefail on an unexpanded glob)
+fail_count=$(find "$FAILS" -type f -exec cat {} + | wc -l)
+if [ "$fail_count" -ne 0 ]; then
+  echo "chaos: $fail_count client-visible failure(s):"
+  find "$FAILS" -type f -exec cat {} +
+  exit 1
+fi
+echo "chaos: zero client-visible failures across the kill"
+
+stats=$(curl -fsS "$BASE/api/v2/stats")
+echo "chaos: stats $(echo "$stats" | grep -o '"failovers":{[^}]*}')"
+redispatched=$(echo "$stats" | grep -o '"redispatched":[0-9]*' | cut -d: -f2)
+if [ -z "$redispatched" ] || [ "$redispatched" -le 0 ]; then
+  echo "chaos: expected failovers > 0 in /api/v2/stats"
+  exit 1
+fi
+
+# Lifecycle teardown of the dead site: drain migrates/removes its
+# placements (the survivor already hosts the servable), deregister
+# removes it from the registry, and the placement set is observable on
+# the servable.
+"$SMOKE_BIN/dlhub" tm drain chaos-tm-1
+"$SMOKE_BIN/dlhub" tm deregister chaos-tm-1
+placements=$(curl -fsS "$BASE/api/v2/servables/anonymous/chaos" \
+  | grep -o '"placements":\[[^]]*\]')
+echo "chaos: $placements"
+echo "$placements" | grep -q 'chaos-tm-2' || { echo "chaos: survivor lost its placement"; exit 1; }
+if echo "$placements" | grep -q 'chaos-tm-1'; then
+  echo "chaos: dead TM still placed after drain+deregister"
+  exit 1
+fi
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+  -d '{"input":"post-drain","no_memo":true}' \
+  "$BASE/api/v2/servables/anonymous/chaos/run")
+[ "$code" = "200" ] || { echo "chaos: post-drain request failed ($code)"; exit 1; }
+echo "smoke-chaos: OK"

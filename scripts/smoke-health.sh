@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Health smoke: boot the real server binary and probe the v2 health
+# surface. healthz must go 200 immediately; readyz must report 503 with
+# the no_task_manager code while no TM is registered.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/smoke-lib.sh
+
+HTTP=127.0.0.1:18080
+QUEUE=127.0.0.1:17000
+BASE=http://$HTTP
+
+build_bins dlhub-server
+"$SMOKE_BIN/dlhub-server" -http "$HTTP" -queue "$QUEUE" &
+wait_for_healthy "$BASE"
+
+curl -fsS "$BASE/api/v2/healthz" | grep -q '"status":"ok"'
+code=$(curl -s -o "$SMOKE_WORK/readyz.json" -w '%{http_code}' "$BASE/api/v2/readyz")
+[ "$code" = "503" ]
+grep -q 'no_task_manager' "$SMOKE_WORK/readyz.json"
+echo "smoke-health: OK"

@@ -1,0 +1,58 @@
+# Shared helpers for the smoke scripts (scripts/smoke-*.sh).
+# Source this file; do not execute it.
+#
+# Every smoke script is runnable locally from the repository root:
+#
+#   ./scripts/smoke-health.sh
+#
+# Conventions: binaries are built into a fresh temp dir (SMOKE_BIN),
+# every background process is killed on exit, and each script uses its
+# own port pair so they can run back to back (or concurrently in CI
+# jobs) without colliding.
+
+SMOKE_BIN=$(mktemp -d)
+SMOKE_WORK=$(mktemp -d)
+
+smoke_cleanup() {
+  # Kill every background job this shell started (server, TMs, load
+  # generators); ignore the ones that already exited.
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$SMOKE_BIN" "$SMOKE_WORK"
+}
+trap smoke_cleanup EXIT
+
+# build_bins <cmd>...: build the named cmd/<name> binaries into SMOKE_BIN.
+build_bins() {
+  for name in "$@"; do
+    go build -o "$SMOKE_BIN/$name" "./cmd/$name"
+  done
+}
+
+# wait_for_url <url> [attempts]: poll until the URL answers 2xx
+# (0.2s between attempts, default 75 ≈ 15s).
+wait_for_url() {
+  local url=$1 attempts=${2:-75} i
+  for i in $(seq 1 "$attempts"); do
+    if curl -fsS "$url" >/dev/null 2>&1; then return 0; fi
+    sleep 0.2
+  done
+  echo "smoke: timed out waiting for $url" >&2
+  return 1
+}
+
+# wait_for_healthy <base-url>: the server process is up.
+wait_for_healthy() { wait_for_url "$1/api/v2/healthz" "${2:-75}"; }
+
+# wait_for_ready <base-url>: at least one live Task Manager registered.
+wait_for_ready() { wait_for_url "$1/api/v2/readyz" "${2:-75}"; }
+
+# wait_for_tm <base-url> <tm-id>: a specific TM shows up in /api/v2/tms.
+wait_for_tm() {
+  local base=$1 tm=$2 i
+  for i in $(seq 1 75); do
+    if curl -fsS "$base/api/v2/tms" 2>/dev/null | grep -q "\"$tm\""; then return 0; fi
+    sleep 0.2
+  done
+  echo "smoke: TM $tm never registered" >&2
+  return 1
+}

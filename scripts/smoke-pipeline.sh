@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pipeline execution smoke: the bench assembles a Management Service
+# plus TWO Task Managers with the pipeline steps placed on DISJOINT
+# sites, then drives the monolith, distributed and cached-prefix modes.
+# The experiment errors (and fails this script) if the distributed path
+# cannot complete a pipeline whose steps live on different TMs, or if
+# the per-step cache never hits.
+#
+# Set BENCH_JSON to also write machine-readable results (the CI
+# workflow uploads them as the BENCH_pipeline.json artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/smoke-lib.sh
+
+build_bins dlhub-bench
+
+args=(-exp pipeline -requests 40 -scale 100)
+if [ -n "${BENCH_JSON:-}" ]; then
+  args+=(-json "$BENCH_JSON")
+fi
+"$SMOKE_BIN/dlhub-bench" "${args[@]}"
+echo "smoke-pipeline: OK"
