@@ -83,7 +83,7 @@ commands:
   search   search the model repository
   status   check an asynchronous task
   autoscale  view or set a servable's replica autoscaling policy
-  tm       task manager lifecycle: ls | drain | deregister | undeploy`)
+  tm       task manager lifecycle: ls | drain | rejoin | deregister | undeploy`)
 }
 
 func client(fs *flag.FlagSet) *dlhub.Client {
@@ -408,11 +408,12 @@ func cmdAutoscale(args []string) error {
 //
 //	dlhub tm ls                              fleet view (live/draining/load)
 //	dlhub tm drain <tm-id>                   drain a TM; placements migrate
+//	dlhub tm rejoin <tm-id>                  return a drained TM to rotation
 //	dlhub tm deregister <tm-id>              remove a (drained) TM
 //	dlhub tm undeploy <owner/name> <tm-id>   drop one placement of a servable
 func cmdTM(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: dlhub tm <ls|drain|deregister|undeploy> [flags] [args]")
+		return fmt.Errorf("usage: dlhub tm <ls|drain|rejoin|deregister|undeploy> [flags] [args]")
 	}
 	sub, rest := args[0], args[1:]
 	fs := flag.NewFlagSet("tm "+sub, flag.ExitOnError)
@@ -441,6 +442,15 @@ func cmdTM(args []string) error {
 		out, _ := json.MarshalIndent(res, "", "  ")
 		fmt.Println(string(out))
 		return nil
+	case "rejoin":
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: dlhub tm rejoin [flags] <tm-id>")
+		}
+		if err := c.RejoinTM(ctx, fs.Arg(0)); err != nil {
+			return err
+		}
+		fmt.Printf("rejoined %s\n", fs.Arg(0))
+		return nil
 	case "deregister":
 		if fs.NArg() < 1 {
 			return fmt.Errorf("usage: dlhub tm deregister [flags] <tm-id>")
@@ -464,7 +474,7 @@ func cmdTM(args []string) error {
 		fmt.Printf("undeployed %s from %s; placements now %v\n", fs.Arg(0), fs.Arg(1), placed)
 		return nil
 	default:
-		return fmt.Errorf("unknown tm subcommand %q (want ls|drain|deregister|undeploy)", sub)
+		return fmt.Errorf("unknown tm subcommand %q (want ls|drain|rejoin|deregister|undeploy)", sub)
 	}
 }
 

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Report is the machine-readable form of a bench run, written by
+// `dlhub-bench -json <path>` (paper experiments) and `dlhub-bench
+// -scenario <file.yaml>` (declarative scenarios) through ONE writer, so
+// every BENCH_*.json in the repo and in CI artifacts has the same
+// envelope and a stable, diffable field order. Experiment rows are kept
+// as the strings the human tables print — the artifact is a record of
+// the run, not a new metrics schema; scenario runs carry the full
+// structured result (parameters, per-stage percentiles, assertions)
+// because those files are committed per PR as the performance
+// trajectory of the repo.
+type Report struct {
+	// Started is the wall-clock start of the run (RFC 3339).
+	Started time.Time `json:"started"`
+	// DurationMS is the whole run's wall time.
+	DurationMS int64 `json:"duration_ms"`
+	// Experiments holds one entry per paper experiment executed, in
+	// order (the -exp path).
+	Experiments []ReportEntry `json:"experiments,omitempty"`
+	// Scenario is the structured result of a -scenario run.
+	Scenario *ScenarioResult `json:"scenario,omitempty"`
+}
+
+// ReportEntry is one experiment's result in a Report.
+type ReportEntry struct {
+	Name       string     `json:"name"`
+	Title      string     `json:"title"`
+	Headers    []string   `json:"headers"`
+	Rows       [][]string `json:"rows"`
+	Notes      []string   `json:"notes,omitempty"`
+	DurationMS int64      `json:"duration_ms"`
+}
+
+// ScenarioResult records one declarative scenario run end to end: the
+// exact parameters that produced it (the normalized spec, its source
+// hash and seed — enough to reproduce the schedule bit for bit),
+// per-stage results, run totals and the assertion verdicts. Committed
+// as BENCH_<name>.json with the PR that changed the behavior it
+// measures.
+type ScenarioResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// SpecPath is the scenario file the run was parsed from, repo-
+	// relative when possible.
+	SpecPath string `json:"spec_path,omitempty"`
+	// SpecSHA256 is the hex SHA-256 of the scenario file's bytes; CI
+	// compares it against the file to detect stale committed results.
+	SpecSHA256 string `json:"spec_sha256,omitempty"`
+	// Seed is the workload-schedule seed (spec.seed unless overridden).
+	Seed int64 `json:"seed"`
+	// Compress divides stage durations and fault offsets (1 = the
+	// spec's full scale; CI runs compressed).
+	Compress float64 `json:"compress"`
+	// Spec is the full normalized scenario spec — every parameter that
+	// shaped the run, so a result is interpretable without the YAML.
+	Spec any `json:"spec"`
+
+	Stages []StageResult `json:"stages"`
+	// Totals aggregates the whole run (stage name "total").
+	Totals StageResult `json:"totals"`
+	// CacheHitRate is hits/lookups of the service result cache over the
+	// run (0 when the cache is disabled).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Failovers snapshots the dead-TM failover counter deltas over the
+	// run: lost, redispatched, exhausted.
+	Failovers map[string]uint64 `json:"failovers,omitempty"`
+
+	Assertions []AssertionResult `json:"assertions"`
+	Passed     bool              `json:"passed"`
+}
+
+// StageResult is one stage's (or the whole run's) measured outcome.
+type StageResult struct {
+	Name string `json:"name"`
+	Kind string `json:"kind,omitempty"`
+	// DurationMS is the stage's scheduled (compressed) duration.
+	DurationMS int64 `json:"duration_ms"`
+	// Offered is the number of requests the schedule injected in the
+	// stage window; Completed/Errors partition how they ended.
+	Offered   int `json:"offered"`
+	Completed int `json:"completed"`
+	Errors    int `json:"errors"`
+	// Latency percentiles over the stage's completed requests, in
+	// fractional milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// Throughput is completed requests per second of stage wall time.
+	Throughput float64 `json:"throughput_rps"`
+	// AllocsPerOp approximates heap allocations per completed request
+	// (runtime.MemStats.Mallocs delta across the stage window; includes
+	// everything else the process allocated, so treat as a trend line).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// AssertionResult is one assertion's verdict.
+type AssertionResult struct {
+	// Name is the assertion key as written in the spec, e.g.
+	// "max_error_rate".
+	Name string `json:"name"`
+	// Want is the bound from the spec, Got the measured value; the
+	// name's min_/max_ prefix says which way the comparison ran.
+	Want float64 `json:"want"`
+	Got  float64 `json:"got"`
+	Pass bool    `json:"pass"`
+}
+
+// WriteFile writes the report as indented JSON. Struct-field order is
+// the schema's order — stable across runs, so committed results diff
+// cleanly.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// goldenReport is a fully-populated Report with fixed values; the
+// golden file pins the exact JSON rendering — field names, order,
+// omitempty behavior — that committed BENCH_*.json files rely on.
+// If this test fails you changed the BENCH schema: update the golden
+// AND re-generate every committed BENCH_*.json (see docs/BENCH.md).
+func goldenReport() *Report {
+	return &Report{
+		Started:    time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		DurationMS: 12345,
+		Scenario: &ScenarioResult{
+			Name:        "golden",
+			Description: "schema pin",
+			SpecPath:    "scenarios/golden.yaml",
+			SpecSHA256:  "deadbeef",
+			Seed:        42,
+			Compress:    1,
+			Spec:        map[string]any{"name": "golden"},
+			Stages: []StageResult{{
+				Name:        "steady",
+				Kind:        "steady",
+				DurationMS:  10000,
+				Offered:     100,
+				Completed:   99,
+				Errors:      1,
+				P50MS:       12.34,
+				P95MS:       56.78,
+				P99MS:       90.12,
+				Throughput:  9.9,
+				AllocsPerOp: 1234.5,
+			}},
+			Totals: StageResult{
+				Name:       "total",
+				DurationMS: 10000,
+				Offered:    100,
+				Completed:  99,
+				Errors:     1,
+				P50MS:      12.34,
+				P95MS:      56.78,
+				P99MS:      90.12,
+				Throughput: 9.9,
+			},
+			CacheHitRate: 0.25,
+			Failovers:    map[string]uint64{"exhausted": 0, "lost": 1, "redispatched": 1},
+			Assertions: []AssertionResult{{
+				Name: "max_error_rate",
+				Want: 0.05,
+				Got:  0.01,
+				Pass: true,
+			}},
+			Passed: true,
+		},
+	}
+}
+
+func TestReportGoldenSchema(t *testing.T) {
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := goldenReport().WriteFile("testdata/golden_report.json"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	if err := goldenReport().WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/golden_report.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("BENCH report schema drifted from testdata/golden_report.json.\n"+
+			"If intentional: update the golden file and re-generate every committed BENCH_*.json.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// The experiments path shares the same writer; pin its envelope too.
+func TestReportExperimentEntry(t *testing.T) {
+	tbl := &Table{Title: "T", Headers: []string{"a"}, Rows: [][]string{{"1"}}}
+	e := tbl.Entry("exp1", 1500*time.Millisecond)
+	if e.Name != "exp1" || e.DurationMS != 1500 || len(e.Rows) != 1 {
+		t.Fatalf("entry = %+v", e)
+	}
+}

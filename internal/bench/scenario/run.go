@@ -1,0 +1,470 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/pyruntime"
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+// Options tunes one scenario execution.
+type Options struct {
+	// Compress divides stage durations and fault offsets (<= 1 = run
+	// the spec at full scale). Rates are untouched, so compression
+	// shrinks request counts with the wall time — how CI replays
+	// committed scenarios quickly.
+	Compress float64
+	// SpecPath/SpecSHA annotate the result with the source file and its
+	// content hash (the CI staleness gate).
+	SpecPath string
+	SpecSHA  string
+	// Progress receives one line per stage and fault (nil = silent).
+	Progress io.Writer
+}
+
+// matminerFormulas is the pipeline workload's input vocabulary; a
+// request's key indexes into it (mod len).
+var matminerFormulas = []string{
+	"NaCl", "SiO2", "Fe2O3", "MgO", "Al2O3", "TiO2", "CaO", "ZnO",
+	"CuO", "NiO", "FeO", "SrTiO3", "BaTiO3", "LiFePO4", "K2O", "Na2O",
+}
+
+// Run executes a scenario against a fresh in-process Testbed and
+// returns the filled report. The spec must already be validated
+// (Parse does this).
+func Run(spec *Spec, opts Options) (*bench.Report, error) {
+	if opts.Compress < 1 {
+		opts.Compress = 1
+	}
+	effective := spec.Compressed(opts.Compress)
+	sched := BuildSchedule(effective)
+	progress := func(format string, args ...any) {
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, format+"\n", args...)
+		}
+	}
+
+	tb, err := bench.NewTestbed(bench.Options{
+		Nodes:             spec.Topology.Nodes,
+		WAN:               spec.Topology.WAN,
+		ServiceCache:      spec.Service.Cache,
+		AutoscaleInterval: spec.Service.AutoscaleInterval.D(),
+		MaxQueue:          spec.Service.MaxQueue,
+		Heartbeat:         spec.Topology.Heartbeat.D(),
+		TMStaleAfter:      spec.Service.TMStaleAfter.D(),
+		FailoverRetries:   spec.Service.FailoverRetries,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: testbed: %w", spec.Name, err)
+	}
+	defer tb.Close()
+	for i := 2; i <= spec.Topology.TMs; i++ {
+		if _, err := tb.AddTM(TMID(i), spec.Topology.Nodes); err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+		}
+	}
+	if err := tb.MS.WaitForTM(spec.Topology.TMs, 10*time.Second); err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+
+	wl, err := setupWorkload(tb, effective)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
+	}
+	// Prime once outside the measured window (container pull, pod
+	// start), bypassing every cache so no scheduled key is pre-warmed.
+	primeCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	_, err = tb.MS.Run(primeCtx, core.Anonymous, wl.id, wl.input(-1), core.RunOptions{NoMemo: true})
+	cancel()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: prime request: %w", spec.Name, err)
+	}
+
+	cacheBefore := tb.MS.CacheStats()
+	failBefore := tb.MS.FailoverStats()
+
+	// --- measured window ---------------------------------------------------
+	type outcome struct {
+		stage   int
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, len(sched.Requests))
+	jobs := make(chan int, len(sched.Requests))
+	ropts := core.RunOptions{NoCache: effective.Workload.NoCache}
+
+	var wg sync.WaitGroup
+	for c := 0; c < effective.Workload.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				req := sched.Requests[idx]
+				t0 := time.Now()
+				err := wl.issue(req.Key, ropts)
+				outcomes[idx] = outcome{stage: req.Stage, latency: time.Since(t0), err: err}
+			}
+		}()
+	}
+
+	start := time.Now()
+	stop := make(chan struct{})
+	var timelineWG sync.WaitGroup
+
+	// Fault timeline: apply each event at its offset. Drain blocks
+	// until migration completes, so events run in their own goroutine
+	// off the pacer's critical path.
+	timelineWG.Add(1)
+	go func() {
+		defer timelineWG.Done()
+		for _, f := range sched.Faults {
+			select {
+			case <-time.After(time.Until(start.Add(f.At))):
+			case <-stop:
+				return
+			}
+			progress("  fault @%s: %s %s", time.Since(start).Round(time.Millisecond), f.Kind, f.TMID)
+			if err := applyFault(tb, wl, f); err != nil {
+				progress("  fault %s %s FAILED: %v", f.Kind, f.TMID, err)
+			}
+		}
+	}()
+
+	// Stage boundary marks: heap-allocation counters per window, for
+	// the allocs-per-op trend line.
+	mallocMarks := make([]uint64, len(sched.Windows)+1)
+	mallocMarks[0] = readMallocs()
+	timelineWG.Add(1)
+	go func() {
+		defer timelineWG.Done()
+		for i, w := range sched.Windows {
+			select {
+			case <-time.After(time.Until(start.Add(w.End))):
+			case <-stop:
+				return
+			}
+			mallocMarks[i+1] = readMallocs()
+			progress("  stage %q done @%s", w.Name, time.Since(start).Round(time.Millisecond))
+		}
+	}()
+
+	// Pacer: release each request at its scheduled offset. Workers
+	// bound the concurrency; a burst beyond them queues in order.
+	for idx, req := range sched.Requests {
+		if d := time.Until(start.Add(req.Offset)); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	timelineWG.Wait()
+
+	cacheAfter := tb.MS.CacheStats()
+	failAfter := tb.MS.FailoverStats()
+
+	// --- aggregate ---------------------------------------------------------
+	res := &bench.ScenarioResult{
+		Name:        spec.Name,
+		Description: spec.Description,
+		SpecPath:    opts.SpecPath,
+		SpecSHA256:  opts.SpecSHA,
+		Seed:        spec.Seed,
+		Compress:    opts.Compress,
+		Spec:        spec,
+	}
+	stageLat := make([][]time.Duration, len(sched.Windows))
+	stageErr := make([]int, len(sched.Windows))
+	for _, o := range outcomes {
+		if o.err != nil {
+			stageErr[o.stage]++
+			continue
+		}
+		stageLat[o.stage] = append(stageLat[o.stage], o.latency)
+	}
+	var totalLat []time.Duration
+	var totalErr int
+	for i, w := range sched.Windows {
+		sr := stageStats(w.Name, w.Kind, w.End-w.Start, stageLat[i], stageErr[i])
+		if d := int64(mallocMarks[i+1] - mallocMarks[i]); mallocMarks[i+1] > 0 && sr.Completed > 0 {
+			sr.AllocsPerOp = round2(float64(d) / float64(sr.Completed))
+		}
+		res.Stages = append(res.Stages, sr)
+		totalLat = append(totalLat, stageLat[i]...)
+		totalErr += stageErr[i]
+	}
+	res.Totals = stageStats("total", "", elapsed, totalLat, totalErr)
+
+	lookups := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Collapsed - cacheBefore.Collapsed) +
+		(cacheAfter.Misses - cacheBefore.Misses)
+	if lookups > 0 {
+		hits := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Collapsed - cacheBefore.Collapsed)
+		res.CacheHitRate = round4(float64(hits) / float64(lookups))
+	}
+	res.Failovers = map[string]uint64{
+		"lost":         failAfter.Lost - failBefore.Lost,
+		"redispatched": failAfter.Redispatched - failBefore.Redispatched,
+		"exhausted":    failAfter.Exhausted - failBefore.Exhausted,
+	}
+
+	res.Assertions, res.Passed = evalAssertions(spec.Assertions, res, opts.Compress)
+	for _, a := range res.Assertions {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+		}
+		progress("  assert %s: want %g, got %g — %s", a.Name, a.Want, a.Got, verdict)
+	}
+
+	return &bench.Report{
+		Started:    start.UTC(),
+		DurationMS: elapsed.Milliseconds(),
+		Scenario:   res,
+	}, nil
+}
+
+// stageStats folds one window's latencies into a StageResult.
+func stageStats(name, kind string, d time.Duration, lat []time.Duration, errs int) bench.StageResult {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sr := bench.StageResult{
+		Name:       name,
+		Kind:       kind,
+		DurationMS: d.Milliseconds(),
+		Offered:    len(lat) + errs,
+		Completed:  len(lat),
+		Errors:     errs,
+	}
+	if len(lat) > 0 {
+		sr.P50MS = round2(float64(metrics.Percentile(lat, 50)) / float64(time.Millisecond))
+		sr.P95MS = round2(float64(metrics.Percentile(lat, 95)) / float64(time.Millisecond))
+		sr.P99MS = round2(float64(metrics.Percentile(lat, 99)) / float64(time.Millisecond))
+	}
+	if secs := d.Seconds(); secs > 0 {
+		sr.Throughput = round2(float64(len(lat)) / secs)
+	}
+	return sr
+}
+
+// evalAssertions checks every spec assertion against the totals.
+// Count-based bounds (min_requests) are written for the full-scale run
+// and scale down with compression; rate- and fraction-based bounds
+// hold at any compression because rates are preserved.
+func evalAssertions(asserts []Assertion, res *bench.ScenarioResult, compress float64) ([]bench.AssertionResult, bool) {
+	out := make([]bench.AssertionResult, 0, len(asserts))
+	passed := true
+	for _, a := range asserts {
+		want := a.Value
+		if a.Name == "min_requests" && compress > 1 {
+			want = a.Value / compress
+		}
+		var got float64
+		switch a.Name {
+		case "max_error_rate":
+			if res.Totals.Offered > 0 {
+				got = round4(float64(res.Totals.Errors) / float64(res.Totals.Offered))
+			}
+		case "min_cache_hit_rate", "max_cache_hit_rate":
+			got = res.CacheHitRate
+		case "min_throughput":
+			got = res.Totals.Throughput
+		case "max_p99_ms":
+			got = res.Totals.P99MS
+		case "min_redispatched":
+			got = float64(res.Failovers["redispatched"])
+		case "min_requests":
+			got = float64(res.Totals.Completed)
+		}
+		pass := got <= want
+		if strings.HasPrefix(a.Name, "min_") {
+			pass = got >= want
+		}
+		out = append(out, bench.AssertionResult{Name: a.Name, Want: want, Got: got, Pass: pass})
+		passed = passed && pass
+	}
+	return out, passed
+}
+
+// workload binds the spec's workload to published servables.
+type workload struct {
+	id    string
+	spec  *Spec
+	tb    *bench.Testbed
+	input func(key int) any
+	issue func(key int, opts core.RunOptions) error
+	// steps are the servables (pipeline steps or the single servable)
+	// to re-deploy after a redeploy:true fault; step i prefers site
+	// placementSite(i).
+	steps []string
+}
+
+// placementSites lists the 1-based sites a step deploys to.
+func (w *workload) placementSites(step int) []int {
+	if w.spec.Workload.Disjoint {
+		return []int{step%w.spec.Topology.TMs + 1}
+	}
+	sites := make([]int, 0, w.spec.Workload.Placements)
+	for i := 1; i <= w.spec.Workload.Placements; i++ {
+		sites = append(sites, i)
+	}
+	return sites
+}
+
+// deployAll places every step per the spec's placement policy.
+func (w *workload) deployAll(ctx context.Context) error {
+	for i, id := range w.steps {
+		for _, site := range w.placementSites(i) {
+			if err := w.tb.MS.DeployTo(ctx, core.Anonymous, id, w.spec.Workload.Replicas, "parsl", TMID(site)); err != nil {
+				return fmt.Errorf("deploy step %d to %s: %w", i, TMID(site), err)
+			}
+		}
+	}
+	return nil
+}
+
+// redeployTo re-places the steps that belong on the given site, used
+// after a redeploy:true rejoin/restart fault (a drain migrated the
+// site's placements away).
+func (w *workload) redeployTo(ctx context.Context, tmID string) error {
+	for i, id := range w.steps {
+		for _, site := range w.placementSites(i) {
+			if TMID(site) != tmID {
+				continue
+			}
+			if err := w.tb.MS.DeployTo(ctx, core.Anonymous, id, w.spec.Workload.Replicas, "parsl", tmID); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// setupWorkload publishes and deploys the spec's servables.
+func setupWorkload(tb *bench.Testbed, spec *Spec) (*workload, error) {
+	w := &workload{spec: spec, tb: tb}
+	ctx := context.Background()
+	switch spec.Workload.Servable {
+	case "synthetic":
+		entry := "scenario:" + spec.Name
+		work := spec.Workload.Work.D()
+		pyruntime.Register(entry, func(arg any) (any, error) {
+			time.Sleep(work)
+			// Output is a pure function of the input, so results are
+			// cacheable and key distributions translate into hit rates.
+			return fmt.Sprintf("%v:done", arg), nil
+		})
+		id, err := tb.MS.Publish(ctx, core.Anonymous, &servable.Package{
+			Doc: &schema.Document{
+				Publication: schema.Publication{
+					Name:      "scenario-" + spec.Name,
+					Title:     "scenario synthetic workload",
+					Authors:   []string{"bench"},
+					VisibleTo: []string{"public"},
+				},
+				Servable: schema.Servable{
+					Type:   schema.TypePythonFunction,
+					Entry:  entry,
+					Input:  schema.DataType{Kind: "string"},
+					Output: schema.DataType{Kind: "string"},
+				},
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		w.id = id
+		w.steps = []string{id}
+		w.input = func(key int) any { return fmt.Sprintf("key-%d", key) }
+	case "matminer":
+		utilID, err := tb.MS.Publish(ctx, core.Anonymous, servable.MatminerUtilPackage())
+		if err != nil {
+			return nil, err
+		}
+		featID, err := tb.MS.Publish(ctx, core.Anonymous, servable.MatminerFeaturizePackage())
+		if err != nil {
+			return nil, err
+		}
+		pipe := &servable.Package{Doc: servable.PipelineDoc(
+			"scenario-"+spec.Name, "scenario pipeline workload", []string{utilID, featID})}
+		pipeID, err := tb.MS.Publish(ctx, core.Anonymous, pipe)
+		if err != nil {
+			return nil, err
+		}
+		w.id = pipeID
+		w.steps = []string{utilID, featID}
+		w.input = func(key int) any {
+			if key < 0 {
+				key = len(matminerFormulas) - 1
+			}
+			return matminerFormulas[key%len(matminerFormulas)]
+		}
+	}
+	if err := w.deployAll(ctx); err != nil {
+		return nil, err
+	}
+	switch spec.Workload.Kind {
+	case "run", "pipeline":
+		w.issue = func(key int, opts core.RunOptions) error {
+			_, err := tb.MS.Run(ctx, core.Anonymous, w.id, w.input(key), opts)
+			return err
+		}
+	case "run_batch":
+		w.issue = func(key int, opts core.RunOptions) error {
+			inputs := make([]any, spec.Workload.BatchSize)
+			for i := range inputs {
+				inputs[i] = fmt.Sprintf("%v-%d", w.input(key), i)
+			}
+			_, err := tb.MS.RunBatch(ctx, core.Anonymous, w.id, inputs, opts)
+			return err
+		}
+	}
+	return w, nil
+}
+
+// applyFault executes one fault event against the testbed.
+func applyFault(tb *bench.Testbed, wl *workload, f FaultEvent) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	switch f.Kind {
+	case "kill":
+		return tb.KillTM(f.TMID)
+	case "restart":
+		if _, err := tb.RestartTM(f.TMID); err != nil {
+			return err
+		}
+	case "drain":
+		if _, err := tb.MS.DrainTM(ctx, f.TMID); err != nil {
+			return err
+		}
+		return nil
+	case "rejoin":
+		if err := tb.MS.RejoinTM(ctx, f.TMID); err != nil {
+			return err
+		}
+	}
+	if f.Redeploy {
+		return wl.redeployTo(ctx, f.TMID)
+	}
+	return nil
+}
+
+func readMallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+func round4(v float64) float64 { return float64(int64(v*10000+0.5)) / 10000 }

@@ -1,0 +1,163 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Request is one scheduled client request: fire at Offset from run
+// start, using input key Key. Key selection and timing are both fully
+// determined by (spec, seed) — see TestScheduleDeterminism.
+type Request struct {
+	Offset time.Duration
+	Stage  int // index into Schedule.Windows
+	Key    int
+}
+
+// StageWindow is one stage's slice of the run timeline.
+type StageWindow struct {
+	Name  string
+	Kind  string
+	Start time.Duration
+	End   time.Duration
+}
+
+// FaultEvent is a FaultSpec with its target resolved to a site ID.
+type FaultEvent struct {
+	At       time.Duration
+	Kind     string
+	TMID     string
+	Redeploy bool
+}
+
+// Schedule is the compiled, deterministic form of a spec's workload:
+// every request offset and input key, the stage windows they fall in,
+// and the fault timeline. Building it is pure — no clocks, no global
+// rand — so the same spec and seed always yield the identical
+// schedule.
+type Schedule struct {
+	Requests []Request
+	Windows  []StageWindow
+	Faults   []FaultEvent
+}
+
+// BuildSchedule compiles the spec's stages into request offsets and
+// draws each request's input key from the configured distribution.
+func BuildSchedule(spec *Spec) *Schedule {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	keys := newKeyPicker(spec, rng)
+
+	sched := &Schedule{}
+	var start time.Duration
+	for i, st := range spec.Stages {
+		d := st.Duration.D()
+		sched.Windows = append(sched.Windows, StageWindow{
+			Name:  st.Name,
+			Kind:  st.Kind,
+			Start: start,
+			End:   start + d,
+		})
+		for _, off := range stageOffsets(st) {
+			sched.Requests = append(sched.Requests, Request{
+				Offset: start + off,
+				Stage:  i,
+				Key:    keys.next(),
+			})
+		}
+		start += d
+	}
+	for _, f := range spec.Faults {
+		sched.Faults = append(sched.Faults, FaultEvent{
+			At:       f.At.D(),
+			Kind:     f.Kind,
+			TMID:     TMID(f.TM),
+			Redeploy: f.Redeploy,
+		})
+	}
+	return sched
+}
+
+// stageOffsets lays out one stage's request times relative to the
+// stage start.
+func stageOffsets(st StageSpec) []time.Duration {
+	d := st.Duration.D()
+	secs := d.Seconds()
+	switch st.Kind {
+	case "steady":
+		// Even spacing at the target rate.
+		n := int(math.Round(st.Rate * secs))
+		offsets := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			offsets = append(offsets, time.Duration(float64(i)/st.Rate*float64(time.Second)))
+		}
+		return offsets
+	case "ramp":
+		// Linear rate s → e over the stage. The cumulative request
+		// count is q(t) = s·t + (e−s)·t²/(2D); inverting at q = i gives
+		// the i-th request's offset (quadratic inverse CDF).
+		s, e := st.StartRate, st.Rate
+		n := int(math.Round((s + e) / 2 * secs))
+		k := (e - s) / secs // rate slope, req/s per s
+		offsets := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			q := float64(i)
+			var t float64
+			if k == 0 {
+				t = q / s
+			} else {
+				t = (-s + math.Sqrt(s*s+2*k*q)) / k
+			}
+			offsets = append(offsets, time.Duration(t*float64(time.Second)))
+		}
+		return offsets
+	case "spike":
+		// The stage's request budget lands in four equal bursts at 0,
+		// D/4, D/2 and 3D/4 — a worst case for steady-state tuned
+		// capacity.
+		n := int(math.Round(st.Rate * secs))
+		offsets := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			burst := i * 4 / n
+			if burst > 3 {
+				burst = 3
+			}
+			offsets = append(offsets, d*time.Duration(burst)/4)
+		}
+		return offsets
+	}
+	return nil
+}
+
+// keyPicker draws input keys according to the workload distribution.
+type keyPicker struct {
+	spec *Spec
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	seq  int
+}
+
+func newKeyPicker(spec *Spec, rng *rand.Rand) *keyPicker {
+	p := &keyPicker{spec: spec, rng: rng}
+	if spec.Workload.Distribution == "zipf" && spec.Workload.KeySpace > 1 {
+		p.zipf = rand.NewZipf(rng, spec.Workload.ZipfS, 1, uint64(spec.Workload.KeySpace-1))
+	}
+	return p
+}
+
+func (p *keyPicker) next() int {
+	switch p.spec.Workload.Distribution {
+	case "unique":
+		// Every request a never-before-seen key: maximally
+		// cache-hostile.
+		p.seq++
+		return p.spec.Workload.KeySpace + p.seq
+	case "zipf":
+		if p.zipf == nil {
+			return 0
+		}
+		return int(p.zipf.Uint64())
+	default: // uniform
+		return p.rng.Intn(p.spec.Workload.KeySpace)
+	}
+}

@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Minimal YAML subset parser — the repo is dependency-free by policy,
+// and scenario specs only need the benchctl-style declarative core:
+// nested mappings by two-space indentation, block sequences ("- item",
+// including "- key: value" inline map starts), scalar values (kept as
+// strings; the spec decoder owns typing), quoted strings, and
+// comments. Anchors, flow collections, multi-line scalars and multiple
+// documents are deliberately out of scope and rejected with an error
+// naming the line, so a spec that silently needs them fails loudly in
+// `-scenario-check` instead of mis-parsing.
+
+type yamlLine struct {
+	indent int
+	text   string
+	num    int // 1-based source line, for errors
+}
+
+// parseYAML parses data into nested map[string]any / []any / string
+// values.
+func parseYAML(data []byte) (any, error) {
+	var lines []yamlLine
+	for i, raw := range strings.Split(string(data), "\n") {
+		text := stripComment(raw)
+		trimmed := strings.TrimSpace(text)
+		if trimmed == "" {
+			continue
+		}
+		if strings.Contains(text, "\t") {
+			return nil, fmt.Errorf("yaml: line %d: tabs are not allowed for indentation", i+1)
+		}
+		if trimmed == "---" {
+			if len(lines) > 0 {
+				return nil, fmt.Errorf("yaml: line %d: multiple documents are not supported", i+1)
+			}
+			continue
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		lines = append(lines, yamlLine{indent: indent, text: trimmed, num: i + 1})
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("yaml: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, fmt.Errorf("yaml: line %d: unexpected dedent/content %q", p.lines[p.pos].num, p.lines[p.pos].text)
+	}
+	return v, nil
+}
+
+// stripComment removes a trailing comment. '#' starts a comment at the
+// start of a line or after whitespace, and never inside quotes.
+func stripComment(line string) string {
+	inSingle, inDouble := false, false
+	for i, r := range line {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case '#':
+			if inSingle || inDouble {
+				continue
+			}
+			if i == 0 || line[i-1] == ' ' {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseBlock parses the run of lines at exactly this indentation as one
+// collection (sequence if the first line starts with "- ", mapping
+// otherwise).
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, fmt.Errorf("yaml: unexpected end of document")
+	}
+	ln := p.lines[p.pos]
+	if ln.indent != indent {
+		return nil, fmt.Errorf("yaml: line %d: expected indent %d, got %d", ln.num, indent, ln.indent)
+	}
+	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: unexpected indent under sequence", ln.num)
+			}
+			break
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, fmt.Errorf("yaml: line %d: expected sequence item, got %q", ln.num, ln.text)
+		}
+		if ln.text == "-" {
+			return nil, fmt.Errorf("yaml: line %d: empty sequence items are not supported", ln.num)
+		}
+		item := strings.TrimSpace(ln.text[2:])
+		if key, _, isMap := splitKey(item); isMap && isBareKey(key) {
+			// "- key: value": the item is a mapping whose first entry is
+			// inline. Re-interpret this line as that entry, indented past
+			// the dash, and let parseMapping consume the continuation
+			// lines.
+			p.lines[p.pos] = yamlLine{indent: indent + 2, text: item, num: ln.num}
+			m, err := p.parseMapping(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, m)
+			continue
+		}
+		seq = append(seq, parseScalar(item))
+		p.pos++
+	}
+	return seq, nil
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent != indent {
+			if ln.indent > indent {
+				return nil, fmt.Errorf("yaml: line %d: unexpected indent", ln.num)
+			}
+			break
+		}
+		key, rest, ok := splitKey(ln.text)
+		if !ok || !isBareKey(key) {
+			return nil, fmt.Errorf("yaml: line %d: expected \"key: value\", got %q", ln.num, ln.text)
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("yaml: line %d: duplicate key %q", ln.num, key)
+		}
+		p.pos++
+		if rest != "" {
+			m[key] = parseScalar(rest)
+			continue
+		}
+		// "key:" introduces a nested block — or an empty value when the
+		// next line does not indent past it.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		m[key] = ""
+	}
+	return m, nil
+}
+
+// splitKey splits "key: value" (or "key:") respecting quotes; ok is
+// false when the line has no top-level colon.
+func splitKey(s string) (key, value string, ok bool) {
+	inSingle, inDouble := false, false
+	for i, r := range s {
+		switch r {
+		case '\'':
+			if !inDouble {
+				inSingle = !inSingle
+			}
+		case '"':
+			if !inSingle {
+				inDouble = !inDouble
+			}
+		case ':':
+			if inSingle || inDouble {
+				continue
+			}
+			if i+1 == len(s) {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// isBareKey reports whether s is a plausible mapping key (identifier-ish;
+// quoted keys are not supported).
+func isBareKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// parseScalar unquotes a scalar; typing (int, float, bool, duration) is
+// the spec decoder's job so error messages can name the field.
+func parseScalar(s string) string {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	return s
+}

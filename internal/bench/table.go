@@ -1,10 +1,8 @@
 package bench
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"strings"
 	"time"
 )
@@ -65,31 +63,7 @@ func (t *Table) Fprint(w io.Writer) {
 	}
 }
 
-// Report is the machine-readable form of a bench run, written by
-// `dlhub-bench -json <path>` so CI can persist benchmark results as
-// workflow artifacts and build a performance trajectory across
-// commits. Rows are kept as the strings the human tables print —
-// the artifact is a record of the run, not a new metrics schema.
-type Report struct {
-	// Started is the wall-clock start of the run (RFC 3339).
-	Started time.Time `json:"started"`
-	// DurationMS is the whole run's wall time.
-	DurationMS int64 `json:"duration_ms"`
-	// Experiments holds one entry per experiment executed, in order.
-	Experiments []ReportEntry `json:"experiments"`
-}
-
-// ReportEntry is one experiment's result in a Report.
-type ReportEntry struct {
-	Name       string     `json:"name"`
-	Title      string     `json:"title"`
-	Headers    []string   `json:"headers"`
-	Rows       [][]string `json:"rows"`
-	Notes      []string   `json:"notes,omitempty"`
-	DurationMS int64      `json:"duration_ms"`
-}
-
-// Entry converts a rendered table into its Report form.
+// Entry converts a rendered table into its Report form (report.go).
 func (t *Table) Entry(name string, elapsed time.Duration) ReportEntry {
 	return ReportEntry{
 		Name:       name,
@@ -99,15 +73,6 @@ func (t *Table) Entry(name string, elapsed time.Duration) ReportEntry {
 		Notes:      t.Notes,
 		DurationMS: elapsed.Milliseconds(),
 	}
-}
-
-// WriteFile writes the report as indented JSON.
-func (r *Report) WriteFile(path string) error {
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // Table1 reproduces Table I: "Model repositories compared and

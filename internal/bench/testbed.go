@@ -5,6 +5,13 @@
 // ("on a co-located cluster, Cooley"), and the PetrelKube-like
 // Kubernetes cluster running servable pods — with netsim-shaped links
 // carrying the paper's measured RTTs between the sites.
+//
+// Beyond the paper experiments, the testbed is the substrate for the
+// declarative scenario harness (bench/scenario): it exposes scripted
+// fault injection — KillTM (a kill -9: no replies, heartbeats stop,
+// the site's cluster keeps its pods), RestartTM (a new TM process
+// reattaching to the surviving cluster) — alongside the Management
+// Service's own DrainTM/RejoinTM lifecycle.
 package bench
 
 import (
@@ -56,6 +63,30 @@ type Options struct {
 	// MaxQueue sets the service-wide admission-control bound (0 =
 	// unbounded, matching production default).
 	MaxQueue int
+	// Heartbeat sets every Task Manager's heartbeat interval (0
+	// disables heartbeats). Required whenever TMStaleAfter is set —
+	// without beats every TM goes stale right after registration.
+	Heartbeat time.Duration
+	// TMStaleAfter enables the Management Service's liveness window and
+	// dead-TM watchdog (0 disables, the production default).
+	TMStaleAfter time.Duration
+	// FailoverRetries bounds dead-TM re-dispatches per request (0 keeps
+	// the service default of 2; < 0 disables failover).
+	FailoverRetries int
+}
+
+// site is one Task Manager site: the TM process plus the executors it
+// fronts. The executors (and the cluster behind them) deliberately
+// outlive a killed TM — on a real kill -9 the serving pods keep
+// running, and a restarted TM reattaches to them.
+type site struct {
+	tm      *taskmanager.TM
+	execs   map[string]executor.Executor
+	memoize bool
+	pullers int
+	// client is the WAN-shaped queue connection (nil in-process);
+	// replaced on restart.
+	client *queue.Client
 }
 
 // Testbed is an assembled deployment.
@@ -66,14 +97,15 @@ type Testbed struct {
 	Runtime *container.Runtime
 	Clipper *clipper.System
 
-	queueSrv    *queue.Server
-	queueAddr   string
-	queueClient *queue.Client
-	execs       map[string]executor.Executor
+	opts      Options
+	queueSrv  *queue.Server
+	queueAddr string
+	execs     map[string]executor.Executor
 
-	// extra sites attached with AddTM, torn down by Close.
-	extraTMs     []*taskmanager.TM
-	extraClients []*queue.Client
+	// sites tracks every TM site (including the primary) by TM ID, in
+	// creation order for teardown.
+	sites     map[string]*site
+	siteOrder []string
 }
 
 // NewTestbed assembles a deployment per opts.
@@ -81,7 +113,11 @@ func NewTestbed(opts Options) (*Testbed, error) {
 	if opts.Nodes <= 0 {
 		opts.Nodes = 14
 	}
-	tb := &Testbed{execs: make(map[string]executor.Executor)}
+	tb := &Testbed{
+		opts:  opts,
+		execs: make(map[string]executor.Executor),
+		sites: make(map[string]*site),
+	}
 
 	// Site 3: the Kubernetes cluster.
 	registry := container.NewRegistry()
@@ -125,10 +161,11 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		Cache:             core.CacheConfig{Disabled: !opts.ServiceCache},
 		AutoscaleInterval: opts.AutoscaleInterval,
 		MaxQueue:          opts.MaxQueue,
+		TMStaleAfter:      opts.TMStaleAfter,
+		FailoverRetries:   opts.FailoverRetries,
 	})
 
 	// Site 2: the Task Manager, connected over the WAN or in-process.
-	var q taskmanager.QueueAPI
 	if opts.WAN {
 		tb.queueSrv = queue.NewServer(tb.MS.Broker())
 		l, err := net.Listen("tcp", "127.0.0.1:0")
@@ -141,41 +178,79 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
 		go tb.queueSrv.Serve(netsim.NewListener(l, wan)) //nolint:errcheck
 		tb.queueAddr = l.Addr().String()
-		conn, err := net.Dial("tcp", l.Addr().String())
-		if err != nil {
-			return nil, err
-		}
-		tb.queueClient = queue.NewClient(netsim.Wrap(conn, wan))
-		q = tb.queueClient
-	} else {
-		q = taskmanager.BrokerAdapter{B: tb.MS.Broker()}
 	}
 
-	tm, err := taskmanager.New(taskmanager.Config{
-		ID:        "cooley-tm-1",
-		Queue:     q,
-		Executors: tb.execs,
-		Memoize:   opts.Memoize,
-		Pullers:   8,
-	})
-	if err != nil {
+	st := &site{execs: tb.execs, memoize: opts.Memoize, pullers: 8}
+	if err := tb.startSite("cooley-tm-1", st); err != nil {
 		return nil, err
 	}
-	tb.TM = tm
+	tb.sites["cooley-tm-1"] = st
+	tb.siteOrder = append(tb.siteOrder, "cooley-tm-1")
+	tb.TM = st.tm
 	if err := tb.MS.WaitForTM(1, 10*time.Second); err != nil {
 		return nil, err
 	}
 	return tb, nil
 }
 
+// connectQueue returns a broker connection for a TM site: a fresh
+// WAN-shaped TCP client when the testbed runs in WAN mode, the
+// in-process adapter otherwise.
+func (tb *Testbed) connectQueue() (taskmanager.QueueAPI, *queue.Client, error) {
+	if tb.queueAddr == "" {
+		return taskmanager.BrokerAdapter{B: tb.MS.Broker()}, nil, nil
+	}
+	wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
+	conn, err := net.Dial("tcp", tb.queueAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	client := queue.NewClient(netsim.Wrap(conn, wan))
+	return client, client, nil
+}
+
+// startSite (re)starts the TM process of a site: a queue connection is
+// dialed, the TM registers itself, and the site record is updated. The
+// previous connection, if any, is closed.
+func (tb *Testbed) startSite(id string, st *site) error {
+	q, client, err := tb.connectQueue()
+	if err != nil {
+		return err
+	}
+	tm, err := taskmanager.New(taskmanager.Config{
+		ID:                id,
+		Queue:             q,
+		Executors:         st.execs,
+		Memoize:           st.memoize,
+		Pullers:           st.pullers,
+		HeartbeatInterval: tb.opts.Heartbeat,
+	})
+	if err != nil {
+		if client != nil {
+			client.Close()
+		}
+		return err
+	}
+	if st.client != nil {
+		st.client.Close()
+	}
+	st.client = client
+	st.tm = tm
+	return nil
+}
+
 // AddTM attaches an additional Task Manager site to the testbed: its
 // own registry, mini cluster and parsl executor, connected to the
 // Management Service's broker — over the same WAN shaping as the first
 // site when the testbed runs in WAN mode. Multi-site experiments
-// (distributed pipelines, disjoint placements) build on it.
+// (distributed pipelines, disjoint placements, chaos scenarios) build
+// on it.
 func (tb *Testbed) AddTM(id string, nodes int) (*taskmanager.TM, error) {
 	if nodes <= 0 {
 		nodes = 4
+	}
+	if _, dup := tb.sites[id]; dup {
+		return nil, fmt.Errorf("bench: site %q already exists", id)
 	}
 	registry := container.NewRegistry()
 	rt := container.NewRuntime(registry)
@@ -184,30 +259,57 @@ func (tb *Testbed) AddTM(id string, nodes int) (*taskmanager.TM, error) {
 	link := netsim.RTT(simconst.D(simconst.RTTTMToCluster), simconst.LinkBandwidth)
 	parsl := executor.NewParsl(cluster, container.NewBuilder(registry), link)
 
-	var q taskmanager.QueueAPI
-	if tb.queueAddr != "" {
-		wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
-		conn, err := net.Dial("tcp", tb.queueAddr)
-		if err != nil {
-			return nil, err
-		}
-		client := queue.NewClient(netsim.Wrap(conn, wan))
-		tb.extraClients = append(tb.extraClients, client)
-		q = client
-	} else {
-		q = taskmanager.BrokerAdapter{B: tb.MS.Broker()}
-	}
-	tm, err := taskmanager.New(taskmanager.Config{
-		ID:        id,
-		Queue:     q,
-		Executors: map[string]executor.Executor{"parsl": parsl},
-		Pullers:   8,
-	})
-	if err != nil {
+	st := &site{execs: map[string]executor.Executor{"parsl": parsl}, pullers: 8}
+	if err := tb.startSite(id, st); err != nil {
 		return nil, err
 	}
-	tb.extraTMs = append(tb.extraTMs, tm)
-	return tm, nil
+	tb.sites[id] = st
+	tb.siteOrder = append(tb.siteOrder, id)
+	return st.tm, nil
+}
+
+// TMByID returns a site's current TM process (nil for unknown sites —
+// including sites whose TM was killed and not yet restarted, whose
+// stale process object is deliberately not handed out).
+func (tb *Testbed) TMByID(id string) *taskmanager.TM {
+	st, ok := tb.sites[id]
+	if !ok {
+		return nil
+	}
+	return st.tm
+}
+
+// KillTM kills a site's TM process the way `kill -9` would: pull loops
+// and heartbeats stop instantly, claimed tasks never get replies, and
+// the site's executors (the cluster's pods) keep running. The
+// Management Service notices via its liveness window. The site record
+// survives so RestartTM can bring the process back.
+func (tb *Testbed) KillTM(id string) error {
+	st, ok := tb.sites[id]
+	if !ok {
+		return fmt.Errorf("bench: unknown site %q", id)
+	}
+	st.tm.Kill()
+	return nil
+}
+
+// RestartTM starts a fresh TM process for a previously killed (or
+// closed) site, reattaching it to the site's surviving executors —
+// deployments made before the kill are intact, exactly as pods survive
+// a TM crash. The new process registers with the Management Service
+// immediately.
+func (tb *Testbed) RestartTM(id string) (*taskmanager.TM, error) {
+	st, ok := tb.sites[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown site %q", id)
+	}
+	if err := tb.startSite(id, st); err != nil {
+		return nil, err
+	}
+	if id == "cooley-tm-1" {
+		tb.TM = st.tm
+	}
+	return st.tm, nil
 }
 
 // ExecutorReplicas reports the actual replica count a site executor is
@@ -224,17 +326,16 @@ func (tb *Testbed) ExecutorReplicas(route, servableID string) int {
 
 // Close tears the deployment down.
 func (tb *Testbed) Close() {
-	for _, tm := range tb.extraTMs {
-		tm.Close()
-	}
-	for _, c := range tb.extraClients {
-		c.Close()
-	}
-	if tb.TM != nil {
-		tb.TM.Close() // closes executors too
-	}
-	if tb.queueClient != nil {
-		tb.queueClient.Close()
+	// Extra sites first, the primary last (it owns the shared executors
+	// the comparators were built on), the service after its TMs.
+	for i := len(tb.siteOrder) - 1; i >= 0; i-- {
+		st := tb.sites[tb.siteOrder[i]]
+		if st.tm != nil {
+			st.tm.Close()
+		}
+		if st.client != nil {
+			st.client.Close()
+		}
 	}
 	if tb.queueSrv != nil {
 		tb.queueSrv.Close()

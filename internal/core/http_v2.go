@@ -61,6 +61,7 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v2/tasks/{task}/events", s.handleV2TaskEvents)
 	mux.HandleFunc("GET /api/v2/tms", s.handleV2TMs)
 	mux.HandleFunc("POST /api/v2/tms/{tm}/drain", s.handleV2TMDrain)
+	mux.HandleFunc("POST /api/v2/tms/{tm}/rejoin", s.handleV2TMRejoin)
 	mux.HandleFunc("DELETE /api/v2/tms/{tm}", s.handleV2TMDeregister)
 	mux.HandleFunc("GET /api/v2/cache/stats", s.handleV2CacheStats)
 	mux.HandleFunc("POST /api/v2/cache/flush", s.handleV2CacheFlush)
@@ -753,6 +754,21 @@ func (s *Service) handleV2TMDrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeV2(w, r, http.StatusOK, res)
+}
+
+// handleV2TMRejoin reverses a drain: the TM clears its drain
+// acknowledgement and returns to the routable pool (placements a drain
+// migrated away are NOT restored — redeploy explicitly).
+func (s *Service) handleV2TMRejoin(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	tmID := r.PathValue("tm")
+	if err := s.RejoinTM(r.Context(), tmID); err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, map[string]string{"status": "rejoined", "tm": tmID})
 }
 
 // handleV2TMDeregister removes a Task Manager from the registry and

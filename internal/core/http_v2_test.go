@@ -562,3 +562,41 @@ func TestV2IdempotencyWaiterSurvivesCanceledLeader(t *testing.T) {
 		t.Fatal("duplicate still blocked after leader cancel")
 	}
 }
+
+// The drain → rejoin lifecycle over the v2 wire: a drained TM leaves
+// the draining list when POST /tms/{tm}/rejoin succeeds; rejoining an
+// unknown TM is a typed no_task_manager error.
+func TestV2TMRejoin(t *testing.T) {
+	tb, srv := v2TB(t)
+
+	resp, env := doV2(t, http.MethodPost, srv.URL+"/api/v2/tms/cooley-tm-1/drain", nil, nil)
+	if resp.StatusCode != http.StatusOK || env.Error != nil {
+		t.Fatalf("drain: status %d env %+v", resp.StatusCode, env.Error)
+	}
+	if draining := tb.MS.DrainingTMs(); len(draining) != 1 {
+		t.Fatalf("after drain: draining = %v", draining)
+	}
+
+	resp, env = doV2(t, http.MethodPost, srv.URL+"/api/v2/tms/cooley-tm-1/rejoin", nil, nil)
+	if resp.StatusCode != http.StatusOK || env.Error != nil {
+		t.Fatalf("rejoin: status %d env %+v", resp.StatusCode, env.Error)
+	}
+	var out struct {
+		Status string `json:"status"`
+		TM     string `json:"tm"`
+	}
+	if err := json.Unmarshal(env.Data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "rejoined" || out.TM != "cooley-tm-1" {
+		t.Fatalf("rejoin payload = %+v", out)
+	}
+	if draining := tb.MS.DrainingTMs(); len(draining) != 0 {
+		t.Fatalf("after rejoin: draining = %v", draining)
+	}
+
+	resp, env = doV2(t, http.MethodPost, srv.URL+"/api/v2/tms/ghost/rejoin", nil, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable || env.Error == nil || env.Error.Code != string(core.CodeNoTaskManager) {
+		t.Fatalf("rejoin unknown TM: status %d env %+v", resp.StatusCode, env.Error)
+	}
+}

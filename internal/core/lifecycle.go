@@ -234,6 +234,9 @@ func (s *Service) DrainTM(ctx context.Context, tmID string) (*DrainResult, error
 
 	s.mu.Lock()
 	s.tmDraining[tmID] = struct{}{}
+	// A deliberate re-drain must never be suppressed by the rejoin
+	// grace window (registrationLoop).
+	delete(s.tmRejoined, tmID)
 	s.mu.Unlock()
 
 	// Ask the site to acknowledge; tolerate a dead site (that is what
@@ -408,6 +411,7 @@ func (s *Service) DeregisterTM(tmID string) error {
 	delete(s.tmActive, tmID)
 	delete(s.tmInflight, tmID)
 	delete(s.tmDraining, tmID)
+	delete(s.tmRejoined, tmID)
 	for id := range s.placements {
 		s.removePlacementLocked(id, tmID)
 	}
@@ -415,6 +419,48 @@ func (s *Service) DeregisterTM(tmID string) error {
 	if purged := s.broker.Purge(taskmanager.TaskQueue(tmID)); purged > 0 {
 		log.Printf("core: withdrew %d task(s) queued to deregistered TM %s", purged, tmID)
 	}
+	return nil
+}
+
+// rejoinGrace is how long after RejoinTM the registrationLoop ignores a
+// heartbeat still asserting Draining: such a beat was necessarily
+// marshaled before the TM acknowledged the rejoin (the TM-side flag is
+// cleared before RejoinTM returns), so it is stale state in flight, not
+// a new drain. Generous versus any heartbeat interval + queue backlog;
+// a real re-drain sets the mark directly and clears the grace entry.
+const rejoinGrace = 3 * time.Second
+
+// RejoinTM reverses a graceful drain, returning the Task Manager to the
+// routable pool — the missing half that made drain one-way (drain →
+// deregister → restart the process was the only way back). The TM is
+// asked to clear its drain acknowledgement first (new "rejoin" task
+// kind), so once the service-side mark is dropped no future heartbeat
+// re-asserts it; then the mark is cleared and the site is immediately
+// eligible for routing and deployment again.
+//
+// Rejoining does NOT restore the placements a drain migrated away:
+// the TM comes back empty, like a freshly registered site, and takes
+// unplaced-pool traffic until something is deployed to it (DeployTo).
+// Idempotent: rejoining a TM that is not draining just re-clears state.
+// A dead or unresponsive TM cannot rejoin — the ack dispatch fails and
+// the drain mark stays.
+func (s *Service) RejoinTM(ctx context.Context, tmID string) error {
+	if !s.tmRegistered(tmID) {
+		return ErrNoTaskManager.WithDetail(fmt.Sprintf("task manager %q not registered", tmID))
+	}
+	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
+	defer cancel()
+	task := taskmanager.Task{ID: queue.NewID(), Kind: "rejoin"}
+	if _, err := s.dispatchWatched(ctx, tmID, task); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return wrapCtxErr(ctxErr)
+		}
+		return fmt.Errorf("rejoin %s: site did not acknowledge (a dead TM cannot rejoin): %w", tmID, err)
+	}
+	s.mu.Lock()
+	delete(s.tmDraining, tmID)
+	s.tmRejoined[tmID] = s.timeFunc()
+	s.mu.Unlock()
 	return nil
 }
 

@@ -585,3 +585,105 @@ func TestDrainSurvivesHeartbeats(t *testing.T) {
 		t.Fatalf("drain mark lost across heartbeats: %v", draining)
 	}
 }
+
+// Rejoin reverses a drain: the TM clears its drain acknowledgment, the
+// service clears its mark, and the site takes deploys and traffic
+// again.
+func TestRejoinRestoresRouting(t *testing.T) {
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	tmA := newSite(t, ms, "site-a")
+	newSite(t, ms, "site-b")
+	if err := ms.WaitForTM(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	id := deployNoopOn(t, ms, "site-a", "site-b")
+
+	if _, err := ms.DrainTM(context.Background(), "site-a"); err != nil {
+		t.Fatal(err)
+	}
+	// Drained: deploys to the site are refused.
+	if err := ms.DeployTo(context.Background(), core.Anonymous, id, 1, "parsl", "site-a"); !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("deploy to draining TM: err = %v, want ErrConflict", err)
+	}
+
+	if err := ms.RejoinTM(context.Background(), "site-a"); err != nil {
+		t.Fatal(err)
+	}
+	if tmA.Draining() {
+		t.Fatal("TM still reports draining after rejoin")
+	}
+	if draining := ms.DrainingTMs(); len(draining) != 0 {
+		t.Fatalf("service still marks draining after rejoin: %v", draining)
+	}
+	// Let the drain's best-effort undeploy teardown land before
+	// re-deploying, or it would wipe the fresh placement.
+	doneBefore := awaitStatsSettled(t, tmA)
+	// Rejoined: the site accepts placements and serves again.
+	if err := ms.DeployTo(context.Background(), core.Anonymous, id, 1, "parsl", "site-a"); err != nil {
+		t.Fatalf("deploy after rejoin: %v", err)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := ms.Run(context.Background(), core.Anonymous, id, fmt.Sprintf("post-rejoin-%d", i), core.RunOptions{}); err != nil {
+			t.Fatalf("run %d after rejoin: %v", i, err)
+		}
+	}
+	if after, _ := tmA.Stats(); after == doneBefore {
+		t.Fatal("rejoined TM served nothing")
+	}
+	// Rejoin is idempotent.
+	if err := ms.RejoinTM(context.Background(), "site-a"); err != nil {
+		t.Fatalf("second rejoin: %v", err)
+	}
+}
+
+// A heartbeat marshaled BEFORE the TM acknowledged the rejoin still
+// asserts Draining — set-only semantics would re-mark the TM forever.
+// The rejoin grace window must swallow it, while a deliberate re-drain
+// right after a rejoin must still stick.
+func TestRejoinIgnoresStaleDrainingHeartbeat(t *testing.T) {
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	newSite(t, ms, "site-a")
+	newSite(t, ms, "site-b")
+	if err := ms.WaitForTM(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.DrainTM(context.Background(), "site-a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.RejoinTM(context.Background(), "site-a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stale in-flight heartbeat arrives after the rejoin ack.
+	body, _ := json.Marshal(taskmanager.Registration{TMID: "site-a", Draining: true})
+	ms.Broker().Push(taskmanager.RegisterQueue, body, "", "")
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		if len(ms.DrainingTMs()) != 0 {
+			t.Fatalf("stale draining heartbeat re-marked a rejoined TM: %v", ms.DrainingTMs())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// A deliberate re-drain inside the grace window must still stick:
+	// DrainTM clears the grace entry.
+	if _, err := ms.DrainTM(context.Background(), "site-a"); err != nil {
+		t.Fatal(err)
+	}
+	draining := ms.DrainingTMs()
+	if len(draining) != 1 || draining[0] != "site-a" {
+		t.Fatalf("re-drain after rejoin did not stick: %v", draining)
+	}
+}
+
+// Rejoin requires a live, registered TM: unknown IDs error, and a TM
+// that cannot acknowledge (dead) must not be un-marked.
+func TestRejoinUnknownTM(t *testing.T) {
+	ms := core.New(core.Config{Registry: container.NewRegistry()})
+	defer ms.Close()
+	if err := ms.RejoinTM(context.Background(), "ghost"); !errors.Is(err, core.ErrNoTaskManager) {
+		t.Fatalf("rejoin unknown TM: err = %v, want ErrNoTaskManager", err)
+	}
+}

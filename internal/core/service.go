@@ -129,8 +129,17 @@ type Service struct {
 	tmRR     int
 	// tmDraining marks TMs taken out of rotation by DrainTM: they stay
 	// registered (heartbeats keep arriving, in-flight work finishes) but
-	// no routing decision selects them. Cleared only by DeregisterTM.
+	// no routing decision selects them. Cleared by RejoinTM and
+	// DeregisterTM.
 	tmDraining map[string]struct{}
+	// tmRejoined records when RejoinTM last cleared a TM's drain mark.
+	// Heartbeats are set-only for the drain mark, so a beat marshaled
+	// BEFORE the TM acknowledged the rejoin (still carrying
+	// Draining=true) could re-mark a freshly rejoined site forever;
+	// registrationLoop ignores the flag within rejoinGrace of a rejoin.
+	// DrainTM deletes the entry, so a deliberate re-drain is never
+	// suppressed.
+	tmRejoined map[string]time.Time
 	// failover counters (lifecycle.go): dispatches aborted by the
 	// dead-TM watchdog, re-dispatches to another site, and requests
 	// that ran out of budget or sites.
@@ -238,6 +247,7 @@ func New(cfg Config) *Service {
 		placements: make(map[string][]string),
 		tmSeen:     make(map[string]time.Time),
 		tmDraining: make(map[string]struct{}),
+		tmRejoined: make(map[string]time.Time),
 		tmInflight: make(map[string]int),
 		tmActive:   make(map[string]int),
 		svInflight: make(map[string]int),
@@ -313,8 +323,13 @@ func (s *Service) registrationLoop() {
 				// The TM asserts it is draining (the drain-task ack
 				// echoed in heartbeats). Set-only: a heartbeat without
 				// the flag must not clear a service-side drain mark the
-				// drain task simply has not reached yet.
-				s.tmDraining[reg.TMID] = struct{}{}
+				// drain task simply has not reached yet. The one
+				// exception is a beat marshaled just BEFORE the TM
+				// acknowledged a rejoin — ignore the stale assertion
+				// inside the rejoin grace window.
+				if at, rejoined := s.tmRejoined[reg.TMID]; !rejoined || s.timeFunc().Sub(at) > rejoinGrace {
+					s.tmDraining[reg.TMID] = struct{}{}
+				}
 			}
 			s.mu.Unlock()
 		}

@@ -185,7 +185,8 @@ type TM struct {
 	routeMu sync.RWMutex
 	routes  map[string]string
 
-	stop chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
 	// ctx is the TM lifetime context: executor invocations run under it
 	// so Close cancels in-flight work instead of orphaning it.
 	ctx    context.Context
@@ -196,9 +197,15 @@ type TM struct {
 	completed uint64
 	hits      uint64
 	active    int
-	// draining is set by a drain task; heartbeats carry it back to the
-	// Management Service as the drain acknowledgement.
+	// draining is set by a drain task (and cleared by a rejoin task);
+	// heartbeats carry it back to the Management Service as the drain
+	// acknowledgement.
 	draining bool
+	// killed marks an abrupt Kill(): the TM must behave like a kill -9
+	// victim, so every reply still on its way out is suppressed — the
+	// Management Service's dead-TM watchdog is what must observe the
+	// loss, not a polite error reply.
+	killed bool
 
 	// reg is the registration body template re-marshaled (with the
 	// current active count) on every heartbeat.
@@ -308,13 +315,36 @@ func (tm *TM) Stats() (uint64, uint64) {
 
 // Close stops the pull loops (in-flight tasks finish first, but their
 // executor invocations are canceled via the TM lifetime context).
+// Idempotent, and safe after Kill.
 func (tm *TM) Close() {
-	close(tm.stop)
+	tm.stopOnce.Do(func() {
+		close(tm.stop)
+	})
 	tm.cancel()
 	tm.wg.Wait()
 	for _, ex := range tm.cfg.Executors {
 		ex.Close()
 	}
+}
+
+// Kill stops the Task Manager the way `kill -9` would: pull loops and
+// heartbeats stop, in-flight executor invocations are canceled, and —
+// unlike Close — no reply (not even a failure reply) leaves the site
+// for work it had already claimed. Tasks it was executing stay claimed
+// in the broker until the Management Service's dead-TM watchdog purges
+// them; its executors are NOT closed, because on a real kill the
+// serving pods at the cluster site outlive the dead TM process (a
+// restarted TM reattaches to them). Fault-injection hook for chaos
+// scenarios; production teardown is Close.
+func (tm *TM) Kill() {
+	tm.statMu.Lock()
+	tm.killed = true
+	tm.statMu.Unlock()
+	tm.stopOnce.Do(func() {
+		close(tm.stop)
+	})
+	tm.cancel()
+	tm.wg.Wait()
 }
 
 func (tm *TM) pullLoop() {
@@ -367,6 +397,8 @@ func (tm *TM) handle(msg queue.Message) {
 		rep = tm.handleUndeploy(&task)
 	case "drain":
 		rep = tm.handleDrain()
+	case "rejoin":
+		rep = tm.handleRejoin()
 	case "run":
 		rep = tm.handleRun(&task)
 	case "run_batch":
@@ -387,6 +419,14 @@ func (tm *TM) handle(msg queue.Message) {
 }
 
 func (tm *TM) reply(msg queue.Message, rep Reply) {
+	tm.statMu.Lock()
+	killed := tm.killed
+	tm.statMu.Unlock()
+	if killed {
+		// A kill -9 victim sends nothing; the claimed message must look
+		// lost so the watchdog-and-purge path owns the recovery.
+		return
+	}
 	body, err := json.Marshal(rep)
 	if err != nil {
 		body, _ = json.Marshal(Reply{TaskID: rep.TaskID, OK: false, Error: "unserializable reply: " + err.Error()})
@@ -467,6 +507,19 @@ func (tm *TM) handleDrain() Reply {
 	tm.draining = true
 	tm.statMu.Unlock()
 	return Reply{OK: true, Output: "draining"}
+}
+
+// handleRejoin reverses a drain acknowledgement: the TM stops asserting
+// Draining in its heartbeats, so the site reads as routable again once
+// the Management Service clears its own mark. The service clears its
+// mark only AFTER this ack round-trips — heartbeats marshaled before
+// the ack (still carrying Draining) are covered by the service-side
+// rejoin grace window.
+func (tm *TM) handleRejoin() Reply {
+	tm.statMu.Lock()
+	tm.draining = false
+	tm.statMu.Unlock()
+	return Reply{OK: true, Output: "rejoined"}
 }
 
 func (tm *TM) handleUndeploy(task *Task) Reply {

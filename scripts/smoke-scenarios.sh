@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Scenario harness smoke, in three passes over scenarios/*.yaml:
+#
+#   1. validate every spec (-scenario-check) — a spec that does not
+#      parse or fails validation breaks the build, not a later run;
+#   2. verify every committed BENCH_<name>.json is up to date with its
+#      spec (-verify-json compares the recorded spec_sha256) — editing
+#      a scenario without re-running it and committing the result is a
+#      CI failure;
+#   3. replay the chaos and ramp scenarios at reduced scale
+#      (-scenario-compress) and fail on any assertion failure — the
+#      kill/restart fault path and the ramp pacer run on every push.
+#
+# Results of the compressed replays are written to a temp dir; only
+# full-scale runs (compress 1) belong in the committed BENCH files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+. scripts/smoke-lib.sh
+
+build_bins dlhub-bench
+
+echo "== validate all scenario specs =="
+for f in scenarios/*.yaml; do
+  "$SMOKE_BIN/dlhub-bench" -scenario "$f" -scenario-check
+done
+
+echo "== committed BENCH results are current =="
+for f in scenarios/*.yaml; do
+  name=$(basename "$f" .yaml)
+  json="BENCH_$name.json"
+  if [ ! -f "$json" ]; then
+    echo "smoke-scenarios: $json missing — run: dlhub-bench -scenario $f" >&2
+    exit 1
+  fi
+  "$SMOKE_BIN/dlhub-bench" -scenario "$f" -verify-json "$json"
+done
+
+echo "== compressed replays (chaos + ramp) =="
+"$SMOKE_BIN/dlhub-bench" -scenario scenarios/chaos-tm-kill.yaml \
+  -scenario-compress 2 -json "$SMOKE_WORK/BENCH_chaos.json"
+"$SMOKE_BIN/dlhub-bench" -scenario scenarios/diurnal-ramp.yaml \
+  -scenario-compress 3 -json "$SMOKE_WORK/BENCH_ramp.json"
+
+echo "smoke-scenarios: OK"
