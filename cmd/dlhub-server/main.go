@@ -2,9 +2,23 @@
 // on -http and the ZeroMQ-style task queue on -queue, to which Task
 // Managers (cmd/dlhub-taskmanager) connect.
 //
+// Durability comes in two modes:
+//
+//   - -data-dir: a write-ahead log plus periodic checkpoints
+//     (internal/store). Every publish/deploy/scale/drain/... is fsynced
+//     before the API call returns, so kill -9 at any point loses at
+//     most the single in-flight mutation; boot replays the log tail
+//     over the last checkpoint.
+//   - -snapshot: the legacy whole-state gob, loaded on start and saved
+//     on graceful shutdown (and every -snapshot-every, when set). A
+//     crash between saves loses everything since the last one.
+//
+// A -snapshot directory upgrades in place to a -data-dir: the WAL's
+// checkpoint file is the same repository.gob.
+//
 // Example:
 //
-//	dlhub-server -http :8080 -queue :7000
+//	dlhub-server -http :8080 -queue :7000 -data-dir /var/lib/dlhub
 package main
 
 import (
@@ -21,12 +35,18 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/queue"
+	"repro/internal/store"
 )
 
 func main() {
 	httpAddr := flag.String("http", ":8080", "REST API listen address")
 	queueAddr := flag.String("queue", ":7000", "task queue listen address")
-	snapshotDir := flag.String("snapshot", "", "repository snapshot directory (loaded on start, saved on shutdown)")
+	snapshotDir := flag.String("snapshot", "", "repository snapshot directory (loaded on start, saved on shutdown; superseded by -data-dir)")
+	snapshotEvery := flag.Duration("snapshot-every", 0, "also save the -snapshot periodically at this interval (0 disables; ignored with -data-dir)")
+	dataDir := flag.String("data-dir", "", "durable store directory: WAL + checkpoints; every mutation survives kill -9 (supersedes -snapshot)")
+	walSync := flag.Bool("wal-sync", true, "fsync the WAL after every record (disable to trade the last few mutations for append latency)")
+	compactEvery := flag.Int("compact-every", 0, "checkpoint + truncate the WAL after this many records (default 4096; negative disables the record trigger)")
+	compactBytes := flag.Int64("compact-bytes", 0, "checkpoint + truncate the WAL once it reaches this many bytes (default 32 MiB; negative disables the byte trigger)")
 	noCache := flag.Bool("no-cache", false, "disable the service-layer result cache")
 	cacheEntries := flag.Int("cache-entries", 0, "result cache capacity in entries (default 4096)")
 	cacheBytes := flag.Int64("cache-bytes", 0, "result cache capacity in result-JSON bytes (default 256 MiB)")
@@ -39,7 +59,26 @@ func main() {
 	failoverRetries := flag.Int("failover-retries", 0, "re-dispatch budget per run after its TM misses the liveness window (default 2, negative disables; requires -tm-stale-after)")
 	flag.Parse()
 
-	ms := core.New(core.Config{
+	var wal *store.WAL
+	if *dataDir != "" {
+		if *snapshotDir != "" {
+			log.Printf("-snapshot %s ignored: -data-dir %s supersedes it", *snapshotDir, *dataDir)
+			*snapshotDir = ""
+		}
+		var err error
+		wal, err = store.Open(store.Options{
+			Dir:          *dataDir,
+			Sync:         *walSync,
+			CompactEvery: *compactEvery,
+			CompactBytes: *compactBytes,
+		})
+		if err != nil {
+			log.Fatalf("durable store open: %v", err)
+		}
+		defer wal.Close()
+	}
+
+	cfg := core.Config{
 		Cache: core.CacheConfig{
 			Disabled:   *noCache,
 			MaxEntries: *cacheEntries,
@@ -52,9 +91,22 @@ func main() {
 		TaskRetention:     *taskRetention,
 		TMStaleAfter:      *tmStaleAfter,
 		FailoverRetries:   *failoverRetries,
-	})
+	}
+	if wal != nil {
+		cfg.Store = wal
+	}
+	ms := core.New(cfg)
 	defer ms.Close()
-	if *snapshotDir != "" {
+
+	switch {
+	case wal != nil:
+		info, err := ms.Recover()
+		if err != nil {
+			log.Fatalf("recovery from %s: %v", *dataDir, err)
+		}
+		log.Printf("recovered from %s: checkpoint=%v replayed=%d torn_tail_dropped=%v",
+			*dataDir, info.CheckpointLoaded, info.Replayed, info.Truncated)
+	case *snapshotDir != "":
 		if err := ms.LoadSnapshot(*snapshotDir); err != nil {
 			if os.IsNotExist(err) {
 				log.Printf("no snapshot in %s yet; starting empty", *snapshotDir)
@@ -64,6 +116,27 @@ func main() {
 		} else {
 			log.Printf("repository restored from %s", *snapshotDir)
 		}
+	}
+
+	// Periodic snapshot for the legacy mode: without it the only save
+	// is the shutdown one, so a crash loses the whole uptime's worth of
+	// mutations instead of one interval's.
+	stopSnapshots := make(chan struct{})
+	if wal == nil && *snapshotDir != "" && *snapshotEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*snapshotEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stopSnapshots:
+					return
+				case <-ticker.C:
+					if err := ms.SaveSnapshot(*snapshotDir); err != nil {
+						log.Printf("periodic snapshot save failed: %v", err)
+					}
+				}
+			}
+		}()
 	}
 
 	qsrv := queue.NewServer(ms.Broker())
@@ -96,13 +169,24 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	// Graceful drain: stop accepting, let in-flight requests (and their
-	// contexts) finish, then fall through to the snapshot save.
+	// contexts) finish, then persist — a clean stop never loses state in
+	// either durability mode.
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if *snapshotDir != "" {
+	close(stopSnapshots)
+	switch {
+	case wal != nil:
+		// Fold the WAL tail into a fresh checkpoint so the next boot
+		// restores without replay.
+		if err := ms.Checkpoint(); err != nil {
+			log.Printf("shutdown checkpoint failed (the WAL still has every record): %v", err)
+		} else {
+			log.Printf("checkpoint saved to %s", *dataDir)
+		}
+	case *snapshotDir != "":
 		if err := ms.SaveSnapshot(*snapshotDir); err != nil {
 			log.Printf("snapshot save failed: %v", err)
 		} else {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
@@ -55,6 +56,17 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 		}
 	}
 
+	// A restart_ms fault needs a durable store to recover from; other
+	// scenarios keep the zero-cost in-memory service.
+	var dataDir string
+	if spec.HasFault("restart_ms") {
+		dir, err := os.MkdirTemp("", "scenario-wal-")
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: wal dir: %w", spec.Name, err)
+		}
+		defer os.RemoveAll(dir) //nolint:errcheck
+		dataDir = dir
+	}
 	tb, err := bench.NewTestbed(bench.Options{
 		Nodes:             spec.Topology.Nodes,
 		WAN:               spec.Topology.WAN,
@@ -64,6 +76,7 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 		Heartbeat:         spec.Topology.Heartbeat.D(),
 		TMStaleAfter:      spec.Service.TMStaleAfter.D(),
 		FailoverRetries:   spec.Service.FailoverRetries,
+		DataDir:           dataDir,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: testbed: %w", spec.Name, err)
@@ -85,14 +98,14 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 	// Prime once outside the measured window (container pull, pod
 	// start), bypassing every cache so no scheduled key is pre-warmed.
 	primeCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	_, err = tb.MS.Run(primeCtx, core.Anonymous, wl.id, wl.input(-1), core.RunOptions{NoMemo: true})
+	_, err = tb.Service().Run(primeCtx, core.Anonymous, wl.id, wl.input(-1), core.RunOptions{NoMemo: true})
 	cancel()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: prime request: %w", spec.Name, err)
 	}
 
-	cacheBefore := tb.MS.CacheStats()
-	failBefore := tb.MS.FailoverStats()
+	cacheBefore := tb.Service().CacheStats()
+	failBefore := tb.Service().FailoverStats()
 
 	// --- measured window ---------------------------------------------------
 	type outcome struct {
@@ -124,7 +137,11 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 
 	// Fault timeline: apply each event at its offset. Drain blocks
 	// until migration completes, so events run in their own goroutine
-	// off the pacer's critical path.
+	// off the pacer's critical path. msRestarted (read only after
+	// timelineWG.Wait) records that a restart_ms reset the service
+	// counters mid-run.
+	var msRestarted bool
+	var faultErr error
 	timelineWG.Add(1)
 	go func() {
 		defer timelineWG.Done()
@@ -137,6 +154,15 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 			progress("  fault @%s: %s %s", time.Since(start).Round(time.Millisecond), f.Kind, f.TMID)
 			if err := applyFault(tb, wl, f); err != nil {
 				progress("  fault %s %s FAILED: %v", f.Kind, f.TMID, err)
+				if f.Kind == "restart_ms" && faultErr == nil {
+					// A failed recovery invalidates the whole run: the
+					// fault exists to prove state survives the restart.
+					faultErr = fmt.Errorf("restart_ms: %w", err)
+				}
+				continue
+			}
+			if f.Kind == "restart_ms" {
+				msRestarted = true
 			}
 		}
 	}()
@@ -173,8 +199,18 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 	close(stop)
 	timelineWG.Wait()
 
-	cacheAfter := tb.MS.CacheStats()
-	failAfter := tb.MS.FailoverStats()
+	if faultErr != nil {
+		return nil, fmt.Errorf("scenario %s: %w", spec.Name, faultErr)
+	}
+	if msRestarted {
+		// The restart reset the service's counters; the pre-restart
+		// baselines would make the deltas below underflow. Fold them to
+		// zero — pre-restart cache hits are forfeited from the rate.
+		cacheBefore = core.CacheStats{}
+		failBefore = core.FailoverStats{}
+	}
+	cacheAfter := tb.Service().CacheStats()
+	failAfter := tb.Service().FailoverStats()
 
 	// --- aggregate ---------------------------------------------------------
 	res := &bench.ScenarioResult{
@@ -326,7 +362,7 @@ func (w *workload) placementSites(step int) []int {
 func (w *workload) deployAll(ctx context.Context) error {
 	for i, id := range w.steps {
 		for _, site := range w.placementSites(i) {
-			if err := w.tb.MS.DeployTo(ctx, core.Anonymous, id, w.spec.Workload.Replicas, "parsl", TMID(site)); err != nil {
+			if err := w.tb.Service().DeployTo(ctx, core.Anonymous, id, w.spec.Workload.Replicas, "parsl", TMID(site)); err != nil {
 				return fmt.Errorf("deploy step %d to %s: %w", i, TMID(site), err)
 			}
 		}
@@ -343,7 +379,7 @@ func (w *workload) redeployTo(ctx context.Context, tmID string) error {
 			if TMID(site) != tmID {
 				continue
 			}
-			if err := w.tb.MS.DeployTo(ctx, core.Anonymous, id, w.spec.Workload.Replicas, "parsl", tmID); err != nil {
+			if err := w.tb.Service().DeployTo(ctx, core.Anonymous, id, w.spec.Workload.Replicas, "parsl", tmID); err != nil {
 				return err
 			}
 		}
@@ -414,10 +450,12 @@ func setupWorkload(tb *bench.Testbed, spec *Spec) (*workload, error) {
 	if err := w.deployAll(ctx); err != nil {
 		return nil, err
 	}
+	// Issue through tb.Service(), resolved per call: a restart_ms fault
+	// swaps the service mid-run and later requests must hit the new one.
 	switch spec.Workload.Kind {
 	case "run", "pipeline":
 		w.issue = func(key int, opts core.RunOptions) error {
-			_, err := tb.MS.Run(ctx, core.Anonymous, w.id, w.input(key), opts)
+			_, err := tb.Service().Run(ctx, core.Anonymous, w.id, w.input(key), opts)
 			return err
 		}
 	case "run_batch":
@@ -426,7 +464,7 @@ func setupWorkload(tb *bench.Testbed, spec *Spec) (*workload, error) {
 			for i := range inputs {
 				inputs[i] = fmt.Sprintf("%v-%d", w.input(key), i)
 			}
-			_, err := tb.MS.RunBatch(ctx, core.Anonymous, w.id, inputs, opts)
+			_, err := tb.Service().RunBatch(ctx, core.Anonymous, w.id, inputs, opts)
 			return err
 		}
 	}
@@ -445,14 +483,16 @@ func applyFault(tb *bench.Testbed, wl *workload, f FaultEvent) error {
 			return err
 		}
 	case "drain":
-		if _, err := tb.MS.DrainTM(ctx, f.TMID); err != nil {
+		if _, err := tb.Service().DrainTM(ctx, f.TMID); err != nil {
 			return err
 		}
 		return nil
 	case "rejoin":
-		if err := tb.MS.RejoinTM(ctx, f.TMID); err != nil {
+		if err := tb.Service().RejoinTM(ctx, f.TMID); err != nil {
 			return err
 		}
+	case "restart_ms":
+		return tb.RestartMS()
 	}
 	if f.Redeploy {
 		return wl.redeployTo(ctx, f.TMID)

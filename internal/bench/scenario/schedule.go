@@ -68,12 +68,16 @@ func BuildSchedule(spec *Spec) *Schedule {
 		start += d
 	}
 	for _, f := range spec.Faults {
-		sched.Faults = append(sched.Faults, FaultEvent{
+		ev := FaultEvent{
 			At:       f.At.D(),
 			Kind:     f.Kind,
-			TMID:     TMID(f.TM),
 			Redeploy: f.Redeploy,
-		})
+		}
+		// restart_ms targets the Management Service, not a site.
+		if f.TM > 0 {
+			ev.TMID = TMID(f.TM)
+		}
+		sched.Faults = append(sched.Faults, ev)
 	}
 	return sched
 }

@@ -136,9 +136,12 @@ type FaultSpec struct {
 	// Kind is kill (kill -9 the TM process; its pods survive), restart
 	// (new TM process reattaches to the site), drain (graceful
 	// out-of-rotation, placements migrate), rejoin (drained TM returns
-	// to rotation).
+	// to rotation), or restart_ms (kill -9 the Management Service and
+	// boot a fresh one over the same durable store; recovery must
+	// reproduce the pre-kill state exactly or the fault fails).
 	Kind string `json:"kind"`
-	// TM is the 1-based site index the fault targets.
+	// TM is the 1-based site index the fault targets (not set for
+	// restart_ms, which targets the Management Service).
 	TM int `json:"tm"`
 	// Redeploy re-deploys the workload servables onto the site after a
 	// rejoin/restart, so it takes placed traffic again (a drain
@@ -211,6 +214,16 @@ func (s *Spec) Compressed(factor float64) *Spec {
 		c.Faults[i].At = Duration(float64(c.Faults[i].At) / factor)
 	}
 	return &c
+}
+
+// HasFault reports whether any fault event has the given kind.
+func (s *Spec) HasFault(kind string) bool {
+	for _, f := range s.Faults {
+		if f.Kind == kind {
+			return true
+		}
+	}
+	return false
 }
 
 // TotalDuration sums the stage durations.
@@ -320,11 +333,18 @@ func (s *Spec) Validate() error {
 	for i, f := range s.Faults {
 		switch f.Kind {
 		case "kill", "restart", "drain", "rejoin":
+			if f.TM < 1 || f.TM > s.Topology.TMs {
+				return fmt.Errorf("scenario %s: faults[%d]: tm %d out of range [1, topology.tms=%d]", s.Name, i, f.TM, s.Topology.TMs)
+			}
+		case "restart_ms":
+			if f.TM != 0 {
+				return fmt.Errorf("scenario %s: faults[%d]: restart_ms takes no tm (it targets the Management Service)", s.Name, i)
+			}
+			if f.Redeploy {
+				return fmt.Errorf("scenario %s: faults[%d]: redeploy does not apply to restart_ms (placements are recovered from the store)", s.Name, i)
+			}
 		default:
-			return fmt.Errorf("scenario %s: faults[%d]: kind %q (want kill, restart, drain or rejoin)", s.Name, i, f.Kind)
-		}
-		if f.TM < 1 || f.TM > s.Topology.TMs {
-			return fmt.Errorf("scenario %s: faults[%d]: tm %d out of range [1, topology.tms=%d]", s.Name, i, f.TM, s.Topology.TMs)
+			return fmt.Errorf("scenario %s: faults[%d]: kind %q (want kill, restart, drain, rejoin or restart_ms)", s.Name, i, f.Kind)
 		}
 		if f.At < 0 || f.At.D() >= total {
 			return fmt.Errorf("scenario %s: faults[%d]: at %s outside the run's %s total", s.Name, i, f.At.D(), total)

@@ -18,6 +18,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
 	"repro/internal/auth"
@@ -31,6 +32,7 @@ import (
 	"repro/internal/sagemaker"
 	"repro/internal/servable"
 	"repro/internal/simconst"
+	"repro/internal/store"
 	"repro/internal/taskmanager"
 	"repro/internal/tfserving"
 )
@@ -73,6 +75,11 @@ type Options struct {
 	// FailoverRetries bounds dead-TM re-dispatches per request (0 keeps
 	// the service default of 2; < 0 disables failover).
 	FailoverRetries int
+	// DataDir, when set, backs the Management Service with the durable
+	// store (internal/store WAL + checkpoints) rooted there and enables
+	// RestartMS — the scenario harness's kill-and-recover fault. Empty
+	// keeps today's in-memory service (no store, zero overhead).
+	DataDir string
 }
 
 // site is one Task Manager site: the TM process plus the executors it
@@ -101,6 +108,15 @@ type Testbed struct {
 	queueSrv  *queue.Server
 	queueAddr string
 	execs     map[string]executor.Executor
+
+	// wal is the durable store behind MS when Options.DataDir is set;
+	// msCfg is the service config RestartMS rebuilds from (minus the
+	// Store, which is reopened per restart); msMu guards the MS swap
+	// RestartMS performs (readers that may overlap a restart go through
+	// Service()).
+	wal   *store.WAL
+	msCfg core.Config
+	msMu  sync.RWMutex
 
 	// sites tracks every TM site (including the primary) by TM ID, in
 	// creation order for teardown.
@@ -153,8 +169,11 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		}
 	}
 
-	// Site 1: the Management Service and its broker.
-	tb.MS = core.New(core.Config{
+	// Site 1: the Management Service and its broker, optionally backed
+	// by the durable store. The testbed skips WAL fsyncs: the process
+	// (and so the OS page cache) survives an in-process RestartMS, and
+	// what the scenarios prove is recovery correctness, not disk sync.
+	cfg := core.Config{
 		Auth:              opts.Auth,
 		RunScope:          opts.RunScope,
 		Registry:          registry,
@@ -163,7 +182,23 @@ func NewTestbed(opts Options) (*Testbed, error) {
 		MaxQueue:          opts.MaxQueue,
 		TMStaleAfter:      opts.TMStaleAfter,
 		FailoverRetries:   opts.FailoverRetries,
-	})
+	}
+	tb.msCfg = cfg
+	if opts.DataDir != "" {
+		w, err := store.Open(store.Options{Dir: opts.DataDir, Sync: false})
+		if err != nil {
+			return nil, fmt.Errorf("bench: durable store: %w", err)
+		}
+		tb.wal = w
+		cfg.Store = w
+	}
+	tb.MS = core.New(cfg)
+	if tb.wal != nil {
+		if _, err := tb.MS.Recover(); err != nil {
+			tb.wal.Close()
+			return nil, fmt.Errorf("bench: recover: %w", err)
+		}
+	}
 
 	// Site 2: the Task Manager, connected over the WAN or in-process.
 	if opts.WAN {
@@ -312,6 +347,87 @@ func (tb *Testbed) RestartTM(id string) (*taskmanager.TM, error) {
 	return st.tm, nil
 }
 
+// Service returns the current Management Service. Prefer it over the
+// MS field wherever a restart_ms fault may swap the service mid-run —
+// a bare field read would race the swap.
+func (tb *Testbed) Service() *core.Service {
+	tb.msMu.RLock()
+	defer tb.msMu.RUnlock()
+	return tb.MS
+}
+
+// RestartMS kills the Management Service and boots a fresh one over
+// the same durable store — the way an operator restarts dlhub-server
+// with the same -data-dir after a crash. Nothing is checkpointed on
+// the way down (Close never persists), so everything the new service
+// knows comes from the last checkpoint plus the WAL tail. Every TM
+// process is restarted too: their queue connections point into the
+// dead broker, exactly as real TMs must redial a restarted server.
+// Their executors (and pods) survive, as on a real TM restart.
+//
+// The recovered state must fingerprint-identical to the state at kill
+// time; a mismatch is returned as an error with the two fingerprints,
+// making the scenario harness's restart_ms fault a recovery proof, not
+// just a disruption.
+func (tb *Testbed) RestartMS() error {
+	if tb.wal == nil {
+		return fmt.Errorf("bench: RestartMS requires Options.DataDir (no durable store to recover from)")
+	}
+	before := tb.MS.StateFingerprint()
+
+	// Tear the control plane down: TM processes first (their pull loops
+	// target the dying broker), then the service, its store, and the
+	// WAN queue server.
+	for _, id := range tb.siteOrder {
+		tb.sites[id].tm.Kill()
+	}
+	tb.MS.Close()
+	tb.wal.Close()
+	if tb.queueSrv != nil {
+		tb.queueSrv.Close()
+		tb.queueSrv = nil
+	}
+
+	w, err := store.Open(store.Options{Dir: tb.opts.DataDir, Sync: false})
+	if err != nil {
+		return fmt.Errorf("bench: reopen durable store: %w", err)
+	}
+	tb.wal = w
+	cfg := tb.msCfg
+	cfg.Store = w
+	ms := core.New(cfg)
+	if _, err := ms.Recover(); err != nil {
+		return fmt.Errorf("bench: recover: %w", err)
+	}
+	tb.msMu.Lock()
+	tb.MS = ms
+	tb.msMu.Unlock()
+
+	if tb.opts.WAN {
+		tb.queueSrv = queue.NewServer(ms.Broker())
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		wan := netsim.RTT(simconst.D(simconst.RTTManagementToTM), simconst.WANBandwidth)
+		go tb.queueSrv.Serve(netsim.NewListener(l, wan)) //nolint:errcheck
+		tb.queueAddr = l.Addr().String()
+	}
+	for _, id := range tb.siteOrder {
+		if err := tb.startSite(id, tb.sites[id]); err != nil {
+			return fmt.Errorf("bench: restart site %s: %w", id, err)
+		}
+	}
+	tb.TM = tb.sites[tb.siteOrder[0]].tm
+	if err := ms.WaitForTM(len(tb.siteOrder), 10*time.Second); err != nil {
+		return err
+	}
+	if after := ms.StateFingerprint(); after != before {
+		return fmt.Errorf("bench: recovered state differs from pre-restart state\n--- before restart\n%s--- after recovery\n%s", before, after)
+	}
+	return nil
+}
+
 // ExecutorReplicas reports the actual replica count a site executor is
 // running for a servable (0 for unknown routes) — ground truth for
 // autoscaler tests and the autoscale ablation, independent of the
@@ -342,6 +458,9 @@ func (tb *Testbed) Close() {
 	}
 	if tb.MS != nil {
 		tb.MS.Close()
+	}
+	if tb.wal != nil {
+		tb.wal.Close()
 	}
 }
 

@@ -178,6 +178,26 @@ func (a *autoscaler) setPolicy(servableID string, p AutoscalePolicy) error {
 	return nil
 }
 
+// policies snapshots the installed policies for persistence
+// (checkpoint capture and the snapshot file). Entries that exist only
+// as rejection counters (zero policy, never set) are skipped — they
+// are stats, not configuration.
+func (a *autoscaler) policies() map[string]AutoscalePolicy {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.svs) == 0 {
+		return nil
+	}
+	out := make(map[string]AutoscalePolicy, len(a.svs))
+	for id, st := range a.svs {
+		if st.policy == (AutoscalePolicy{}) {
+			continue
+		}
+		out[id] = st.policy
+	}
+	return out
+}
+
 // removePolicy drops a servable's controller state entirely — the
 // Unpublish hook. A scale task already in flight finishes on its own;
 // its completion callback tolerates the missing entry.
@@ -365,7 +385,11 @@ func (s *Service) SetAutoscalePolicy(caller Caller, servableID string, p Autosca
 	if _, err := s.Get(caller, servableID); err != nil {
 		return err
 	}
-	return s.scaler.setPolicy(servableID, p)
+	if err := s.scaler.setPolicy(servableID, p); err != nil {
+		return err
+	}
+	s.logged(recKindPolicy, recPolicyPut{ID: servableID, Policy: p})
+	return nil
 }
 
 // AutoscaleStatus reports a servable's autoscaler state. A servable

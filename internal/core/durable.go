@@ -1,0 +1,368 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"repro/internal/schema"
+	"repro/internal/servable"
+	"repro/internal/store"
+)
+
+// Durability seam: every repository state transition flows through
+// logged(), which appends a typed record to the configured store
+// (internal/store WAL). With no store configured (tests, the bench
+// testbed, snapshot-only servers) logged is a nil check and nothing is
+// encoded.
+//
+// Record taxonomy (one kind per mutation; payloads gob-encoded):
+//
+//	publish           recPublish   — new servable version (full doc + components)
+//	metadata          recMetadata  — UpdateMetadata outcome (full updated doc)
+//	unpublish         recServable  — repository entry removed
+//	deploy            recPlacement — placement added (Deploy/DeployTo/drain migration)
+//	undeploy          recPlacement — one placement removed (Undeploy/drain)
+//	scale             recPlacement — desired replica count changed
+//	drain             recTM        — TM drain mark set
+//	rejoin            recTM        — TM drain mark cleared
+//	deregister        recTM        — TM removed from the registry
+//	autoscale_policy  recPolicyPut — autoscale policy installed/updated
+//
+// Deliberately NOT logged (runtime state the service re-learns or that
+// is semantically a cache): TM registrations and heartbeats (re-learned
+// when sites reconnect), drain marks asserted by heartbeats (the
+// original DrainTM was logged; a heartbeat echo is not a transition),
+// in-flight/demand counters, result-cache and idempotency entries,
+// async task table, and route metrics.
+//
+// Replay handlers are UPSERTS, not blind re-applications: a checkpoint
+// can run between an in-memory mutation and its append, so a tail
+// record may describe state the checkpoint already contains. Replaying
+// it must converge, not duplicate.
+//
+// Lock discipline: compaction runs writeSnapshot (which takes s.mu)
+// while holding the store's own lock and blocking appends — so logged()
+// must NEVER be called with s.mu held. Every call site releases s.mu
+// first.
+
+const (
+	recKindPublish    = "publish"
+	recKindMetadata   = "metadata"
+	recKindUnpublish  = "unpublish"
+	recKindDeploy     = "deploy"
+	recKindUndeploy   = "undeploy"
+	recKindScale      = "scale"
+	recKindDrain      = "drain"
+	recKindRejoin     = "rejoin"
+	recKindDeregister = "deregister"
+	recKindPolicy     = "autoscale_policy"
+)
+
+// recPublish logs a new servable version. Doc is a deep copy taken
+// under the repository lock (the live pointer keeps mutating via
+// UpdateMetadata); Components are immutable after publish.
+type recPublish struct {
+	Doc        *schema.Document
+	Components map[string][]byte
+}
+
+// recMetadata logs an UpdateMetadata outcome as the full updated doc —
+// simpler and more robust than replaying the edit as a delta.
+type recMetadata struct {
+	ID  string
+	Doc *schema.Document
+}
+
+// recServable names a servable (unpublish).
+type recServable struct{ ID string }
+
+// recPlacement covers deploy/undeploy/scale: servable, site (empty for
+// scale — replicas are per-servable), desired replicas.
+type recPlacement struct {
+	ID       string
+	TM       string
+	Replicas int
+}
+
+// recTM names a Task Manager (drain/rejoin/deregister).
+type recTM struct{ TM string }
+
+// recPolicyPut logs an autoscale-policy put (the raw policy as
+// submitted; defaults re-apply on replay exactly as they did on set).
+type recPolicyPut struct {
+	ID     string
+	Policy AutoscalePolicy
+}
+
+// logged appends one durable record for an already-applied in-memory
+// mutation. Append failures are logged loudly rather than unwound: the
+// mutation happened, and failing the caller's request would report an
+// operation that in fact succeeded. Callers must not hold s.mu.
+func (s *Service) logged(kind string, payload any) {
+	st := s.cfg.Store
+	if st == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
+		log.Printf("core: wal: encode %s record: %v", kind, err)
+		return
+	}
+	if err := st.Append(store.Record{Kind: kind, Data: buf.Bytes()}); err != nil {
+		log.Printf("core: wal: append %s record failed: %v (mutation applied in memory; durability degraded)", kind, err)
+	}
+}
+
+func decodeRec[T any](data []byte) (T, error) {
+	var v T
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v)
+	return v, err
+}
+
+// applyRecord re-applies one WAL record during recovery. It touches the
+// repository maps only — the search index and cache are rebuilt once by
+// finishRestore after the whole tail replays. Handlers tolerate state
+// the checkpoint already contains (see the taxonomy comment) and state
+// referencing since-unpublished servables.
+func (s *Service) applyRecord(rec store.Record) error {
+	switch rec.Kind {
+	case recKindPublish:
+		p, err := decodeRec[recPublish](rec.Data)
+		if err != nil {
+			return err
+		}
+		doc := p.Doc
+		if doc == nil || doc.ID == "" || doc.Version < 1 {
+			return fmt.Errorf("core: malformed publish record (seq %d)", rec.Seq)
+		}
+		s.mu.Lock()
+		vs := s.versions[doc.ID]
+		for len(vs) < doc.Version {
+			vs = append(vs, nil)
+		}
+		vs[doc.Version-1] = doc
+		s.versions[doc.ID] = vs
+		if cur, ok := s.docs[doc.ID]; !ok || cur.Version <= doc.Version {
+			s.docs[doc.ID] = doc
+			s.packages[doc.ID] = &servable.Package{Doc: doc, Components: p.Components}
+		}
+		s.mu.Unlock()
+
+	case recKindMetadata:
+		m, err := decodeRec[recMetadata](rec.Data)
+		if err != nil {
+			return err
+		}
+		if m.Doc == nil {
+			return fmt.Errorf("core: malformed metadata record (seq %d)", rec.Seq)
+		}
+		s.mu.Lock()
+		if cur, ok := s.docs[m.ID]; ok && cur.Version == m.Doc.Version {
+			s.docs[m.ID] = m.Doc
+			if vs := s.versions[m.ID]; m.Doc.Version >= 1 && m.Doc.Version <= len(vs) {
+				vs[m.Doc.Version-1] = m.Doc
+			}
+			if pkg := s.packages[m.ID]; pkg != nil {
+				pkg.Doc = m.Doc
+			}
+		}
+		s.mu.Unlock()
+
+	case recKindUnpublish:
+		u, err := decodeRec[recServable](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		delete(s.docs, u.ID)
+		delete(s.versions, u.ID)
+		delete(s.packages, u.ID)
+		delete(s.placements, u.ID)
+		delete(s.replicas, u.ID)
+		s.mu.Unlock()
+		s.scaler.removePolicy(u.ID)
+
+	case recKindDeploy:
+		d, err := decodeRec[recPlacement](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if _, ok := s.docs[d.ID]; ok {
+			placed := false
+			for _, tm := range s.placements[d.ID] {
+				if tm == d.TM {
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				s.placements[d.ID] = append(s.placements[d.ID], d.TM)
+			}
+			if d.Replicas > 0 {
+				s.replicas[d.ID] = d.Replicas
+			}
+		}
+		s.mu.Unlock()
+
+	case recKindUndeploy:
+		d, err := decodeRec[recPlacement](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.removePlacement(d.ID, d.TM)
+
+	case recKindScale:
+		sc, err := decodeRec[recPlacement](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if _, ok := s.docs[sc.ID]; ok {
+			s.replicas[sc.ID] = sc.Replicas
+		}
+		s.mu.Unlock()
+
+	case recKindDrain:
+		t, err := decodeRec[recTM](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.tmDraining[t.TM] = struct{}{}
+		delete(s.tmRejoined, t.TM)
+		s.mu.Unlock()
+
+	case recKindRejoin:
+		t, err := decodeRec[recTM](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		delete(s.tmDraining, t.TM)
+		s.mu.Unlock()
+
+	case recKindDeregister:
+		t, err := decodeRec[recTM](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		for i, id := range s.tms {
+			if id == t.TM {
+				s.tms = append(s.tms[:i], s.tms[i+1:]...)
+				break
+			}
+		}
+		delete(s.tmSeen, t.TM)
+		delete(s.tmActive, t.TM)
+		delete(s.tmInflight, t.TM)
+		delete(s.tmDraining, t.TM)
+		delete(s.tmRejoined, t.TM)
+		for id := range s.placements {
+			s.removePlacementLocked(id, t.TM)
+		}
+		s.mu.Unlock()
+
+	case recKindPolicy:
+		p, err := decodeRec[recPolicyPut](rec.Data)
+		if err != nil {
+			return err
+		}
+		if err := s.scaler.setPolicy(p.ID, p.Policy); err != nil {
+			return fmt.Errorf("core: replay policy %s: %w", p.ID, err)
+		}
+
+	default:
+		// Forward compatibility: a newer build's record kind is skipped
+		// with a warning rather than failing the whole boot.
+		log.Printf("core: wal: ignoring unknown record kind %q (seq %d)", rec.Kind, rec.Seq)
+	}
+	return nil
+}
+
+// Recover restores state from the configured store: last checkpoint,
+// then the WAL tail (torn final record tolerated), then the index/cache
+// rebuild. Call once, right after New and before serving traffic. A
+// nil store recovers nothing.
+func (s *Service) Recover() (store.RecoveryInfo, error) {
+	st := s.cfg.Store
+	if st == nil {
+		return store.RecoveryInfo{}, nil
+	}
+	info, err := st.Recover(s.restoreSnapshot, s.applyRecord)
+	if err != nil {
+		return info, err
+	}
+	s.finishRestore()
+	return info, nil
+}
+
+// Checkpoint forces a store compaction — the clean-shutdown hook, so a
+// graceful stop leaves a fresh checkpoint and an empty log. A nil
+// store is a no-op.
+func (s *Service) Checkpoint() error {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	return s.cfg.Store.Checkpoint()
+}
+
+// WALStats snapshots the store counters for /api/v2/stats ("wal"
+// block); nil when no store is configured.
+func (s *Service) WALStats() *store.Stats {
+	if s.cfg.Store == nil {
+		return nil
+	}
+	st := s.cfg.Store.Stats()
+	return &st
+}
+
+// StateFingerprint renders the durable repository state — servables,
+// placements, replicas, drain marks, autoscale policies — as a sorted,
+// line-oriented string. Two services with equal fingerprints hold the
+// same durable state; the bench testbed compares fingerprints across a
+// kill-and-recover cycle, and a mismatch diff names the first divergent
+// line. Runtime state the WAL deliberately does not cover (TM
+// registrations, caches, in-flight counters) is excluded.
+func (s *Service) StateFingerprint() string {
+	snap := s.captureSnapshot()
+	var b strings.Builder
+	for _, id := range sortedKeys(snap.Docs) {
+		doc := snap.Docs[id]
+		fmt.Fprintf(&b, "servable %s v%d type=%s entry=%s versions=%d components=%d\n",
+			id, doc.Version, doc.Servable.Type, doc.Servable.Entry,
+			len(snap.Versions[id]), len(snap.Components[id]))
+	}
+	for _, id := range sortedKeys(snap.Placements) {
+		tms := append([]string(nil), snap.Placements[id]...)
+		sort.Strings(tms)
+		fmt.Fprintf(&b, "placement %s -> %s\n", id, strings.Join(tms, ","))
+	}
+	for _, id := range sortedKeys(snap.Replicas) {
+		fmt.Fprintf(&b, "replicas %s = %d\n", id, snap.Replicas[id])
+	}
+	sort.Strings(snap.Draining)
+	for _, tm := range snap.Draining {
+		fmt.Fprintf(&b, "draining %s\n", tm)
+	}
+	for _, id := range sortedKeys(snap.Policies) {
+		fmt.Fprintf(&b, "policy %s %+v\n", id, snap.Policies[id])
+	}
+	return b.String()
+}
+
+// sortedKeys returns a map's keys in sorted order, for deterministic
+// fingerprint output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

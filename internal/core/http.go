@@ -23,23 +23,33 @@ func jsonUnmarshal(d []byte, v any) error { return json.Unmarshal(d, v) }
 // (http_v2.go — enveloped responses, typed error codes, pagination,
 // idempotency keys, SSE task streams) and the original /api/* routes,
 // kept as thin compatibility shims over the same service methods with
-// their historical response shapes. Both pass through the middleware
-// chain (request IDs, optional access logs, per-route metrics).
+// their historical response shapes. The v1 shims are DEPRECATED in
+// favor of /api/v2 and say so on the wire (a Deprecation response
+// header per draft-ietf-httpapi-deprecation-header); they keep working
+// unchanged. Both generations pass through the middleware chain
+// (request IDs, optional access logs, per-route metrics).
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/publish", s.handlePublish)
-	mux.HandleFunc("GET /api/servables", s.handleList)
-	mux.HandleFunc("GET /api/servables/{owner}/{name}", s.handleGet)
-	mux.HandleFunc("GET /api/servables/{owner}/{name}/dockerfile", s.handleDockerfile)
-	mux.HandleFunc("POST /api/servables/{owner}/{name}/update", s.handleUpdate)
-	mux.HandleFunc("POST /api/search", s.handleSearch)
-	mux.HandleFunc("POST /api/run/{owner}/{name}", s.handleRun)
-	mux.HandleFunc("GET /api/status/{task}", s.handleStatus)
-	mux.HandleFunc("POST /api/deploy/{owner}/{name}", s.handleDeploy)
-	mux.HandleFunc("POST /api/scale/{owner}/{name}", s.handleScale)
-	mux.HandleFunc("GET /api/tms", s.handleTMs)
-	mux.HandleFunc("GET /api/cache/stats", s.handleCacheStats)
-	mux.HandleFunc("POST /api/cache/flush", s.handleCacheFlush)
+	v1 := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", "</api/v2>; rel=\"successor-version\"")
+			h(w, r)
+		})
+	}
+	v1("POST /api/publish", s.handlePublish)
+	v1("GET /api/servables", s.handleList)
+	v1("GET /api/servables/{owner}/{name}", s.handleGet)
+	v1("GET /api/servables/{owner}/{name}/dockerfile", s.handleDockerfile)
+	v1("POST /api/servables/{owner}/{name}/update", s.handleUpdate)
+	v1("POST /api/search", s.handleSearch)
+	v1("POST /api/run/{owner}/{name}", s.handleRun)
+	v1("GET /api/status/{task}", s.handleStatus)
+	v1("POST /api/deploy/{owner}/{name}", s.handleDeploy)
+	v1("POST /api/scale/{owner}/{name}", s.handleScale)
+	v1("GET /api/tms", s.handleTMs)
+	v1("GET /api/cache/stats", s.handleCacheStats)
+	v1("POST /api/cache/flush", s.handleCacheFlush)
 	s.routesV2(mux)
 	return s.middleware(mux)
 }

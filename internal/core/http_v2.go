@@ -812,5 +812,8 @@ func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 		"autoscaler": s.AutoscalerStats(),
 		"tasks":      s.TaskStats(),
 		"failovers":  s.FailoverStats(),
+		// null when the server runs without a durable store (-data-dir
+		// unset); counters otherwise.
+		"wal": s.WALStats(),
 	})
 }

@@ -238,6 +238,10 @@ func (s *Service) DrainTM(ctx context.Context, tmID string) (*DrainResult, error
 	// grace window (registrationLoop).
 	delete(s.tmRejoined, tmID)
 	s.mu.Unlock()
+	// Logged at the mark, not at drain completion: the mark is the
+	// state transition (routing excludes the site from here on), and a
+	// crash mid-drain must recover with the site still out of rotation.
+	s.logged(recKindDrain, recTM{TM: tmID})
 
 	// Ask the site to acknowledge; tolerate a dead site (that is what
 	// draining a crashed TM before deregistering it looks like).
@@ -344,6 +348,7 @@ func (s *Service) migratePlacements(ctx context.Context, tmID string) (*DrainRes
 					// either way.
 					s.undeployAsync(id, target)
 				} else {
+					s.logged(recKindDeploy, recPlacement{ID: id, TM: target, Replicas: replicas})
 					if res.Migrated == nil {
 						res.Migrated = make(map[string]string)
 					}
@@ -354,7 +359,9 @@ func (s *Service) migratePlacements(ctx context.Context, tmID string) (*DrainRes
 		if elsewhere {
 			res.Removed = append(res.Removed, id)
 		}
-		s.removePlacement(id, tmID)
+		if s.removePlacement(id, tmID) {
+			s.logged(recKindUndeploy, recPlacement{ID: id, TM: tmID})
+		}
 		s.undeployAsync(id, tmID)
 	}
 	return res, nil
@@ -416,6 +423,7 @@ func (s *Service) DeregisterTM(tmID string) error {
 		s.removePlacementLocked(id, tmID)
 	}
 	s.mu.Unlock()
+	s.logged(recKindDeregister, recTM{TM: tmID})
 	if purged := s.broker.Purge(taskmanager.TaskQueue(tmID)); purged > 0 {
 		log.Printf("core: withdrew %d task(s) queued to deregistered TM %s", purged, tmID)
 	}
@@ -461,6 +469,7 @@ func (s *Service) RejoinTM(ctx context.Context, tmID string) error {
 	delete(s.tmDraining, tmID)
 	s.tmRejoined[tmID] = s.timeFunc()
 	s.mu.Unlock()
+	s.logged(recKindRejoin, recTM{TM: tmID})
 	return nil
 }
 
@@ -487,6 +496,7 @@ func (s *Service) Undeploy(ctx context.Context, caller Caller, servableID, tmID 
 	if !s.removePlacement(servableID, tmID) {
 		return ErrNotFound.WithDetail(fmt.Sprintf("%s has no placement on task manager %q", servableID, tmID))
 	}
+	s.logged(recKindUndeploy, recPlacement{ID: servableID, TM: tmID})
 	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
 	defer cancel()
 	task := taskmanager.Task{ID: queue.NewID(), Kind: "undeploy", Servable: servableID}

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/gob"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -12,33 +13,55 @@ import (
 )
 
 // Repository persistence: the DLHub service is long-lived — published
-// models must survive restarts. Snapshot captures the repository state
-// (documents, versions, uploaded components, TM placements); Load
-// restores it and rebuilds the search index. The gob file is the
-// single-node stand-in for the hosted service's backing store.
+// models must survive restarts. This file is the checkpoint CODEC: it
+// serializes/restores whole repository state. It serves two callers
+// with the same format:
+//
+//   - SaveSnapshot/LoadSnapshot — the standalone snapshot mode
+//     (-snapshot): whole-state gob written on shutdown, loaded on boot.
+//   - writeSnapshot/restoreSnapshot — the internal/store checkpoint
+//     hooks: the WAL compacts its record tail into exactly this gob,
+//     and recovery restores it before replaying the tail (durable.go).
+//
+// The file name is shared (repository.gob), so a directory written by
+// snapshot-only mode upgrades in place to a WAL -data-dir.
 
-// snapshot is the serialized repository state.
+// snapshot is the serialized repository state. New fields decode as
+// their zero value from older snapshots (gob skips missing fields), so
+// extending it is backward compatible.
 type snapshot struct {
 	Docs       map[string]*schema.Document
 	Versions   map[string][]*schema.Document
 	Components map[string]map[string][]byte
 	Placements map[string][]string
+	// Replicas is the desired replica count per servable (Deploy/Scale
+	// outcome) — the autoscaler's notion of current scale.
+	Replicas map[string]int
+	// Draining lists TMs whose drain mark must survive a restart: a
+	// site mid-drain stays out of rotation when it re-registers.
+	Draining []string
+	// Policies are the installed autoscale policies.
+	Policies map[string]AutoscalePolicy
 }
 
-// SaveSnapshot writes the repository to dir/repository.gob atomically.
-// Documents are deep-copied under the repository lock: the encoder runs
+// captureSnapshot deep-copies repository state for serialization.
+// Documents are copied under the repository lock: the encoder runs
 // after RUnlock, and serializing live *schema.Document pointers there
-// would race UpdateMetadata mutating them concurrently.
-func (s *Service) SaveSnapshot(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
+// would race UpdateMetadata mutating them concurrently. Autoscale
+// policies are collected FIRST, outside s.mu — the scaler's status path
+// acquires its own lock before s.mu, so nesting s.mu → scaler.mu here
+// would invert that order.
+func (s *Service) captureSnapshot() snapshot {
+	policies := s.scaler.policies()
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	snap := snapshot{
 		Docs:       make(map[string]*schema.Document, len(s.docs)),
 		Versions:   make(map[string][]*schema.Document, len(s.versions)),
 		Components: make(map[string]map[string][]byte, len(s.packages)),
 		Placements: make(map[string][]string, len(s.placements)),
+		Replicas:   make(map[string]int, len(s.replicas)),
+		Policies:   policies,
 	}
 	for id, doc := range s.docs {
 		snap.Docs[id] = doc.Clone()
@@ -62,43 +85,87 @@ func (s *Service) SaveSnapshot(dir string) error {
 	for id, tms := range s.placements {
 		snap.Placements[id] = append([]string(nil), tms...)
 	}
-	s.mu.RUnlock()
+	for id, n := range s.replicas {
+		snap.Replicas[id] = n
+	}
+	for id := range s.tmDraining {
+		snap.Draining = append(snap.Draining, id)
+	}
+	return snap
+}
 
+// writeSnapshot serializes the repository to w — the store checkpoint
+// hook (registered via store.SetCheckpointer). The WAL calls it with
+// its own lock held while appends are blocked, so the state written
+// provably includes every record about to be truncated; it must
+// therefore never call store.Append (deadlock) — it only reads.
+func (s *Service) writeSnapshot(w io.Writer) error {
+	snap := s.captureSnapshot()
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: snapshot encode: %w", err)
+	}
+	return nil
+}
+
+// SaveSnapshot writes the repository to dir/repository.gob atomically
+// and durably: the temp file is fsynced before the rename and the
+// directory fsynced after it, so a crash at any point leaves either the
+// old complete snapshot or the new complete one — never a torn or
+// unlinked file.
+func (s *Service) SaveSnapshot(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(dir, "repository-*.gob.tmp")
 	if err != nil {
 		return err
 	}
-	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name()) //nolint:errcheck
-		return fmt.Errorf("core: snapshot encode: %w", err)
+	werr := s.writeSnapshot(tmp)
+	if werr == nil {
+		werr = tmp.Sync()
 	}
-	if err := tmp.Close(); err != nil {
+	if cerr := tmp.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
+		return werr
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, "repository.gob")); err != nil {
+		os.Remove(tmp.Name()) //nolint:errcheck
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(dir, "repository.gob"))
+	return syncDir(dir)
 }
 
-// LoadSnapshot restores a repository saved by SaveSnapshot, replacing
-// current state and rebuilding the search index from scratch (the
-// index is reset first, so loading over a non-empty service leaves no
-// stale or duplicate entries). Restored placements are kept verbatim —
-// at the usual boot-time restore no TM has registered yet, so
-// filtering here would drop every placement; instead pickTM ignores
-// placement entries naming unregistered TMs at routing time, which
-// both survives the boot ordering (a TM re-registering under its old
-// ID gets its placements back) and never routes a request into a
-// ghost TM's queue. The result cache is flushed (generation bump), so
-// no pre-load cached result survives into the restored repository's
-// world.
-func (s *Service) LoadSnapshot(dir string) error {
-	f, err := os.Open(filepath.Join(dir, "repository.gob"))
+// syncDir fsyncs a directory, making a just-renamed file's directory
+// entry durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// restoreSnapshot decodes a snapshot from r and installs it, replacing
+// current repository state. Restored placements are kept verbatim — at
+// the usual boot-time restore no TM has registered yet, so filtering
+// here would drop every placement; instead pickTM ignores placement
+// entries naming unregistered TMs at routing time, which both survives
+// the boot ordering (a TM re-registering under its old ID gets its
+// placements back) and never routes a request into a ghost TM's queue.
+//
+// The search index and result cache are NOT touched here: restore can
+// be followed by WAL replay (durable.go), and rebuilding per record
+// would be quadratic. Callers finish with finishRestore.
+func (s *Service) restoreSnapshot(r io.Reader) error {
 	var snap snapshot
-	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return fmt.Errorf("core: snapshot decode: %w", err)
 	}
 
@@ -107,6 +174,7 @@ func (s *Service) LoadSnapshot(dir string) error {
 	s.versions = make(map[string][]*schema.Document, len(snap.Versions))
 	s.packages = make(map[string]*servable.Package, len(snap.Components))
 	s.placements = make(map[string][]string, len(snap.Placements))
+	s.replicas = make(map[string]int, len(snap.Replicas))
 	for id, doc := range snap.Docs {
 		s.docs[id] = doc
 	}
@@ -119,14 +187,36 @@ func (s *Service) LoadSnapshot(dir string) error {
 	for id, tms := range snap.Placements {
 		s.placements[id] = tms
 	}
+	for id, n := range snap.Replicas {
+		s.replicas[id] = n
+	}
+	for _, id := range snap.Draining {
+		s.tmDraining[id] = struct{}{}
+	}
+	s.mu.Unlock()
+
+	for id, p := range snap.Policies {
+		if err := s.scaler.setPolicy(id, p); err != nil {
+			// A policy that validated when set cannot fail now; guard
+			// against a hand-edited snapshot without aborting the boot.
+			return fmt.Errorf("core: snapshot policy %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// finishRestore rebuilds the derived state a restore+replay leaves
+// stale: the search index is rebuilt from scratch (entries for
+// servables published before the load must not survive it) and the
+// result cache is flushed (generation bump), so no pre-load cached
+// result survives into the restored repository's world.
+func (s *Service) finishRestore() {
+	s.mu.RLock()
 	docs := make([]*schema.Document, 0, len(s.docs))
 	for _, doc := range s.docs {
 		docs = append(docs, doc)
 	}
-	s.mu.Unlock()
-
-	// Rebuild the index outside the lock, from empty: entries for
-	// servables published before the load must not survive it.
+	s.mu.RUnlock()
 	s.index.Reset()
 	for _, doc := range docs {
 		s.index.Ingest(search.Doc{
@@ -139,5 +229,19 @@ func (s *Service) LoadSnapshot(dir string) error {
 	// bumps the cache epoch so in-flight computations from the old
 	// world cannot write back after the load.
 	s.FlushCache()
+}
+
+// LoadSnapshot restores a repository saved by SaveSnapshot, replacing
+// current state and rebuilding the search index.
+func (s *Service) LoadSnapshot(dir string) error {
+	f, err := os.Open(filepath.Join(dir, "repository.gob"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.restoreSnapshot(f); err != nil {
+		return err
+	}
+	s.finishRestore()
 	return nil
 }

@@ -1,0 +1,256 @@
+package core_test
+
+import (
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/servable"
+	"repro/internal/store"
+)
+
+// Crash-recovery coverage for the durable store seam (durable.go +
+// internal/store): a service killed without a clean shutdown must come
+// back with exactly the state it had — checked by fingerprint across
+// random mutation interleavings, a torn WAL tail, and a full-testbed
+// restart with live deployments.
+
+// openRecovered boots a service over the store directory and replays
+// whatever is there.
+func openRecovered(t *testing.T, dir string, compactEvery int) (*core.Service, store.RecoveryInfo) {
+	t.Helper()
+	w, err := store.Open(store.Options{Dir: dir, Sync: false, CompactEvery: compactEvery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := core.New(core.Config{Registry: container.NewRegistry(), Store: w})
+	info, err := ms.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ms.Close(); w.Close() })
+	return ms, info
+}
+
+// TestRecoveryRandomInterleaving is the property-style check: random
+// interleavings of repository mutations (publish, metadata update,
+// unpublish, autoscale policy, forced checkpoints), interrupted by
+// kill-and-recover cycles. After every cycle the recovered service
+// must fingerprint-identical to the one that was killed — the live
+// pre-kill service is the shadow copy.
+func TestRecoveryRandomInterleaving(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 4242} {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			// A tiny compaction threshold forces checkpoints to race the
+			// mutation stream, exercising the upsert replay semantics.
+			ms, _ := openRecovered(t, dir, 5)
+
+			var known []string
+			mutate := func() {
+				switch rng.Intn(6) {
+				case 0:
+					id, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
+					if err != nil {
+						t.Fatal(err)
+					}
+					known = appendUnique(known, id)
+				case 1:
+					id, err := ms.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+					if err != nil {
+						t.Fatal(err)
+					}
+					known = appendUnique(known, id)
+				case 2:
+					if len(known) == 0 {
+						return
+					}
+					id := known[rng.Intn(len(known))]
+					title := time.Duration(rng.Int63n(1 << 20)).String()
+					if err := ms.UpdateMetadata(core.Anonymous, id, func(p *schema.Publication) {
+						p.Title = "edited " + title
+					}); err != nil {
+						t.Fatal(err)
+					}
+				case 3:
+					if len(known) == 0 {
+						return
+					}
+					id := known[rng.Intn(len(known))]
+					p := core.AutoscalePolicy{Enabled: true, MinReplicas: 1, MaxReplicas: 2 + rng.Intn(8), TargetLoad: 2}
+					if err := ms.SetAutoscalePolicy(core.Anonymous, id, p); err != nil {
+						t.Fatal(err)
+					}
+				case 4:
+					// Unpublish rarely, so the repository keeps growing.
+					if len(known) < 2 || rng.Intn(4) != 0 {
+						return
+					}
+					i := rng.Intn(len(known))
+					if err := ms.Unpublish(core.Anonymous, known[i]); err != nil {
+						t.Fatal(err)
+					}
+					known = append(known[:i], known[i+1:]...)
+				case 5:
+					// A checkpoint between two mutations must never lose
+					// the second one.
+					if rng.Intn(3) != 0 {
+						return
+					}
+					if err := ms.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+
+			for cycle := 0; cycle < 3; cycle++ {
+				for i := 0; i < 20; i++ {
+					mutate()
+				}
+				want := ms.StateFingerprint()
+				// Kill: no shutdown checkpoint, the store is simply
+				// closed with its tail still in the log.
+				ms.Close()
+				var info store.RecoveryInfo
+				ms, info = openRecovered(t, dir, 5)
+				if got := ms.StateFingerprint(); got != want {
+					t.Fatalf("cycle %d (replayed=%d): recovered state differs\n--- want\n%s--- got\n%s", cycle, info.Replayed, want, got)
+				}
+			}
+		})
+	}
+}
+
+func appendUnique(ids []string, id string) []string {
+	for _, have := range ids {
+		if have == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// TestRecoveryTornTail kills the service with a half-written final
+// record (simulated by chopping bytes off the log). Recovery must drop
+// exactly that record — state equals the moment before the last
+// mutation — and report the truncation.
+func TestRecoveryTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ms, _ := openRecovered(t, dir, 0)
+
+	if _, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage()); err != nil {
+		t.Fatal(err)
+	}
+	id, err := ms.Publish(context.Background(), core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.SetAutoscalePolicy(core.Anonymous, id, core.AutoscalePolicy{Enabled: true, MinReplicas: 1, MaxReplicas: 4}); err != nil {
+		t.Fatal(err)
+	}
+	want := ms.StateFingerprint()
+	// The mutation that will be torn.
+	cifar, err := servable.CIFAR10Package(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.Publish(context.Background(), core.Anonymous, cifar); err != nil {
+		t.Fatal(err)
+	}
+	full := ms.StateFingerprint()
+	if full == want {
+		t.Fatal("test broken: last mutation did not change the fingerprint")
+	}
+	ms.Close()
+
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 4 {
+		t.Fatalf("wal unexpectedly small: %d bytes", len(data))
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2, info := openRecovered(t, dir, 0)
+	if !info.Truncated {
+		t.Fatal("torn tail not reported as truncated")
+	}
+	if got := ms2.StateFingerprint(); got != want {
+		t.Fatalf("torn-tail recovery: want the state before the torn record\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestRestartMSRecoversDeployments drives the full testbed path the
+// scenario harness's restart_ms fault uses: live TMs, placements,
+// scaled replicas and a drain mark, then a Management Service kill and
+// recovery. RestartMS itself fails on any fingerprint divergence; on
+// top of that the recovered service must still SERVE from the
+// recovered placements, and the drain mark must still gate rejoin.
+func TestRestartMSRecoversDeployments(t *testing.T) {
+	tb, err := bench.NewTestbed(bench.Options{Nodes: 4, DataDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if _, err := tb.AddTM("cooley-tm-2", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.WaitForTM(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	id, err := tb.MS.Publish(ctx, core.Anonymous, servable.MatminerUtilPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.DeployTo(ctx, core.Anonymous, id, 2, "parsl", "cooley-tm-1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.DeployTo(ctx, core.Anonymous, id, 2, "parsl", "cooley-tm-2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.MS.Scale(ctx, core.Anonymous, id, 3, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	if _, err := tb.MS.DrainTM(drainCtx, "cooley-tm-2"); err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	cancel()
+
+	// Kill the Management Service and recover from the WAL; RestartMS
+	// fails the test by itself if the recovered fingerprint differs.
+	if err := tb.RestartMS(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := tb.Service().Run(ctx, core.Anonymous, id, "NaCl", core.RunOptions{})
+	if err != nil {
+		t.Fatalf("run after recovery: %v", err)
+	}
+	if !res.OK {
+		t.Fatalf("run after recovery not OK: %s", res.Error)
+	}
+	// The drain mark survived the restart: rejoin must be meaningful
+	// (it errors on a TM that is not draining).
+	if err := tb.Service().RejoinTM(ctx, "cooley-tm-2"); err != nil {
+		t.Fatalf("rejoin after recovery: %v", err)
+	}
+}

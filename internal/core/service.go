@@ -47,6 +47,7 @@ import (
 	"repro/internal/schema"
 	"repro/internal/search"
 	"repro/internal/servable"
+	"repro/internal/store"
 	"repro/internal/taskmanager"
 	"repro/internal/transfer"
 )
@@ -106,6 +107,12 @@ type Config struct {
 	// Failover requires TMStaleAfter > 0 — without a liveness window
 	// there is no dead-TM signal to act on.
 	FailoverRetries int
+	// Store is the durability seam (durable.go): every repository
+	// mutation appends a record to it, and Recover replays it at boot.
+	// Nil disables durable logging entirely — tests and the bench
+	// testbed pay nothing, and a -snapshot-only server keeps its
+	// caller-driven whole-state saves.
+	Store store.Store
 }
 
 // Service is the Management Service.
@@ -269,6 +276,12 @@ func New(cfg Config) *Service {
 	if cfg.TaskRetention > 0 {
 		s.regWG.Add(1)
 		go s.taskSweepLoop()
+	}
+	if cfg.Store != nil {
+		// The store compacts its log by serializing the whole repository
+		// through this hook; registration must precede Recover so the
+		// post-replay fold-in can run.
+		cfg.Store.SetCheckpointer(s.writeSnapshot)
 	}
 	return s
 }
@@ -632,7 +645,19 @@ func (s *Service) Publish(ctx context.Context, caller Caller, pkg *servable.Pack
 	s.docs[id] = doc
 	s.versions[id] = append(s.versions[id], doc)
 	s.packages[id] = pkg
+	// The durable record needs a copy taken under the lock: the live
+	// doc pointer keeps mutating through UpdateMetadata after unlock.
+	var durableDoc *schema.Document
+	if s.cfg.Store != nil {
+		durableDoc = doc.Clone()
+	}
 	s.mu.Unlock()
+	// Logged at the repository transition, not after the build: a
+	// failed build leaves the version installed (matching in-memory
+	// semantics), and recovery replays exactly what the maps held.
+	if durableDoc != nil {
+		s.logged(recKindPublish, recPublish{Doc: durableDoc, Components: pkg.Components})
+	}
 
 	// Build the servable container and store it in the registry
 	// (pipelines are virtual — they have no container of their own).
@@ -682,7 +707,14 @@ func (s *Service) UpdateMetadata(caller Caller, id string, update func(*schema.P
 		s.mu.Unlock()
 		return err
 	}
+	var durableDoc *schema.Document
+	if s.cfg.Store != nil {
+		durableDoc = doc.Clone()
+	}
 	s.mu.Unlock()
+	if durableDoc != nil {
+		s.logged(recKindMetadata, recMetadata{ID: id, Doc: durableDoc})
+	}
 	s.index.Ingest(search.Doc{ID: id, Fields: schema.Flatten(doc), VisibleTo: doc.Publication.VisibleTo})
 	// Metadata changes can alter who may see results (e.g. VisibleTo
 	// flips); drop cached results rather than reason about which edits
@@ -723,6 +755,7 @@ func (s *Service) Unpublish(caller Caller, id string) error {
 	s.index.Delete(id) //nolint:errcheck — already-absent is fine
 	s.invalidateCache(id)
 	s.mu.Unlock()
+	s.logged(recKindUnpublish, recServable{ID: id})
 	// Controller state cleanup happens outside s.mu (the autoscaler's
 	// status path acquires its own lock before s.mu — nesting here
 	// would invert that order). A re-Publish racing this exact window
@@ -1135,6 +1168,14 @@ func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.TaskTimeout)
 		defer cancel()
 	}
+	// A closing service aborts in-flight synchronous dispatches too: the
+	// broker reply can never arrive once Close tears the broker down, so
+	// without this a caller would wait out the full task timeout against
+	// a dead service.
+	ctx, cancelLife := context.WithCancel(ctx)
+	defer cancelLife()
+	stopLife := context.AfterFunc(s.lifeCtx, cancelLife)
+	defer stopLife()
 	// Demand accounting: servable-level counts cover only serving kinds
 	// (run/run_batch/pipeline) so control-plane tasks (deploy, scale —
 	// notably the autoscaler's own scale-ups under load) never trip
@@ -1399,6 +1440,7 @@ func (s *Service) deploy(ctx context.Context, caller Caller, servableID string, 
 		s.undeployAsync(servableID, tmID)
 		return err
 	}
+	s.logged(recKindDeploy, recPlacement{ID: servableID, TM: tmID, Replicas: max(replicas, 1)})
 	return nil
 }
 
@@ -1426,14 +1468,16 @@ func (s *Service) tmRegistered(id string) bool {
 // recordReplicas remembers the desired replica count set by the last
 // successful Scale — the autoscaler's view of current scale. A Scale
 // that raced an Unpublish records nothing (the replicas map must not
-// regrow an entry for a deleted servable).
-func (s *Service) recordReplicas(servableID string, replicas int) {
+// regrow an entry for a deleted servable); the report tells the caller
+// whether to log the transition durably.
+func (s *Service) recordReplicas(servableID string, replicas int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.docs[servableID]; !ok {
-		return
+		return false
 	}
 	s.replicas[servableID] = replicas
+	return true
 }
 
 // DesiredReplicas reports the replica count last set by Deploy or Scale
@@ -1511,7 +1555,9 @@ func (s *Service) scaleReplicas(ctx context.Context, servableID string, replicas
 	if _, err := s.dispatch(ctx, task); err != nil {
 		return err
 	}
-	s.recordReplicas(servableID, replicas)
+	if s.recordReplicas(servableID, replicas) {
+		s.logged(recKindScale, recPlacement{ID: servableID, Replicas: replicas})
+	}
 	// Replica churn restarts servable processes; drop cached results so
 	// post-scale traffic re-exercises the fresh deployment.
 	s.invalidateCache(servableID)

@@ -35,10 +35,12 @@ for f in scenarios/*.yaml; do
   "$SMOKE_BIN/dlhub-bench" -scenario "$f" -verify-json "$json"
 done
 
-echo "== compressed replays (chaos + ramp) =="
+echo "== compressed replays (chaos + ramp + MS restart) =="
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/chaos-tm-kill.yaml \
   -scenario-compress 2 -json "$SMOKE_WORK/BENCH_chaos.json"
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/diurnal-ramp.yaml \
   -scenario-compress 3 -json "$SMOKE_WORK/BENCH_ramp.json"
+"$SMOKE_BIN/dlhub-bench" -scenario scenarios/ms-restart-recovery.yaml \
+  -scenario-compress 2 -json "$SMOKE_WORK/BENCH_msrestart.json"
 
 echo "smoke-scenarios: OK"
