@@ -1,0 +1,109 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// diffMetric describes one compared report metric: where it comes from,
+// and which direction is better. A relative change past the threshold
+// in the worse direction is a regression.
+type diffMetric struct {
+	name         string
+	higherBetter bool
+	get          func(*bench.ScenarioResult) float64
+}
+
+var diffMetrics = []diffMetric{
+	{"throughput_rps", true, func(r *bench.ScenarioResult) float64 { return r.Totals.Throughput }},
+	{"p50_ms", false, func(r *bench.ScenarioResult) float64 { return r.Totals.P50MS }},
+	{"p99_ms", false, func(r *bench.ScenarioResult) float64 { return r.Totals.P99MS }},
+	{"allocs_per_op", false, func(r *bench.ScenarioResult) float64 { return r.Totals.AllocsPerOp }},
+	{"saturation_rps", true, func(r *bench.ScenarioResult) float64 { return r.SaturationRPS }},
+}
+
+// diffReports compares two scenario BENCH reports and returns the
+// process exit code: 1 when the new run regresses past threshold on any
+// metric, 0 otherwise. Metrics absent from either run (zero on one
+// side) are reported but never judged — a scenario without a saturation
+// stage, or a stage-windowed run without usable allocs, must not fail
+// the gate on a 0-vs-something artifact.
+func diffReports(oldPath, newPath string, threshold float64) int {
+	oldRes, err := loadScenarioResult(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlhub-bench: %v\n", err)
+		return 1
+	}
+	newRes, err := loadScenarioResult(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dlhub-bench: %v\n", err)
+		return 1
+	}
+	if oldRes.Name != newRes.Name {
+		fmt.Fprintf(os.Stderr, "dlhub-bench: refusing to diff different scenarios: %q (%s) vs %q (%s)\n",
+			oldRes.Name, oldPath, newRes.Name, newPath)
+		return 1
+	}
+
+	t := &bench.Table{
+		Title:   fmt.Sprintf("BENCH diff: %s (threshold %.0f%%)", oldRes.Name, threshold*100),
+		Headers: []string{"metric", "old", "new", "delta", "verdict"},
+	}
+	regressions := 0
+	for _, m := range diffMetrics {
+		oldV, newV := m.get(oldRes), m.get(newRes)
+		if oldV == 0 || newV == 0 {
+			if oldV != 0 || newV != 0 {
+				t.Add(m.name, fmt.Sprintf("%.2f", oldV), fmt.Sprintf("%.2f", newV), "n/a", "skipped (missing side)")
+			}
+			continue
+		}
+		rel := (newV - oldV) / oldV
+		verdict := "ok"
+		regressed := false
+		if m.higherBetter && rel < -threshold {
+			regressed = true
+		}
+		if !m.higherBetter && rel > threshold {
+			regressed = true
+		}
+		if regressed {
+			verdict = "REGRESSION"
+			regressions++
+		} else if (m.higherBetter && rel > threshold) || (!m.higherBetter && rel < -threshold) {
+			verdict = "improved"
+		}
+		t.Add(m.name, fmt.Sprintf("%.2f", oldV), fmt.Sprintf("%.2f", newV),
+			fmt.Sprintf("%+.1f%%", rel*100), verdict)
+	}
+	if oldRes.Totals.Errors == 0 && newRes.Totals.Errors > 0 {
+		t.Add("errors", "0", fmt.Sprint(newRes.Totals.Errors), "n/a", "REGRESSION")
+		regressions++
+	}
+	t.Fprint(os.Stdout)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "dlhub-bench: %d metric(s) regressed past %.0f%%\n", regressions, threshold*100)
+		return 1
+	}
+	return 0
+}
+
+// loadScenarioResult reads one BENCH_*.json and extracts its scenario
+// result; experiment-mode reports have none and cannot be diffed.
+func loadScenarioResult(path string) (*bench.ScenarioResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var report bench.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if report.Scenario == nil {
+		return nil, fmt.Errorf("%s: no scenario result (experiment reports cannot be diffed)", path)
+	}
+	return report.Scenario, nil
+}

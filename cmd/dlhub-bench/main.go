@@ -15,6 +15,10 @@
 //	    divide stage durations and fault offsets by 20 (CI scale)
 //	dlhub-bench -scenario f.yaml -verify-json BENCH_<name>.json
 //	    check a committed result is not stale against its spec file
+//	dlhub-bench -diff old.json new.json
+//	    compare two scenario BENCH reports; exit 1 when new regresses
+//	    past -diff-threshold (default 10%) on throughput, latency,
+//	    allocs/op or the saturation ceiling
 //
 // Absolute numbers differ from the paper's testbed (PetrelKube had 448
 // cores; the models here are width-reduced — see DESIGN.md), but the
@@ -50,9 +54,19 @@ func main() {
 	scenarioCheck := flag.Bool("scenario-check", false, "with -scenario: parse and validate the spec, then exit")
 	scenarioCompress := flag.Float64("scenario-compress", 1, "with -scenario: divide stage durations and fault offsets by this factor")
 	verifyJSON := flag.String("verify-json", "", "with -scenario: verify this committed BENCH_*.json is up to date with the spec, then exit")
+	diff := flag.Bool("diff", false, "compare two scenario BENCH reports (old.json new.json as positional args), exit 1 on regression")
+	diffThreshold := flag.Float64("diff-threshold", 0.10, "with -diff: relative regression tolerance (0.10 = 10%)")
 	flag.Parse()
 
 	simconst.Scale = *scale
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "dlhub-bench: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(1)
+		}
+		os.Exit(diffReports(flag.Arg(0), flag.Arg(1), *diffThreshold))
+	}
 
 	if *scenarioFile != "" {
 		os.Exit(runScenario(*scenarioFile, *scenarioCheck, *scenarioCompress, *verifyJSON, *jsonOut, *verbose))

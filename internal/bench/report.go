@@ -65,6 +65,11 @@ type ScenarioResult struct {
 	Stages []StageResult `json:"stages"`
 	// Totals aggregates the whole run (stage name "total").
 	Totals StageResult `json:"totals"`
+	// SaturationRPS is the measured sustainable req/s ceiling of a
+	// saturation scenario — the highest probed rate the service carried
+	// without errors or falling behind the offered load (0 for ordinary
+	// staged scenarios, or when even the search floor failed).
+	SaturationRPS float64 `json:"saturation_rps,omitempty"`
 	// CacheHitRate is hits/lookups of the service result cache over the
 	// run (0 when the cache is disabled).
 	CacheHitRate float64 `json:"cache_hit_rate"`

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -102,6 +104,13 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 	cancel()
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: prime request: %w", spec.Name, err)
+	}
+
+	// A saturation stage replaces the pre-compiled schedule with a
+	// runtime binary search: each probe's load depends on the previous
+	// probe's outcome, so it cannot be laid out up front.
+	if effective.SaturationStage() != nil {
+		return runSaturation(spec, effective, opts, tb, wl, progress)
 	}
 
 	cacheBefore := tb.Service().CacheStats()
@@ -272,6 +281,168 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 	}, nil
 }
 
+// satAchievedFraction is the fraction of the offered rate a probe must
+// actually complete to count as sustained: when the service saturates,
+// workers fall behind the pacer, the probe's wall time stretches and
+// achieved throughput drops below the offered rate.
+const satAchievedFraction = 0.9
+
+// runSaturation executes a saturation scenario: a binary search over
+// offered req/s between the stage's start_rate and rate. Each probe
+// holds a steady load for the stage duration; a probe is sustained when
+// it completes error-free at >= satAchievedFraction of the offered
+// rate. The highest sustained rate is reported as saturation_rps, with
+// per-probe latency percentiles and allocs/op as the capacity profile.
+func runSaturation(spec, effective *Spec, opts Options, tb *bench.Testbed, wl *workload, progress func(string, ...any)) (*bench.Report, error) {
+	sat := effective.SaturationStage()
+	window := sat.Duration.D()
+	ropts := core.RunOptions{NoCache: effective.Workload.NoCache}
+	keys := newKeyPicker(effective, rand.New(rand.NewSource(effective.Seed)))
+
+	cacheBefore := tb.Service().CacheStats()
+	failBefore := tb.Service().FailoverStats()
+	start := time.Now()
+
+	res := &bench.ScenarioResult{
+		Name:        spec.Name,
+		Description: spec.Description,
+		SpecPath:    opts.SpecPath,
+		SpecSHA256:  opts.SpecSHA,
+		Seed:        spec.Seed,
+		Compress:    opts.Compress,
+		Spec:        spec,
+	}
+	lo, hi := sat.StartRate, sat.Rate
+	var ceiling float64
+	var totalLat []time.Duration
+	var totalErr int
+	mStart := readMallocs()
+	for probe := 1; probe <= sat.Probes; probe++ {
+		rate := (lo + hi) / 2
+		m0 := readMallocs()
+		lat, errs, probeElapsed := runProbe(wl, keys, effective.Workload.Clients, rate, window, ropts)
+		achieved := 0.0
+		if secs := probeElapsed.Seconds(); secs > 0 {
+			achieved = float64(len(lat)) / secs
+		}
+		sustained := errs == 0 && achieved >= satAchievedFraction*rate
+		sr := stageStats(fmt.Sprintf("probe-%d-%.0frps", probe, rate), "saturation", probeElapsed, lat, errs)
+		if m1 := readMallocs(); len(lat) > 0 {
+			sr.AllocsPerOp = round2(float64(m1-m0) / float64(len(lat)))
+		}
+		res.Stages = append(res.Stages, sr)
+		totalLat = append(totalLat, lat...)
+		totalErr += errs
+		if sustained {
+			ceiling = rate
+			lo = rate
+		} else {
+			hi = rate
+		}
+		verdict := "OVER"
+		if sustained {
+			verdict = "sustained"
+		}
+		progress("  probe %d/%d @%.0f req/s: achieved %.0f req/s, %d errors — %s",
+			probe, sat.Probes, rate, achieved, errs, verdict)
+	}
+	elapsed := time.Since(start)
+	res.Totals = stageStats("total", "", elapsed, totalLat, totalErr)
+	// Run-wide allocs/op feeds the -diff gate (stage-windowed runs leave
+	// totals allocs at 0 — the windows overlap fault goroutines there).
+	if mEnd := readMallocs(); len(totalLat) > 0 {
+		res.Totals.AllocsPerOp = round2(float64(mEnd-mStart) / float64(len(totalLat)))
+	}
+	res.SaturationRPS = round2(ceiling)
+	progress("  saturation ceiling: %.0f req/s", res.SaturationRPS)
+
+	cacheAfter := tb.Service().CacheStats()
+	failAfter := tb.Service().FailoverStats()
+	lookups := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Collapsed - cacheBefore.Collapsed) +
+		(cacheAfter.Misses - cacheBefore.Misses)
+	if lookups > 0 {
+		hits := (cacheAfter.Hits - cacheBefore.Hits) + (cacheAfter.Collapsed - cacheBefore.Collapsed)
+		res.CacheHitRate = round4(float64(hits) / float64(lookups))
+	}
+	res.Failovers = map[string]uint64{
+		"lost":         failAfter.Lost - failBefore.Lost,
+		"redispatched": failAfter.Redispatched - failBefore.Redispatched,
+		"exhausted":    failAfter.Exhausted - failBefore.Exhausted,
+	}
+
+	res.Assertions, res.Passed = evalAssertions(spec.Assertions, res, opts.Compress)
+	for _, a := range res.Assertions {
+		verdict := "PASS"
+		if !a.Pass {
+			verdict = "FAIL"
+		}
+		progress("  assert %s: want %g, got %g — %s", a.Name, a.Want, a.Got, verdict)
+	}
+	return &bench.Report{
+		Started:    start.UTC(),
+		DurationMS: elapsed.Milliseconds(),
+		Scenario:   res,
+	}, nil
+}
+
+// runProbe offers one steady window of load at the given rate and
+// reports completed-request latencies, the error count and the probe's
+// actual wall time (which stretches past the window when the service
+// cannot drain the offered load). Keys are drawn in the pacer so the
+// shared picker is never touched concurrently.
+func runProbe(wl *workload, keys *keyPicker, clients int, rate float64, window time.Duration, ropts core.RunOptions) ([]time.Duration, int, time.Duration) {
+	n := int(math.Round(rate * window.Seconds()))
+	if n < 1 {
+		n = 1
+	}
+	type outcome struct {
+		latency time.Duration
+		err     error
+	}
+	outcomes := make([]outcome, n)
+	reqs := make([]struct {
+		key int
+		off time.Duration
+	}, n)
+	for i := range reqs {
+		reqs[i].key = keys.next()
+		reqs[i].off = time.Duration(float64(i) / rate * float64(time.Second))
+	}
+	jobs := make(chan int, n)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				t0 := time.Now()
+				err := wl.issue(reqs[idx].key, ropts)
+				outcomes[idx] = outcome{latency: time.Since(t0), err: err}
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if d := time.Until(start.Add(reqs[i].off)); d > 0 {
+			time.Sleep(d)
+		}
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+	lat := make([]time.Duration, 0, n)
+	errs := 0
+	for _, o := range outcomes {
+		if o.err != nil {
+			errs++
+			continue
+		}
+		lat = append(lat, o.latency)
+	}
+	return lat, errs, elapsed
+}
+
 // stageStats folds one window's latencies into a StageResult.
 func stageStats(name, kind string, d time.Duration, lat []time.Duration, errs int) bench.StageResult {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
@@ -322,6 +493,10 @@ func evalAssertions(asserts []Assertion, res *bench.ScenarioResult, compress flo
 			got = float64(res.Failovers["redispatched"])
 		case "min_requests":
 			got = float64(res.Totals.Completed)
+		case "min_saturation_rps":
+			// A rate, not a count: compression shrinks probe windows but
+			// not rates, so the bound holds unscaled.
+			got = res.SaturationRPS
 		}
 		pass := got <= want
 		if strings.HasPrefix(a.Name, "min_") {

@@ -119,15 +119,22 @@ type WorkloadSpec struct {
 // StageSpec is one load stage; stages run back to back.
 type StageSpec struct {
 	Name string `json:"name"`
-	// Kind is steady | ramp | spike. steady spaces requests evenly at
-	// Rate; ramp moves linearly from StartRate to Rate across the
-	// stage; spike injects the stage's requests in four bursts.
+	// Kind is steady | ramp | spike | saturation. steady spaces requests
+	// evenly at Rate; ramp moves linearly from StartRate to Rate across
+	// the stage; spike injects the stage's requests in four bursts;
+	// saturation binary-searches the sustainable req/s ceiling between
+	// StartRate and Rate, running one steady probe of Duration per step.
 	Kind     string   `json:"kind"`
 	Duration Duration `json:"duration"`
-	// Rate is the target req/s (the END rate for ramp).
+	// Rate is the target req/s (the END rate for ramp, the search upper
+	// bound for saturation).
 	Rate float64 `json:"rate"`
-	// StartRate is ramp's starting req/s (default 0).
+	// StartRate is ramp's starting req/s (default 0) and saturation's
+	// search lower bound (required > 0 there).
 	StartRate float64 `json:"start_rate,omitempty"`
+	// Probes is the number of binary-search steps a saturation stage
+	// runs (default 6; each probe holds Duration of load).
+	Probes int `json:"probes,omitempty"`
 }
 
 // FaultSpec schedules one fault event relative to run start.
@@ -166,6 +173,7 @@ var assertionNames = map[string]struct{ fraction bool }{
 	"max_p99_ms":         {},
 	"min_redispatched":   {},
 	"min_requests":       {},
+	"min_saturation_rps": {},
 }
 
 // TMID names a 1-based site index the way the testbed does.
@@ -214,6 +222,15 @@ func (s *Spec) Compressed(factor float64) *Spec {
 		c.Faults[i].At = Duration(float64(c.Faults[i].At) / factor)
 	}
 	return &c
+}
+
+// SaturationStage returns the spec's saturation stage, if any (Validate
+// guarantees it is then the only stage).
+func (s *Spec) SaturationStage() *StageSpec {
+	if len(s.Stages) == 1 && s.Stages[0].Kind == "saturation" {
+		return &s.Stages[0]
+	}
+	return nil
 }
 
 // HasFault reports whether any fault event has the given kind.
@@ -313,11 +330,33 @@ func (s *Spec) Validate() error {
 		switch st.Kind {
 		case "steady", "spike":
 			if st.StartRate != 0 {
-				return fmt.Errorf("scenario %s: stage %s: start_rate only applies to ramp stages", s.Name, st.Name)
+				return fmt.Errorf("scenario %s: stage %s: start_rate only applies to ramp and saturation stages", s.Name, st.Name)
 			}
 		case "ramp":
+		case "saturation":
+			// A saturation stage owns the whole run: the binary search
+			// controls the load itself, so neither other stages nor a
+			// fault timeline can share the timeline with it.
+			if len(s.Stages) != 1 {
+				return fmt.Errorf("scenario %s: a saturation stage must be the only stage", s.Name)
+			}
+			if len(s.Faults) != 0 {
+				return fmt.Errorf("scenario %s: saturation scenarios cannot schedule faults", s.Name)
+			}
+			if st.StartRate <= 0 {
+				return fmt.Errorf("scenario %s: stage %s: saturation needs start_rate > 0 (the search lower bound)", s.Name, st.Name)
+			}
+			if st.StartRate >= st.Rate {
+				return fmt.Errorf("scenario %s: stage %s: start_rate %g must be < rate %g (the search bounds)", s.Name, st.Name, st.StartRate, st.Rate)
+			}
+			if st.Probes < 1 || st.Probes > 20 {
+				return fmt.Errorf("scenario %s: stage %s: probes must be in [1, 20], got %d", s.Name, st.Name, st.Probes)
+			}
 		default:
-			return fmt.Errorf("scenario %s: stage %s: kind %q (want steady, ramp or spike)", s.Name, st.Name, st.Kind)
+			return fmt.Errorf("scenario %s: stage %s: kind %q (want steady, ramp, spike or saturation)", s.Name, st.Name, st.Kind)
+		}
+		if st.Kind != "saturation" && st.Probes != 0 {
+			return fmt.Errorf("scenario %s: stage %s: probes only applies to saturation stages", s.Name, st.Name)
 		}
 		if st.Duration <= 0 {
 			return fmt.Errorf("scenario %s: stage %s: duration must be > 0, got %s", s.Name, st.Name, st.Duration.D())
@@ -461,7 +500,11 @@ func decodeSpec(root any) (*Spec, error) {
 				st.Duration = f.dur("duration", 0)
 				st.Rate = f.f64("rate", 0)
 				st.StartRate = f.f64("start_rate", 0)
+				st.Probes = f.num("probes", 0)
 			})
+			if st.Kind == "saturation" && st.Probes == 0 {
+				st.Probes = 6
+			}
 			spec.Stages = append(spec.Stages, st)
 		}
 		for i, item := range f.list("faults") {

@@ -429,25 +429,13 @@ func (s *Service) admitRun(servableID string, weight int) (release func(), err e
 	if weight < 1 {
 		weight = 1
 	}
-	s.mu.Lock()
-	pending := s.svReserved[servableID]
-	if pending >= bound {
-		s.mu.Unlock()
+	pending, ok := s.route.reserve(servableID, weight, bound)
+	if !ok {
 		s.scaler.noteRejection(servableID)
 		return nil, ErrOverloaded.WithDetail(fmt.Sprintf("%s: %d requests pending (bound %d)", servableID, pending, bound))
 	}
-	s.svReserved[servableID] += weight
-	s.mu.Unlock()
 	var once sync.Once
 	return func() {
-		once.Do(func() {
-			s.mu.Lock()
-			if s.svReserved[servableID] >= weight {
-				s.svReserved[servableID] -= weight
-			} else {
-				s.svReserved[servableID] = 0
-			}
-			s.mu.Unlock()
-		})
+		once.Do(func() { s.route.unreserve(servableID, weight) })
 	}, nil
 }

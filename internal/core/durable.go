@@ -181,8 +181,7 @@ func (s *Service) applyRecord(rec store.Record) error {
 		delete(s.docs, u.ID)
 		delete(s.versions, u.ID)
 		delete(s.packages, u.ID)
-		delete(s.placements, u.ID)
-		delete(s.replicas, u.ID)
+		s.route.dropServable(u.ID)
 		s.mu.Unlock()
 		s.scaler.removePolicy(u.ID)
 
@@ -191,23 +190,11 @@ func (s *Service) applyRecord(rec store.Record) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
+		s.mu.RLock()
 		if _, ok := s.docs[d.ID]; ok {
-			placed := false
-			for _, tm := range s.placements[d.ID] {
-				if tm == d.TM {
-					placed = true
-					break
-				}
-			}
-			if !placed {
-				s.placements[d.ID] = append(s.placements[d.ID], d.TM)
-			}
-			if d.Replicas > 0 {
-				s.replicas[d.ID] = d.Replicas
-			}
+			s.route.applyDeploy(d.ID, d.TM, d.Replicas)
 		}
-		s.mu.Unlock()
+		s.mu.RUnlock()
 
 	case recKindUndeploy:
 		d, err := decodeRec[recPlacement](rec.Data)
@@ -221,52 +208,32 @@ func (s *Service) applyRecord(rec store.Record) error {
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
+		s.mu.RLock()
 		if _, ok := s.docs[sc.ID]; ok {
-			s.replicas[sc.ID] = sc.Replicas
+			s.route.setReplicas(sc.ID, sc.Replicas)
 		}
-		s.mu.Unlock()
+		s.mu.RUnlock()
 
 	case recKindDrain:
 		t, err := decodeRec[recTM](rec.Data)
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		s.tmDraining[t.TM] = struct{}{}
-		delete(s.tmRejoined, t.TM)
-		s.mu.Unlock()
+		s.route.markDraining(t.TM)
 
 	case recKindRejoin:
 		t, err := decodeRec[recTM](rec.Data)
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		delete(s.tmDraining, t.TM)
-		s.mu.Unlock()
+		s.route.applyRejoin(t.TM)
 
 	case recKindDeregister:
 		t, err := decodeRec[recTM](rec.Data)
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		for i, id := range s.tms {
-			if id == t.TM {
-				s.tms = append(s.tms[:i], s.tms[i+1:]...)
-				break
-			}
-		}
-		delete(s.tmSeen, t.TM)
-		delete(s.tmActive, t.TM)
-		delete(s.tmInflight, t.TM)
-		delete(s.tmDraining, t.TM)
-		delete(s.tmRejoined, t.TM)
-		for id := range s.placements {
-			s.removePlacementLocked(id, t.TM)
-		}
-		s.mu.Unlock()
+		s.route.applyDeregister(t.TM)
 
 	case recKindPolicy:
 		p, err := decodeRec[recPolicyPut](rec.Data)

@@ -812,6 +812,9 @@ func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 		"autoscaler": s.AutoscalerStats(),
 		"tasks":      s.TaskStats(),
 		"failovers":  s.FailoverStats(),
+		// The dead-TM watcher footprint: tms must track the registered
+		// TM count, never the in-flight dispatch count.
+		"watcher": s.WatcherStats(),
 		// null when the server runs without a durable store (-data-dir
 		// unset); counters otherwise.
 		"wal": s.WALStats(),

@@ -64,42 +64,26 @@ func (s *Service) failoverBudget() int {
 // was deregistered outright). Always false with liveness disabled —
 // there is no dead-TM signal to act on.
 func (s *Service) tmLost(tmID string) bool {
-	if s.cfg.TMStaleAfter <= 0 {
-		return false
-	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	seen, ok := s.tmSeen[tmID]
-	if !ok {
-		return true
-	}
-	return s.timeFunc().Sub(seen) > s.cfg.TMStaleAfter
+	return s.route.isLost(tmID, s.timeFunc(), s.cfg.TMStaleAfter)
 }
 
 // tmIsDraining reports whether a TM is marked draining.
 func (s *Service) tmIsDraining(tmID string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, draining := s.tmDraining[tmID]
-	return draining
+	return s.route.isDraining(tmID)
 }
 
 // DrainingTMs lists TMs currently marked draining.
 func (s *Service) DrainingTMs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.tmDraining))
-	for id := range s.tmDraining {
-		out = append(out, id)
-	}
-	return out
+	return s.route.drainingAll()
 }
 
-// dispatchWatched is dispatchTo plus the dead-TM watchdog: a sidecar
-// goroutine polls the routed TM's liveness while the request waits and
-// aborts the wait with errTMLost the moment the TM misses its window —
-// the reply will never come, and failing fast is what gives dispatch()
-// room to re-route inside the caller's deadline. With liveness
+// dispatchWatched is dispatchTo plus the dead-TM watcher: the dispatch
+// registers its cancel func with the routed TM's broadcast watcher
+// (watcher.go) and is aborted with errTMLost the moment the TM misses
+// its liveness window — the reply will never come, and failing fast is
+// what gives dispatch() room to re-route inside the caller's deadline.
+// Unlike the previous per-dispatch polling goroutine, the wait itself
+// costs nothing: one timer per TM covers every waiter. With liveness
 // disabled (TMStaleAfter == 0) it degenerates to plain dispatchTo.
 func (s *Service) dispatchWatched(ctx context.Context, tmID string, task taskmanager.Task) (RunResult, error) {
 	if s.cfg.TMStaleAfter <= 0 {
@@ -107,32 +91,8 @@ func (s *Service) dispatchWatched(ctx context.Context, tmID string, task taskman
 	}
 	wctx, cancel := context.WithCancelCause(ctx)
 	defer cancel(nil)
-	stopped := make(chan struct{})
-	defer close(stopped)
-	go func() {
-		tick := s.cfg.TMStaleAfter / 4
-		if tick < 2*time.Millisecond {
-			tick = 2 * time.Millisecond
-		}
-		if tick > time.Second {
-			tick = time.Second
-		}
-		ticker := time.NewTicker(tick)
-		defer ticker.Stop()
-		for {
-			select {
-			case <-stopped:
-				return
-			case <-wctx.Done():
-				return
-			case <-ticker.C:
-				if s.tmLost(tmID) {
-					cancel(errTMLost)
-					return
-				}
-			}
-		}
-	}()
+	unwatch := s.watcher.watch(tmID, cancel)
+	defer unwatch()
 	res, err := s.dispatchTo(wctx, tmID, task)
 	if err != nil && context.Cause(wctx) == errTMLost && ctx.Err() == nil {
 		return RunResult{}, fmt.Errorf("%w: %s: %w", ErrNoTaskManager, tmID, errTMLost)
@@ -140,33 +100,23 @@ func (s *Service) dispatchWatched(ctx context.Context, tmID string, task taskman
 	return res, err
 }
 
-// noteTMLost reacts to a watchdog-detected loss: tasks the dead TM
+// noteTMLost reacts to a watcher-detected loss: tasks the dead TM
 // claimed or never pulled are withdrawn from its broker queue (their
-// requesters' own watchdogs fire too — nothing waits for a queue
-// nobody consumes), and the loss is counted. Deliberately NOT a
+// requesters' waiters fire too — nothing waits for a queue nobody
+// consumes), and the loss is counted. Deliberately NOT a
 // deregistration: a TM that was merely partitioned resumes on an empty
 // queue at its next heartbeat.
 func (s *Service) noteTMLost(tmID string) {
 	purged := s.broker.Purge(taskmanager.TaskQueue(tmID))
-	s.mu.Lock()
-	s.failoverLost++
-	s.mu.Unlock()
+	s.failoverLost.Add(1)
 	if purged > 0 {
 		log.Printf("core: withdrew %d task(s) queued to lost TM %s", purged, tmID)
 	}
 }
 
-func (s *Service) noteFailoverRedispatch() {
-	s.mu.Lock()
-	s.failoverRedispatched++
-	s.mu.Unlock()
-}
+func (s *Service) noteFailoverRedispatch() { s.failoverRedispatched.Add(1) }
 
-func (s *Service) noteFailoverExhausted() {
-	s.mu.Lock()
-	s.failoverExhausted++
-	s.mu.Unlock()
-}
+func (s *Service) noteFailoverExhausted() { s.failoverExhausted.Add(1) }
 
 // FailoverStats counts dead-TM failover activity (the /api/v2/stats
 // "failovers" block).
@@ -183,12 +133,10 @@ type FailoverStats struct {
 
 // FailoverStats snapshots the failover counters.
 func (s *Service) FailoverStats() FailoverStats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return FailoverStats{
-		Lost:         s.failoverLost,
-		Redispatched: s.failoverRedispatched,
-		Exhausted:    s.failoverExhausted,
+		Lost:         s.failoverLost.Load(),
+		Redispatched: s.failoverRedispatched.Load(),
+		Exhausted:    s.failoverExhausted.Load(),
 	}
 }
 
@@ -232,12 +180,10 @@ func (s *Service) DrainTM(ctx context.Context, tmID string) (*DrainResult, error
 	ctx, cancel := s.reqCtx(ctx, RunOptions{Timeout: deployTimeout(ctx)})
 	defer cancel()
 
-	s.mu.Lock()
-	s.tmDraining[tmID] = struct{}{}
 	// A deliberate re-drain must never be suppressed by the rejoin
-	// grace window (registrationLoop).
-	delete(s.tmRejoined, tmID)
-	s.mu.Unlock()
+	// grace window (routingTable.beat) — markDraining clears the grace
+	// entry too.
+	s.route.markDraining(tmID)
 	// Logged at the mark, not at drain completion: the mark is the
 	// state transition (routing excludes the site from here on), and a
 	// crash mid-drain must recover with the site still out of rotation.
@@ -271,9 +217,7 @@ func (s *Service) DrainTM(ctx context.Context, tmID string) (*DrainResult, error
 func (s *Service) awaitTMIdle(ctx context.Context, tmID string) error {
 	q := taskmanager.TaskQueue(tmID)
 	for {
-		s.mu.RLock()
-		inflight := s.tmInflight[tmID]
-		s.mu.RUnlock()
+		inflight := s.route.inflightOf(tmID)
 		if inflight == 0 && s.broker.Len(q) == 0 && s.broker.InFlight(q) == 0 {
 			return nil
 		}
@@ -293,26 +237,16 @@ func (s *Service) awaitTMIdle(ctx context.Context, tmID string) error {
 // replicas on the drained site are then torn down best-effort.
 func (s *Service) migratePlacements(ctx context.Context, tmID string) (*DrainResult, error) {
 	res := &DrainResult{TM: tmID}
-	s.mu.RLock()
-	var held []string
-	for id, placed := range s.placements {
-		for _, p := range placed {
-			if p == tmID {
-				held = append(held, id)
-				break
-			}
-		}
-	}
-	s.mu.RUnlock()
+	held := s.route.heldBy(tmID)
 	for _, id := range held {
-		s.mu.RLock()
 		// "Hosted elsewhere" must mean a site routing would actually
 		// pick: routable AND live. A stale peer (registered, not
 		// draining, heartbeats stopped) must not excuse skipping the
 		// migration — dropping the drained placement would leave the
 		// servable placed only on a dead site.
-		elsewhere := len(s.liveLocked(s.routableLocked(s.placements[id], nil))) > 0
-		replicas := s.replicas[id]
+		elsewhere := s.route.hostedElsewhereLive(id, s.timeFunc(), s.cfg.TMStaleAfter)
+		replicas := s.route.replicasOf(id)
+		s.mu.RLock()
 		pkg := s.packages[id]
 		s.mu.RUnlock()
 		if !elsewhere {
@@ -370,25 +304,7 @@ func (s *Service) migratePlacements(ctx context.Context, tmID string) (*DrainRes
 // removePlacement drops one (servable, TM) placement entry, deleting
 // the map key when it was the last one.
 func (s *Service) removePlacement(servableID, tmID string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.removePlacementLocked(servableID, tmID)
-}
-
-// removePlacementLocked is removePlacement with s.mu already held (the
-// deregistration path batches many removals under one lock).
-func (s *Service) removePlacementLocked(servableID, tmID string) bool {
-	placed := s.placements[servableID]
-	for i, p := range placed {
-		if p == tmID {
-			s.placements[servableID] = append(placed[:i], placed[i+1:]...)
-			if len(s.placements[servableID]) == 0 {
-				delete(s.placements, servableID)
-			}
-			return true
-		}
-	}
-	return false
+	return s.route.removePlacement(servableID, tmID)
 }
 
 // DeregisterTM removes a Task Manager from the registry and every piece
@@ -401,28 +317,14 @@ func (s *Service) removePlacementLocked(servableID, tmID string) bool {
 // acknowledged a drain — the ack is sticky TM-side); stop the process
 // to make removal final.
 func (s *Service) DeregisterTM(tmID string) error {
-	s.mu.Lock()
-	found := false
-	for i, id := range s.tms {
-		if id == tmID {
-			s.tms = append(s.tms[:i], s.tms[i+1:]...)
-			found = true
-			break
-		}
-	}
-	if !found {
-		s.mu.Unlock()
+	if !s.route.deregister(tmID) {
 		return ErrNoTaskManager.WithDetail(fmt.Sprintf("task manager %q not registered", tmID))
 	}
-	delete(s.tmSeen, tmID)
-	delete(s.tmActive, tmID)
-	delete(s.tmInflight, tmID)
-	delete(s.tmDraining, tmID)
-	delete(s.tmRejoined, tmID)
-	for id := range s.placements {
-		s.removePlacementLocked(id, tmID)
-	}
-	s.mu.Unlock()
+	// Dispatches still waiting on the removed TM get errTMLost NOW —
+	// the registry entry is gone, so no heartbeat deadline remains to
+	// wait out. This is what keeps the deregister path and the
+	// broadcast watcher in agreement.
+	s.watcher.markLost(tmID)
 	s.logged(recKindDeregister, recTM{TM: tmID})
 	if purged := s.broker.Purge(taskmanager.TaskQueue(tmID)); purged > 0 {
 		log.Printf("core: withdrew %d task(s) queued to deregistered TM %s", purged, tmID)
@@ -465,10 +367,7 @@ func (s *Service) RejoinTM(ctx context.Context, tmID string) error {
 		}
 		return fmt.Errorf("rejoin %s: site did not acknowledge (a dead TM cannot rejoin): %w", tmID, err)
 	}
-	s.mu.Lock()
-	delete(s.tmDraining, tmID)
-	s.tmRejoined[tmID] = s.timeFunc()
-	s.mu.Unlock()
+	s.route.clearDrainMark(tmID, s.timeFunc())
 	s.logged(recKindRejoin, recTM{TM: tmID})
 	return nil
 }
@@ -518,7 +417,5 @@ func (s *Service) ServablePlacements(caller Caller, servableID string) ([]string
 	if _, err := s.Get(caller, servableID); err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string{}, s.placements[servableID]...), nil
+	return s.route.placementsOf(servableID), nil
 }

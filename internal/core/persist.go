@@ -51,6 +51,16 @@ type snapshot struct {
 // policies are collected FIRST, outside s.mu — the scaler's status path
 // acquires its own lock before s.mu, so nesting s.mu → scaler.mu here
 // would invert that order.
+//
+// The routing slice (placements/replicas/draining) is captured while
+// s.mu is still held for reading: every durable routing mutation
+// (recordDeployment, recordReplicas, Unpublish, replay) nests its
+// routing write under s.mu, so holding s.mu read-side here gives the
+// checkpoint the same repository-vs-routing consistency the monolithic
+// lock did. Drain/rejoin marks mutate outside s.mu, but each is
+// logged() AFTER its in-memory mutation, and the checkpoint hook
+// blocks appends — a mark the snapshot misses still has its record
+// replayed from the tail.
 func (s *Service) captureSnapshot() snapshot {
 	policies := s.scaler.policies()
 	s.mu.RLock()
@@ -59,8 +69,6 @@ func (s *Service) captureSnapshot() snapshot {
 		Docs:       make(map[string]*schema.Document, len(s.docs)),
 		Versions:   make(map[string][]*schema.Document, len(s.versions)),
 		Components: make(map[string]map[string][]byte, len(s.packages)),
-		Placements: make(map[string][]string, len(s.placements)),
-		Replicas:   make(map[string]int, len(s.replicas)),
 		Policies:   policies,
 	}
 	for id, doc := range s.docs {
@@ -82,15 +90,7 @@ func (s *Service) captureSnapshot() snapshot {
 		}
 		snap.Components[id] = comps
 	}
-	for id, tms := range s.placements {
-		snap.Placements[id] = append([]string(nil), tms...)
-	}
-	for id, n := range s.replicas {
-		snap.Replicas[id] = n
-	}
-	for id := range s.tmDraining {
-		snap.Draining = append(snap.Draining, id)
-	}
+	snap.Placements, snap.Replicas, snap.Draining = s.route.routeSnapshot()
 	return snap
 }
 
@@ -173,8 +173,6 @@ func (s *Service) restoreSnapshot(r io.Reader) error {
 	s.docs = make(map[string]*schema.Document, len(snap.Docs))
 	s.versions = make(map[string][]*schema.Document, len(snap.Versions))
 	s.packages = make(map[string]*servable.Package, len(snap.Components))
-	s.placements = make(map[string][]string, len(snap.Placements))
-	s.replicas = make(map[string]int, len(snap.Replicas))
 	for id, doc := range snap.Docs {
 		s.docs[id] = doc
 	}
@@ -184,15 +182,9 @@ func (s *Service) restoreSnapshot(r io.Reader) error {
 	for id, comps := range snap.Components {
 		s.packages[id] = &servable.Package{Doc: snap.Docs[id], Components: comps}
 	}
-	for id, tms := range snap.Placements {
-		s.placements[id] = tms
-	}
-	for id, n := range snap.Replicas {
-		s.replicas[id] = n
-	}
-	for _, id := range snap.Draining {
-		s.tmDraining[id] = struct{}{}
-	}
+	// Routing state is installed while s.mu is still held, mirroring
+	// the nesting every durable routing mutation uses (see routing.go).
+	s.route.restore(snap.Placements, snap.Replicas, snap.Draining)
 	s.mu.Unlock()
 
 	for id, p := range snap.Policies {

@@ -96,33 +96,7 @@ func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Do
 // unplaced, or no common routable live site, means the service must
 // orchestrate the steps itself.
 func (s *Service) pipelineMonolithTM(steps []string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var common []string
-	for i, step := range steps {
-		placed := s.placements[step]
-		if len(placed) == 0 {
-			return "", false
-		}
-		if i == 0 {
-			common = append([]string(nil), placed...)
-			continue
-		}
-		kept := common[:0]
-		for _, tm := range common {
-			for _, p := range placed {
-				if tm == p {
-					kept = append(kept, tm)
-					break
-				}
-			}
-		}
-		common = kept
-		if len(common) == 0 {
-			return "", false
-		}
-	}
-	return s.leastLoadedLocked(s.liveLocked(s.routableLocked(common, nil)))
+	return s.route.monolithTM(steps, s.timeFunc(), s.cfg.TMStaleAfter)
 }
 
 // runPipelineSteps is the distributed engine: each step is resolved,

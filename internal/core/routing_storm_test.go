@@ -1,0 +1,129 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/container"
+	"repro/internal/core"
+	"repro/internal/schema"
+	"repro/internal/servable"
+)
+
+// TestPublishStormConcurrentWithRunFlood exercises the split-lock
+// design end to end under the race detector: a storm of repository
+// writes (Publish, Deploy, UpdateMetadata) runs concurrently with a
+// flood of routed Run calls against an already-deployed servable. The
+// flood must complete error-free — routing reads must not be starved or
+// corrupted by the write storm. The held-write-lock canary in
+// routing_test.go pins the non-blocking property; this test pins
+// correctness of both paths interleaving for real.
+func TestPublishStormConcurrentWithRunFlood(t *testing.T) {
+	ms := core.New(core.Config{
+		Registry:     container.NewRegistry(),
+		TMStaleAfter: 2 * time.Second,
+	})
+	defer ms.Close()
+	tmA := liveSite(t, ms, "storm-a", 100*time.Millisecond)
+	defer tmA.Close()
+	tmB := liveSite(t, ms, "storm-b", 100*time.Millisecond)
+	defer tmB.Close()
+	if err := ms.WaitForTM(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := context.Background()
+	floodID, err := ms.Publish(ctx, core.Anonymous, servable.NoopPackage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Deploy(ctx, core.Anonymous, floodID, 2, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		floodWorkers = 8
+		floodRuns    = 40
+		stormRounds  = 30
+	)
+	var (
+		wg       sync.WaitGroup
+		ran      atomic.Int64
+		stormErr = make(chan error, 1)
+		floodErr = make(chan error, floodWorkers)
+	)
+
+	// Repository-write storm: fresh publishes and deploys, plus metadata
+	// rewrites of the servable the flood is running — the exact writes
+	// that used to serialize against routing under the monolithic lock.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < stormRounds; i++ {
+			pkg := servable.NoopPackage()
+			pkg.Doc.Publication.Name = fmt.Sprintf("storm-%d", i)
+			id, err := ms.Publish(ctx, core.Anonymous, pkg)
+			if err != nil {
+				stormErr <- fmt.Errorf("publish %d: %w", i, err)
+				return
+			}
+			if err := ms.Deploy(ctx, core.Anonymous, id, 1, "parsl"); err != nil {
+				stormErr <- fmt.Errorf("deploy %d: %w", i, err)
+				return
+			}
+			if err := ms.UpdateMetadata(core.Anonymous, floodID, func(p *schema.Publication) {
+				p.Description = fmt.Sprintf("storm pass %d", i)
+			}); err != nil {
+				stormErr <- fmt.Errorf("update %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	for w := 0; w < floodWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < floodRuns; i++ {
+				if _, err := ms.Run(ctx, core.Anonymous, floodID, fmt.Sprintf("%d-%d", w, i), core.RunOptions{}); err != nil {
+					floodErr <- fmt.Errorf("worker %d run %d: %w", w, i, err)
+					return
+				}
+				ran.Add(1)
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case err := <-stormErr:
+		t.Fatal(err)
+	case err := <-floodErr:
+		t.Fatal(err)
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("storm/flood deadlocked: %d/%d runs completed", ran.Load(), floodWorkers*floodRuns)
+	}
+	select {
+	case err := <-stormErr:
+		t.Fatal(err)
+	default:
+	}
+	select {
+	case err := <-floodErr:
+		t.Fatal(err)
+	default:
+	}
+	if got := ran.Load(); got != floodWorkers*floodRuns {
+		t.Fatalf("flood completed %d/%d runs", got, floodWorkers*floodRuns)
+	}
+	// Both TMs stayed live through the churn.
+	if live := ms.LiveTaskManagers(); len(live) != 2 {
+		t.Fatalf("live TMs after storm = %v", live)
+	}
+}

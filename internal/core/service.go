@@ -39,6 +39,7 @@ import (
 	"log"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/auth"
@@ -127,53 +128,31 @@ type Service struct {
 	cache  *resultCache
 	flight flightGroup
 
+	// mu is the REPOSITORY lock: it guards docs, versions and packages
+	// only. Routing/placement state lives in route (routing.go) under
+	// its own lock, so the serving hot path never contends with
+	// repository writes. Lock order: mu may be held while calling into
+	// route; route methods never take mu.
 	mu       sync.RWMutex
 	docs     map[string]*schema.Document   // id -> latest
 	versions map[string][]*schema.Document // id -> all versions
 	packages map[string]*servable.Package  // id -> latest package
-	tms      []string
-	tmSeen   map[string]time.Time
-	tmRR     int
-	// tmDraining marks TMs taken out of rotation by DrainTM: they stay
-	// registered (heartbeats keep arriving, in-flight work finishes) but
-	// no routing decision selects them. Cleared by RejoinTM and
-	// DeregisterTM.
-	tmDraining map[string]struct{}
-	// tmRejoined records when RejoinTM last cleared a TM's drain mark.
-	// Heartbeats are set-only for the drain mark, so a beat marshaled
-	// BEFORE the TM acknowledged the rejoin (still carrying
-	// Draining=true) could re-mark a freshly rejoined site forever;
-	// registrationLoop ignores the flag within rejoinGrace of a rejoin.
-	// DrainTM deletes the entry, so a deliberate re-drain is never
-	// suppressed.
-	tmRejoined map[string]time.Time
+
+	// route is the routing table: TM registry, heartbeat freshness,
+	// placements, desired replicas, drain marks, in-flight and
+	// admission counters (routing.go).
+	route *routingTable
+	// watcher is the per-TM broadcast dead-TM watcher (watcher.go): one
+	// timer per TM, re-armed by heartbeats, fanning errTMLost out to
+	// that TM's in-flight dispatches.
+	watcher *livenessWatcher
+
 	// failover counters (lifecycle.go): dispatches aborted by the
-	// dead-TM watchdog, re-dispatches to another site, and requests
+	// dead-TM watcher, re-dispatches to another site, and requests
 	// that ran out of budget or sites.
-	failoverLost         uint64
-	failoverRedispatched uint64
-	failoverExhausted    uint64
-	// tmInflight counts dispatched-but-unanswered tasks per TM; pickTM
-	// routes to the least loaded live candidate.
-	tmInflight map[string]int
-	// tmActive holds the executing-task counts each TM self-reports in
-	// its heartbeat registrations — the TM-side view of queue depth.
-	tmActive map[string]int
-	// svInflight counts dispatched-but-unanswered run/batch/pipeline
-	// work units per servable (batches weigh their input count) — the
-	// demand signal the autoscaler acts on.
-	svInflight map[string]int
-	// svReserved counts admission-control reservations per servable:
-	// admitted-but-unfinished requests, reserved atomically at the
-	// admission check so concurrent bursts cannot overrun the bound.
-	svReserved map[string]int
-	// replicas tracks the desired replica count per servable, updated by
-	// Deploy/Scale — the autoscaler's notion of current scale.
-	replicas map[string]int
-	// placements maps servable ID -> Task Managers hosting it, so runs
-	// are routed to capable sites (§IV-A: the Management Service
-	// "route[s] workloads to suitable executors").
-	placements map[string][]string
+	failoverLost         atomic.Uint64
+	failoverRedispatched atomic.Uint64
+	failoverExhausted    atomic.Uint64
 
 	taskMu sync.RWMutex
 	tasks  map[string]*asyncTask
@@ -244,25 +223,18 @@ func New(cfg Config) *Service {
 		// Visibility must exceed the longest single task (large batch
 		// chunks in the Fig. 7 sweeps run for minutes at one replica);
 		// redelivery is for lost Task Managers, not slow ones.
-		broker:     queue.NewBroker(10 * time.Minute),
-		index:      search.NewIndex(),
-		builder:    container.NewBuilder(cfg.Registry),
-		docs:       make(map[string]*schema.Document),
-		versions:   make(map[string][]*schema.Document),
-		packages:   make(map[string]*servable.Package),
-		tasks:      make(map[string]*asyncTask),
-		placements: make(map[string][]string),
-		tmSeen:     make(map[string]time.Time),
-		tmDraining: make(map[string]struct{}),
-		tmRejoined: make(map[string]time.Time),
-		tmInflight: make(map[string]int),
-		tmActive:   make(map[string]int),
-		svInflight: make(map[string]int),
-		svReserved: make(map[string]int),
-		replicas:   make(map[string]int),
-		stop:       make(chan struct{}),
-		timeFunc:   time.Now,
+		broker:   queue.NewBroker(10 * time.Minute),
+		index:    search.NewIndex(),
+		builder:  container.NewBuilder(cfg.Registry),
+		docs:     make(map[string]*schema.Document),
+		versions: make(map[string][]*schema.Document),
+		packages: make(map[string]*servable.Package),
+		tasks:    make(map[string]*asyncTask),
+		route:    newRoutingTable(),
+		stop:     make(chan struct{}),
+		timeFunc: time.Now,
 	}
+	s.watcher = newLivenessWatcher(cfg.TMStaleAfter, func() time.Time { return s.timeFunc() })
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
 	if !cfg.Cache.Disabled {
 		s.cache = newResultCache(cfg.Cache)
@@ -300,6 +272,7 @@ func (s *Service) Close() {
 		s.lifeCancel()
 		s.closeBatchers()
 		s.regWG.Wait()
+		s.watcher.stop()
 		s.broker.Close()
 	})
 }
@@ -319,32 +292,13 @@ func (s *Service) registrationLoop() {
 		}
 		var reg taskmanager.Registration
 		if err := jsonUnmarshal(msg.Body, &reg); err == nil && reg.TMID != "" {
-			s.mu.Lock()
-			present := false
-			for _, id := range s.tms {
-				if id == reg.TMID {
-					present = true
-					break
-				}
-			}
-			if !present {
-				s.tms = append(s.tms, reg.TMID)
-			}
-			s.tmSeen[reg.TMID] = s.timeFunc()
-			s.tmActive[reg.TMID] = reg.Active
-			if reg.Draining {
-				// The TM asserts it is draining (the drain-task ack
-				// echoed in heartbeats). Set-only: a heartbeat without
-				// the flag must not clear a service-side drain mark the
-				// drain task simply has not reached yet. The one
-				// exception is a beat marshaled just BEFORE the TM
-				// acknowledged a rejoin — ignore the stale assertion
-				// inside the rejoin grace window.
-				if at, rejoined := s.tmRejoined[reg.TMID]; !rejoined || s.timeFunc().Sub(at) > rejoinGrace {
-					s.tmDraining[reg.TMID] = struct{}{}
-				}
-			}
-			s.mu.Unlock()
+			// The watcher's deadline is re-armed BEFORE the routing
+			// table learns the beat: a dispatch can only route to a TM
+			// routing considers live, and by then the watcher already
+			// tracks it — watch() never sees a routable-but-untracked
+			// TM.
+			s.watcher.beat(reg.TMID)
+			s.route.beat(reg.TMID, reg.Active, reg.Draining, s.timeFunc())
 		}
 		s.broker.Ack(taskmanager.RegisterQueue, msg.ID)
 	}
@@ -352,9 +306,7 @@ func (s *Service) registrationLoop() {
 
 // TaskManagers lists registered TMs.
 func (s *Service) TaskManagers() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.tms...)
+	return s.route.list()
 }
 
 // WaitForTM blocks until at least n Task Managers are registered.
@@ -388,92 +340,13 @@ func (s *Service) pickTM(servableID string) (string, error) {
 // straight back to the dead site while its last heartbeat still looks
 // fresh.
 func (s *Service) pickTMExcluding(servableID string, excluded []string) (string, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	candidates := s.routableLocked(s.tms, excluded)
-	if servableID != "" {
-		if placed := s.placements[servableID]; len(placed) > 0 {
-			if routable := s.routableLocked(placed, excluded); len(routable) > 0 {
-				candidates = routable
-			}
-		}
-	}
-	tm, ok := s.leastLoadedLocked(s.liveLocked(candidates))
-	if !ok {
-		return "", ErrNoTaskManager
-	}
-	return tm, nil
-}
-
-// routableLocked filters ids to TMs routing may select: registered, not
-// draining, and not on the caller's exclusion list. Caller holds s.mu.
-func (s *Service) routableLocked(ids, excluded []string) []string {
-	out := make([]string, 0, len(ids))
-next:
-	for _, id := range s.registeredLocked(ids) {
-		if _, draining := s.tmDraining[id]; draining {
-			continue
-		}
-		for _, ex := range excluded {
-			if id == ex {
-				continue next
-			}
-		}
-		out = append(out, id)
-	}
-	return out
-}
-
-// registeredLocked filters ids to those currently registered. Caller
-// holds s.mu.
-func (s *Service) registeredLocked(ids []string) []string {
-	registered := make([]string, 0, len(ids))
-	for _, id := range ids {
-		for _, known := range s.tms {
-			if id == known {
-				registered = append(registered, id)
-				break
-			}
-		}
-	}
-	return registered
-}
-
-// leastLoadedLocked picks the candidate with the fewest in-flight
-// dispatches, breaking ties round-robin (shared with every routing
-// decision so policies cannot diverge). Caller holds s.mu for writing
-// (the tie-break counter advances).
-func (s *Service) leastLoadedLocked(candidates []string) (string, bool) {
-	if len(candidates) == 0 {
-		return "", false
-	}
-	minLoad := -1
-	var tied []string
-	for _, id := range candidates {
-		switch load := s.tmInflight[id]; {
-		case minLoad < 0 || load < minLoad:
-			minLoad = load
-			tied = tied[:0]
-			tied = append(tied, id)
-		case load == minLoad:
-			tied = append(tied, id)
-		}
-	}
-	tm := tied[s.tmRR%len(tied)]
-	s.tmRR++
-	return tm, true
+	return s.route.pick(servableID, excluded, s.timeFunc(), s.cfg.TMStaleAfter)
 }
 
 // TMLoad reports in-flight (dispatched, not yet answered) task counts
 // per registered Task Manager.
 func (s *Service) TMLoad() map[string]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	load := make(map[string]int, len(s.tms))
-	for _, id := range s.tms {
-		load[id] = s.tmInflight[id]
-	}
-	return load
+	return s.route.loadAll()
 }
 
 // TMQueueDepth reports broker-side backlog per registered Task Manager:
@@ -481,9 +354,7 @@ func (s *Service) TMLoad() map[string]int {
 // but unacknowledged. The broker lives with the Management Service, so
 // this view is exact for local and remote TMs alike.
 func (s *Service) TMQueueDepth() map[string]int {
-	s.mu.RLock()
-	tms := append([]string(nil), s.tms...)
-	s.mu.RUnlock()
+	tms := s.route.list()
 	depth := make(map[string]int, len(tms))
 	for _, id := range tms {
 		q := taskmanager.TaskQueue(id)
@@ -496,56 +367,24 @@ func (s *Service) TMQueueDepth() map[string]int {
 // self-reported in its heartbeat registration — the TM-side complement
 // to TMQueueDepth (tasks already pulled and running at the site).
 func (s *Service) TMActive() map[string]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	active := make(map[string]int, len(s.tms))
-	for _, id := range s.tms {
-		active[id] = s.tmActive[id]
-	}
-	return active
+	return s.route.activeAll()
 }
 
 // ServableLoad reports the in-flight (dispatched, not yet answered)
 // run/batch/pipeline task count for one servable — the demand signal
 // the autoscaler steers on.
 func (s *Service) ServableLoad(servableID string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.svInflight[servableID]
+	return s.route.servableLoad(servableID)
 }
 
 // Placements reports which Task Managers host each servable.
 func (s *Service) Placements() map[string][]string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string][]string, len(s.placements))
-	for id, tms := range s.placements {
-		out[id] = append([]string(nil), tms...)
-	}
-	return out
-}
-
-// liveLocked filters TMs by heartbeat freshness; with liveness disabled
-// (TMStaleAfter == 0) every candidate passes. Caller holds s.mu.
-func (s *Service) liveLocked(candidates []string) []string {
-	if s.cfg.TMStaleAfter <= 0 {
-		return candidates
-	}
-	cutoff := s.timeFunc().Add(-s.cfg.TMStaleAfter)
-	live := make([]string, 0, len(candidates))
-	for _, id := range candidates {
-		if seen, ok := s.tmSeen[id]; ok && seen.After(cutoff) {
-			live = append(live, id)
-		}
-	}
-	return live
+	return s.route.placementsAll()
 }
 
 // LiveTaskManagers lists TMs passing the liveness filter.
 func (s *Service) LiveTaskManagers() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.liveLocked(s.tms)
+	return s.route.live(s.timeFunc(), s.cfg.TMStaleAfter)
 }
 
 // recordDeployment records placement and desired replicas for a
@@ -557,30 +396,20 @@ func (s *Service) LiveTaskManagers() []string {
 // the drain's migration pass has already run or will never see this
 // entry. A non-nil error tells the caller to undeploy the fresh
 // replicas.
+//
+// The repository lock is held (read) ACROSS the routing-table update:
+// Unpublish removes a servable's placements while holding the lock for
+// writing, so a deploy here and an unpublish there stay mutually
+// exclusive — no placement entry can be resurrected for a servable
+// deleted between the existence check and the routing write. (s.mu →
+// rt.mu is the one sanctioned nesting; see routing.go.)
 func (s *Service) recordDeployment(servableID, tmID string, replicas int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, ok := s.docs[servableID]; !ok {
 		return fmt.Errorf("%w: %s (unpublished during deploy)", ErrNotFound, servableID)
 	}
-	if _, draining := s.tmDraining[tmID]; draining {
-		return fmt.Errorf("%w: task manager %s is draining", ErrConflict, tmID)
-	}
-	if len(s.registeredLocked([]string{tmID})) == 0 {
-		return fmt.Errorf("%w: task manager %s deregistered during deploy", ErrConflict, tmID)
-	}
-	placed := false
-	for _, id := range s.placements[servableID] {
-		if id == tmID {
-			placed = true
-			break
-		}
-	}
-	if !placed {
-		s.placements[servableID] = append(s.placements[servableID], tmID)
-	}
-	s.replicas[servableID] = replicas
-	return nil
+	return s.route.recordDeployment(servableID, tmID, replicas)
 }
 
 // --- identity ---------------------------------------------------------------
@@ -742,12 +571,15 @@ func (s *Service) Unpublish(caller Caller, id string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("%w: only the owner may unpublish %s", ErrForbidden, id)
 	}
-	placed := append([]string(nil), s.placements[id]...)
 	delete(s.docs, id)
 	delete(s.versions, id)
 	delete(s.packages, id)
-	delete(s.placements, id)
-	delete(s.replicas, id)
+	// Routing state goes under the SAME repository critical section
+	// (s.mu held for writing while rt.mu is taken): recordDeployment
+	// checks existence and records placement under s.mu.RLock, so this
+	// write-side removal cannot interleave with it and leave a ghost
+	// placement for the deleted servable.
+	placed := s.route.dropServable(id)
 	// The index entry and cached results go under the same critical
 	// section: dropping them after unlock would race a concurrent
 	// re-Publish of the id and could destroy the fresh publication's
@@ -1196,26 +1028,8 @@ func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.
 			svWeight = len(task.Inputs)
 		}
 	}
-	s.mu.Lock()
-	s.tmInflight[tmID]++
-	if sv != "" {
-		s.svInflight[sv] += svWeight
-	}
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		if s.tmInflight[tmID] > 0 {
-			s.tmInflight[tmID]--
-		}
-		if sv != "" {
-			if s.svInflight[sv] >= svWeight {
-				s.svInflight[sv] -= svWeight
-			} else {
-				s.svInflight[sv] = 0
-			}
-		}
-		s.mu.Unlock()
-	}()
+	s.route.addInflight(tmID, sv, svWeight)
+	defer s.route.subInflight(tmID, sv, svWeight)
 	start := time.Now()
 	body, err := jsonMarshal(task)
 	if err != nil {
@@ -1460,9 +1274,7 @@ func (s *Service) undeployAsync(servableID, tmID string) {
 
 // tmRegistered reports whether a Task Manager ID has registered.
 func (s *Service) tmRegistered(id string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.registeredLocked([]string{id})) > 0
+	return s.route.isRegistered(id)
 }
 
 // recordReplicas remembers the desired replica count set by the last
@@ -1471,21 +1283,21 @@ func (s *Service) tmRegistered(id string) bool {
 // regrow an entry for a deleted servable); the report tells the caller
 // whether to log the transition durably.
 func (s *Service) recordReplicas(servableID string, replicas int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Repository lock held across the routing write, for the same
+	// atomicity-vs-Unpublish reason as recordDeployment.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if _, ok := s.docs[servableID]; !ok {
 		return false
 	}
-	s.replicas[servableID] = replicas
+	s.route.setReplicas(servableID, replicas)
 	return true
 }
 
 // DesiredReplicas reports the replica count last set by Deploy or Scale
 // (0 when the servable was never deployed through this service).
 func (s *Service) DesiredReplicas(servableID string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.replicas[servableID]
+	return s.route.replicasOf(servableID)
 }
 
 // deployTimeout picks the deploy/scale default deadline: 5 minutes

@@ -1,0 +1,222 @@
+package core
+
+// Per-TM broadcast liveness watcher (PR 8). The previous dead-TM
+// watchdog spawned one goroutine + ticker per in-flight dispatch, each
+// independently polling the routed TM's heartbeat freshness — O(in-
+// flight) goroutines all waking every TMStaleAfter/4 to re-check the
+// same fact. This watcher inverts that: ONE timer per Task Manager,
+// re-armed by each heartbeat, and the dispatches waiting on that TM
+// register a cancel func with it. When the timer fires past the
+// liveness deadline the watcher fans errTMLost out to every waiter at
+// once — cost O(#TMs) timers plus O(waiters) work only at the moment a
+// TM is actually lost, which is the rare case the whole mechanism
+// exists for.
+//
+// The watcher owns no routing decisions: heartbeat freshness for
+// ROUTING still lives in the routing table (rt.seen). Both are stamped
+// from the same registration message, so they cannot disagree about
+// when a beat arrived; the watcher's deadline math additionally runs
+// through Service.timeFunc so it stays consistent with rt liveness
+// filtering.
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// tmWatch is one TM's liveness state: the re-armable timer, the
+// deadline it guards, and the cancel funcs of dispatches currently
+// waiting on this TM.
+type tmWatch struct {
+	timer    *time.Timer
+	deadline time.Time
+	lost     bool
+	waiters  map[uint64]context.CancelCauseFunc
+}
+
+// livenessWatcher tracks every TM's heartbeat deadline. Disabled (all
+// methods cheap no-ops) when window <= 0 — liveness filtering off.
+type livenessWatcher struct {
+	window time.Duration
+	clock  func() time.Time
+
+	mu      sync.Mutex
+	tms     map[string]*tmWatch
+	nextRef uint64
+	closed  bool
+}
+
+func newLivenessWatcher(window time.Duration, clock func() time.Time) *livenessWatcher {
+	return &livenessWatcher{
+		window: window,
+		clock:  clock,
+		tms:    make(map[string]*tmWatch),
+	}
+}
+
+// beat pushes a TM's liveness deadline out by the window, creating its
+// watch (and timer) on first sight and clearing a previous lost mark —
+// a TM that was merely partitioned resumes on its next heartbeat,
+// matching routing's view.
+func (lw *livenessWatcher) beat(tmID string) {
+	if lw == nil || lw.window <= 0 {
+		return
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.closed {
+		return
+	}
+	w := lw.tms[tmID]
+	if w == nil {
+		w = &tmWatch{waiters: make(map[uint64]context.CancelCauseFunc)}
+		lw.tms[tmID] = w
+	}
+	w.deadline = lw.clock().Add(lw.window)
+	w.lost = false
+	if w.timer == nil {
+		w.timer = time.AfterFunc(lw.window, func() { lw.expire(tmID) })
+	} else {
+		w.timer.Reset(lw.window)
+	}
+}
+
+// expire is the timer callback: if the deadline truly passed the TM is
+// marked lost and every waiter is canceled with errTMLost; if a beat
+// raced the firing, the timer is re-armed for the remaining window.
+func (lw *livenessWatcher) expire(tmID string) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.closed {
+		return
+	}
+	w := lw.tms[tmID]
+	if w == nil || w.lost {
+		return
+	}
+	now := lw.clock()
+	if now.Before(w.deadline) {
+		w.timer.Reset(w.deadline.Sub(now))
+		return
+	}
+	w.lost = true
+	for _, cancel := range w.waiters {
+		cancel(errTMLost)
+	}
+	// Canceled waiters are dropped now rather than waiting for each
+	// dispatch's unwatch: the map is what stats() reports, and a second
+	// fan-out must not re-cancel them.
+	clear(w.waiters)
+}
+
+// watch registers a dispatch's cancel func to be fired with errTMLost
+// when tmID's liveness window lapses. If the TM is already lost —
+// never seen, marked lost, or past its deadline right now — cancel
+// fires immediately (outside the lock), which is what lets a dispatch
+// routed at a stale snapshot fail fast instead of waiting out its
+// deadline. The returned func deregisters the waiter; it must be
+// called when the dispatch completes, and is idempotent.
+func (lw *livenessWatcher) watch(tmID string, cancel context.CancelCauseFunc) (unwatch func()) {
+	if lw == nil || lw.window <= 0 {
+		return func() {}
+	}
+	lw.mu.Lock()
+	if lw.closed {
+		lw.mu.Unlock()
+		return func() {}
+	}
+	w := lw.tms[tmID]
+	if w == nil || w.lost || !lw.clock().Before(w.deadline) {
+		lw.mu.Unlock()
+		cancel(errTMLost)
+		return func() {}
+	}
+	lw.nextRef++
+	ref := lw.nextRef
+	w.waiters[ref] = cancel
+	lw.mu.Unlock()
+	return func() {
+		lw.mu.Lock()
+		delete(w.waiters, ref)
+		lw.mu.Unlock()
+	}
+}
+
+// markLost forces a TM lost immediately (DeregisterTM): its waiters are
+// canceled now and its timer stopped — there is no heartbeat to wait
+// out once the registry entry is gone. A later beat re-registers it.
+func (lw *livenessWatcher) markLost(tmID string) {
+	if lw == nil || lw.window <= 0 {
+		return
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	if lw.closed {
+		return
+	}
+	w := lw.tms[tmID]
+	if w == nil || w.lost {
+		return
+	}
+	w.lost = true
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	for _, cancel := range w.waiters {
+		cancel(errTMLost)
+	}
+	clear(w.waiters)
+}
+
+// stop halts every timer and refuses further registrations (Service
+// shutdown). Waiters are NOT failed with errTMLost — the lifetime
+// context cancels their dispatches with the correct shutdown cause.
+func (lw *livenessWatcher) stop() {
+	if lw == nil {
+		return
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.closed = true
+	for _, w := range lw.tms {
+		if w.timer != nil {
+			w.timer.Stop()
+		}
+	}
+}
+
+// WatcherStats counts the liveness watcher's footprint: tracked TM
+// timers and currently registered dispatch waiters. TMs is the number
+// that must stay O(#TMs) regardless of in-flight load — the
+// acceptance bound the PR 8 tests assert.
+type WatcherStats struct {
+	// TMs is the number of TMs with a liveness timer.
+	TMs int `json:"tms"`
+	// Waiters is the number of in-flight dispatches registered for
+	// errTMLost fan-out.
+	Waiters int `json:"waiters"`
+	// Lost is how many tracked TMs are currently marked lost.
+	Lost int `json:"lost"`
+}
+
+// stats snapshots the watcher's footprint.
+func (lw *livenessWatcher) stats() WatcherStats {
+	if lw == nil {
+		return WatcherStats{}
+	}
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	st := WatcherStats{TMs: len(lw.tms)}
+	for _, w := range lw.tms {
+		st.Waiters += len(w.waiters)
+		if w.lost {
+			st.Lost++
+		}
+	}
+	return st
+}
+
+// WatcherStats snapshots the dead-TM watcher's footprint (the
+// /api/v2/stats "watcher" block).
+func (s *Service) WatcherStats() WatcherStats { return s.watcher.stats() }

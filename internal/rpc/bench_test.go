@@ -1,6 +1,7 @@
 package rpc
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"net"
@@ -33,6 +34,7 @@ func BenchmarkGRPCStyleCall(b *testing.B) {
 	payload := EncodeFloats(make([]float32, 32*32*3))
 	ctx := context.Background()
 	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.Call(ctx, "echo", payload); err != nil {
@@ -48,6 +50,7 @@ func BenchmarkJSONEncodeTensor(b *testing.B) {
 	for i := range vec {
 		vec[i] = float64(i) / 3072
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		data, err := json.Marshal(vec)
@@ -64,6 +67,7 @@ func BenchmarkJSONEncodeTensor(b *testing.B) {
 // BenchmarkBinaryEncodeTensor is the binary counterpart.
 func BenchmarkBinaryEncodeTensor(b *testing.B) {
 	vec := make([]float32, 32*32*3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := DecodeFloats(EncodeFloats(vec)); err != nil {
@@ -76,6 +80,7 @@ func BenchmarkConcurrentCalls(b *testing.B) {
 	c := startEcho(b)
 	payload := []byte("ping")
 	ctx := context.Background()
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			if _, err := c.Call(ctx, "echo", payload); err != nil {
@@ -83,4 +88,28 @@ func BenchmarkConcurrentCalls(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkFrameRoundTrip isolates the framing layer itself — encode a
+// frame, decode it back through the pooled server read path — so the
+// buffer pool's allocs/op effect is visible without scheduler or socket
+// noise. Steady state should be ~0 allocs/op for pooled-size frames.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := EncodeFloats(make([]float32, 32*32*3))
+	f := frame{typ: frameRequest, id: 7, method: "echo", payload: payload}
+	var buf bytes.Buffer
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeFrame(&buf, f); err != nil {
+			b.Fatal(err)
+		}
+		g, err := readFramePooled(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		recycleFrame(&g)
+	}
 }

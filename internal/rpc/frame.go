@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Frame types.
@@ -34,12 +35,57 @@ var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
 
 // frame is the unit of exchange: 4-byte big-endian total length,
 // 1-byte type, 8-byte stream id, 2-byte method length, method bytes,
-// payload bytes.
+// payload bytes. body, when non-nil, is the pooled buffer the method
+// and payload slices alias; recycleFrame returns it to the pool.
 type frame struct {
 	typ     byte
 	id      uint64
 	method  string
 	payload []byte
+	body    *[]byte
+}
+
+// maxPooledBuf caps the size of buffers the pool retains. A rare giant
+// frame (up to MaxFrameSize) must not pin megabytes in every P's pool
+// shard forever, so oversized buffers are allocated fresh and dropped.
+const maxPooledBuf = 1 << 20
+
+// framePool recycles frame encode/decode buffers. Both hot paths churn
+// one []byte per frame — the encoded request/response on the write
+// side, the received body on the server read side — and at saturation
+// that allocation dominates the transport's GC bill. Pooling holds
+// steady-state allocs per round trip constant regardless of rate.
+// Pointer-to-slice, per sync.Pool guidance, keeps the interface boxing
+// allocation-free.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getBuf returns a pooled buffer resized to n (oversized requests fall
+// back to a fresh allocation that putBuf will refuse to retain).
+func getBuf(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		if n <= maxPooledBuf {
+			*bp = make([]byte, n)
+		} else {
+			framePool.Put(bp)
+			b := make([]byte, n)
+			return &b
+		}
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if bp == nil || cap(*bp) > maxPooledBuf {
+		return
+	}
+	framePool.Put(bp)
 }
 
 func writeFrame(w io.Writer, f frame) error {
@@ -50,7 +96,8 @@ func writeFrame(w io.Writer, f frame) error {
 	if total > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+total)
+	bp := getBuf(4 + total)
+	buf := *bp
 	binary.BigEndian.PutUint32(buf[0:4], uint32(total))
 	buf[4] = f.typ
 	binary.BigEndian.PutUint64(buf[5:13], f.id)
@@ -58,10 +105,28 @@ func writeFrame(w io.Writer, f frame) error {
 	copy(buf[15:], f.method)
 	copy(buf[15+len(f.method):], f.payload)
 	_, err := w.Write(buf)
+	putBuf(bp)
 	return err
 }
 
+// readFrame reads one frame with a freshly allocated body. The client
+// read path uses it because response payloads escape to Call callers
+// with no lifetime bound; recycling there would hand one caller's bytes
+// to another.
 func readFrame(r io.Reader) (frame, error) {
+	return readFrameInto(r, false)
+}
+
+// readFramePooled reads one frame into a pooled buffer. The caller owns
+// the body and must return it with recycleFrame once the method and
+// payload slices are dead — the server loop does so after the response
+// frame is fully written, because handlers may legally return a
+// response aliasing the request payload.
+func readFramePooled(r io.Reader) (frame, error) {
+	return readFrameInto(r, true)
+}
+
+func readFrameInto(r io.Reader, pooled bool) (frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
@@ -73,8 +138,16 @@ func readFrame(r io.Reader) (frame, error) {
 	if total < 11 {
 		return frame{}, fmt.Errorf("rpc: frame too short (%d bytes)", total)
 	}
-	body := make([]byte, total)
+	var body []byte
+	var bp *[]byte
+	if pooled {
+		bp = getBuf(int(total))
+		body = *bp
+	} else {
+		body = make([]byte, total)
+	}
 	if _, err := io.ReadFull(r, body); err != nil {
+		putBuf(bp)
 		return frame{}, err
 	}
 	f := frame{
@@ -83,9 +156,23 @@ func readFrame(r io.Reader) (frame, error) {
 	}
 	mlen := int(binary.BigEndian.Uint16(body[9:11]))
 	if 11+mlen > int(total) {
+		putBuf(bp)
 		return frame{}, fmt.Errorf("rpc: method length %d overruns frame", mlen)
 	}
 	f.method = string(body[11 : 11+mlen])
 	f.payload = body[11+mlen:]
+	f.body = bp
 	return f, nil
+}
+
+// recycleFrame returns a pooled frame body for reuse. Must only be
+// called once every slice derived from the frame (method string aside —
+// string conversion copies) is dead.
+func recycleFrame(f *frame) {
+	if f.body == nil {
+		return
+	}
+	bp := f.body
+	f.body, f.payload = nil, nil
+	putBuf(bp)
 }

@@ -10,6 +10,12 @@ import (
 )
 
 // Handler processes one request payload and returns a response payload.
+//
+// Payload lifetime: the payload is backed by a pooled buffer that is
+// recycled after the handler's response frame has been written. A
+// handler may read the payload and may return a response that aliases
+// it, but must not retain the slice past its return — copy first if the
+// bytes need to outlive the call.
 type Handler func(ctx context.Context, payload []byte) ([]byte, error)
 
 // Server serves binary-framed RPC over a listener.
@@ -76,11 +82,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	var wmu sync.Mutex // serialize response frames
 	ctx := context.Background()
 	for {
-		f, err := readFrame(conn)
+		// Request bodies come from the frame pool: each is recycled by
+		// its request goroutine once the response hits the wire, so at
+		// steady state the read loop stops allocating per frame.
+		f, err := readFramePooled(conn)
 		if err != nil {
 			return
 		}
 		if f.typ != frameRequest {
+			recycleFrame(&f)
 			continue
 		}
 		s.mu.RLock()
@@ -98,8 +108,11 @@ func (s *Server) serveConn(conn net.Conn) {
 				resp = frame{typ: frameResponse, id: f.id, payload: out}
 			}
 			wmu.Lock()
-			defer wmu.Unlock()
 			writeFrame(conn, resp) //nolint:errcheck — peer gone
+			wmu.Unlock()
+			// Recycle only after the response is written: handlers may
+			// return a response aliasing the pooled request payload.
+			recycleFrame(&f)
 		}(f)
 	}
 }

@@ -61,6 +61,56 @@ func TestFrameRoundTripProperty(t *testing.T) {
 	}
 }
 
+// TestFramePoolReuse exercises the pooled decode path: a recycled
+// body's buffer may be handed to the next read, so each frame's
+// contents must be correct even when read after the previous frame was
+// recycled, and recycling must be idempotent.
+func TestFramePoolReuse(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 100; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, 100+i)
+		if err := writeFrame(&buf, frame{typ: frameRequest, id: uint64(i), method: "m", payload: payload}); err != nil {
+			t.Fatal(err)
+		}
+		f, err := readFramePooled(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.body == nil {
+			t.Fatal("pooled read returned no pooled body")
+		}
+		if f.id != uint64(i) || f.method != "m" || !bytes.Equal(f.payload, payload) {
+			t.Fatalf("frame %d corrupted after pool reuse: %+v", i, f)
+		}
+		recycleFrame(&f)
+		recycleFrame(&f) // second recycle is a no-op, not a double-put
+		if f.body != nil || f.payload != nil {
+			t.Fatal("recycleFrame must clear body and payload")
+		}
+	}
+}
+
+// TestFramePoolOversized verifies frames past the pool retention cap
+// still round-trip (they just skip the pool).
+func TestFramePoolOversized(t *testing.T) {
+	payload := make([]byte, maxPooledBuf+1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{typ: frameResponse, id: 9, method: "big", payload: payload}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFramePooled(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.payload, payload) {
+		t.Fatal("oversized frame corrupted")
+	}
+	recycleFrame(&f)
+}
+
 func TestFrameTooLarge(t *testing.T) {
 	if err := writeFrame(&bytes.Buffer{}, frame{payload: make([]byte, MaxFrameSize)}); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("want ErrFrameTooLarge, got %v", err)

@@ -35,12 +35,21 @@ for f in scenarios/*.yaml; do
   "$SMOKE_BIN/dlhub-bench" -scenario "$f" -verify-json "$json"
 done
 
-echo "== compressed replays (chaos + ramp + MS restart) =="
+echo "== compressed replays (chaos + ramp + MS restart + saturation) =="
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/chaos-tm-kill.yaml \
   -scenario-compress 2 -json "$SMOKE_WORK/BENCH_chaos.json"
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/diurnal-ramp.yaml \
   -scenario-compress 3 -json "$SMOKE_WORK/BENCH_ramp.json"
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/ms-restart-recovery.yaml \
   -scenario-compress 2 -json "$SMOKE_WORK/BENCH_msrestart.json"
+"$SMOKE_BIN/dlhub-bench" -scenario scenarios/saturation.yaml \
+  -scenario-compress 4 -json "$SMOKE_WORK/BENCH_saturation.json"
+
+echo "== -diff: a run diffed against itself is never a regression =="
+"$SMOKE_BIN/dlhub-bench" -diff BENCH_saturation.json BENCH_saturation.json
+# ...and the compressed replay vs the committed full-scale run must at
+# least parse and render (threshold 10 = never fails on magnitude).
+"$SMOKE_BIN/dlhub-bench" -diff -diff-threshold 10 \
+  BENCH_saturation.json "$SMOKE_WORK/BENCH_saturation.json"
 
 echo "smoke-scenarios: OK"
