@@ -55,8 +55,9 @@ func main() {
 	autoscaleInterval := flag.Duration("autoscale-interval", 0, "autoscaler control-loop tick (default 1s)")
 	maxQueue := flag.Int("max-queue", 0, "service-wide admission bound: reject runs (429) for a servable once this many are pending (0 = unbounded)")
 	taskRetention := flag.Duration("task-retention", 0, "how long finished async tasks stay queryable before the sweeper deletes them (default 15m, negative retains forever)")
-	tmStaleAfter := flag.Duration("tm-stale-after", 0, "drop TMs from routing when no heartbeat arrived within this window, and fail over dispatches stuck on them (0 disables liveness + failover)")
+	tmStaleAfter := flag.Duration("tm-stale-after", 15*time.Second, "drop TMs from routing when no heartbeat arrived within this window, and fail over dispatches stuck on them (default 3x the TM heartbeat interval; 0 disables liveness + failover)")
 	failoverRetries := flag.Int("failover-retries", 0, "re-dispatch budget per run after its TM misses the liveness window (default 2, negative disables; requires -tm-stale-after)")
+	disableV1 := flag.Bool("disable-v1", false, "retire the deprecated v1 API: /api/* (non-v2) routes answer 410 Gone")
 	flag.Parse()
 
 	var wal *store.WAL
@@ -91,6 +92,7 @@ func main() {
 		TaskRetention:     *taskRetention,
 		TMStaleAfter:      *tmStaleAfter,
 		FailoverRetries:   *failoverRetries,
+		DisableV1:         *disableV1,
 	}
 	if wal != nil {
 		cfg.Store = wal
@@ -163,7 +165,11 @@ func main() {
 	}()
 	defer srv.Close()
 
-	fmt.Printf("dlhub-server: REST on %s (v1 + /api/v2; health at /api/v2/healthz, /api/v2/readyz), queue on %s\n", hl.Addr(), ql.Addr())
+	apiGen := "v1 + /api/v2"
+	if *disableV1 {
+		apiGen = "/api/v2 only, v1 gone"
+	}
+	fmt.Printf("dlhub-server: REST on %s (%s; health at /api/v2/healthz, /api/v2/readyz), queue on %s\n", hl.Addr(), apiGen, ql.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

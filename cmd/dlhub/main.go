@@ -58,6 +58,8 @@ func main() {
 		err = cmdAutoscale(args)
 	case "tm":
 		err = cmdTM(args)
+	case "tenant":
+		err = cmdTenant(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -83,7 +85,8 @@ commands:
   search   search the model repository
   status   check an asynchronous task
   autoscale  view or set a servable's replica autoscaling policy
-  tm       task manager lifecycle: ls | drain | rejoin | deregister | undeploy`)
+  tm       task manager lifecycle: ls | drain | rejoin | deregister | undeploy
+  tenant   multi-tenant QoS: ls | set-quota`)
 }
 
 func client(fs *flag.FlagSet) *dlhub.Client {
@@ -475,6 +478,53 @@ func cmdTM(args []string) error {
 		return nil
 	default:
 		return fmt.Errorf("unknown tm subcommand %q (want ls|drain|rejoin|deregister|undeploy)", sub)
+	}
+}
+
+// cmdTenant is the multi-tenant QoS surface:
+//
+//	dlhub tenant ls                          list tenants + quotas
+//	dlhub tenant set-quota [flags] <tenant>  install a quota spec
+func cmdTenant(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: dlhub tenant <ls|set-quota> [flags] [args]")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("tenant "+sub, flag.ExitOnError)
+	serverFlag(fs)
+	maxInFlight := fs.Int("max-in-flight", 0, "cap the tenant's concurrent runs across all servables (0 = unlimited)")
+	rate := fs.Float64("rate", 0, "sustained request rate in req/s, one-second burst (0 = unlimited)")
+	priority := fs.String("priority", "", "priority class weighting the tenant's dequeue share: high|normal|low (default normal)")
+	fs.Parse(rest) //nolint:errcheck
+	c := client(fs)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	switch sub {
+	case "ls":
+		tenants, err := c.Tenants(ctx)
+		if err != nil {
+			return err
+		}
+		out, _ := json.MarshalIndent(tenants, "", "  ")
+		fmt.Println(string(out))
+		return nil
+	case "set-quota":
+		if fs.NArg() < 1 {
+			return fmt.Errorf("usage: dlhub tenant set-quota [flags] <tenant-id>")
+		}
+		view, err := c.SetTenantQuota(ctx, fs.Arg(0), dlhub.TenantQuota{
+			MaxInFlight: *maxInFlight,
+			RatePerSec:  *rate,
+			Priority:    *priority,
+		})
+		if err != nil {
+			return err
+		}
+		out, _ := json.MarshalIndent(view, "", "  ")
+		fmt.Println(string(out))
+		return nil
+	default:
+		return fmt.Errorf("unknown tenant subcommand %q (want ls|set-quota)", sub)
 	}
 }
 

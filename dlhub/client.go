@@ -739,6 +739,35 @@ func (c *Client) TaskManagerQueueDepth() (map[string]int, error) {
 	return resp.QueueDepth, nil
 }
 
+// TenantView is one tenant's quota/priority configuration — an alias of
+// the service's wire type so client and server cannot drift.
+type TenantView = core.TenantView
+
+// TenantQuota is the quota spec installed by SetTenantQuota.
+type TenantQuota = core.TenantQuotaRequest
+
+// Tenants lists the tenants known to the Management Service with their
+// quota and fairness configuration.
+func (c *Client) Tenants(ctx context.Context) ([]TenantView, error) {
+	var page Page[TenantView]
+	if err := c.call(ctx, http.MethodGet, "/api/v2/tenants", nil, &page, ""); err != nil {
+		return nil, err
+	}
+	return page.Items, nil
+}
+
+// SetTenantQuota installs (or replaces) a tenant's quota spec —
+// max in-flight runs, sustained request rate, and priority class
+// (high|normal|low, weighting its share of the fair dequeue). The
+// tenant record is created if absent.
+func (c *Client) SetTenantQuota(ctx context.Context, tenantID string, q TenantQuota) (*TenantView, error) {
+	var view TenantView
+	if err := c.call(ctx, http.MethodPut, "/api/v2/tenants/"+tenantID+"/quota", q, &view, ""); err != nil {
+		return nil, err
+	}
+	return &view, nil
+}
+
 // Healthy reports liveness of the Management Service. Probes report
 // the current state from a single request — no retries, so poll loops
 // see state changes immediately.

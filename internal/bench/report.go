@@ -76,6 +76,11 @@ type ScenarioResult struct {
 	// Failovers snapshots the dead-TM failover counter deltas over the
 	// run: lost, redispatched, exhausted.
 	Failovers map[string]uint64 `json:"failovers,omitempty"`
+	// Tenants holds per-tenant slices of the run when the spec declares
+	// a tenants: block, keyed by tenant ID with the untagged remainder
+	// under "anonymous". Omitted for pre-tenancy scenarios, keeping
+	// their committed results byte-identical.
+	Tenants map[string]TenantResult `json:"tenants,omitempty"`
 
 	Assertions []AssertionResult `json:"assertions"`
 	Passed     bool              `json:"passed"`
@@ -103,6 +108,28 @@ type StageResult struct {
 	// (runtime.MemStats.Mallocs delta across the stage window; includes
 	// everything else the process allocated, so treat as a trend line).
 	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// TenantResult is one tenant's slice of a scenario run: the client-
+// observed outcome of the requests tagged with it, plus the service-
+// side admission and fairness counters for the same window.
+type TenantResult struct {
+	Offered    int     `json:"offered"`
+	Completed  int     `json:"completed"`
+	Errors     int     `json:"errors"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	// Admission outcomes as the service counted them; RejectedQuota is
+	// the tenant's quota_exceeded total, RejectedOverload the servable-
+	// bound overloaded total.
+	Admitted         uint64 `json:"admitted"`
+	RejectedQuota    uint64 `json:"rejected_quota"`
+	RejectedOverload uint64 `json:"rejected_overload"`
+	// DequeueShare is the tenant's fraction of broker dequeues — the
+	// weighted-fair observable.
+	DequeueShare float64 `json:"dequeue_share"`
 }
 
 // AssertionResult is one assertion's verdict.

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -97,6 +98,17 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: %w", spec.Name, err)
 	}
+	// Install the declared tenant quotas before any measured request;
+	// the priority class pushes its dequeue weight to the broker lane.
+	for _, t := range effective.Tenants {
+		if _, err := tb.Service().SetTenantQuota(t.ID, auth.Quota{
+			MaxInFlight: t.MaxInFlight,
+			RatePerSec:  t.RatePerSec,
+			Priority:    t.Priority,
+		}); err != nil {
+			return nil, fmt.Errorf("scenario %s: tenant %s: %w", spec.Name, t.ID, err)
+		}
+	}
 	// Prime once outside the measured window (container pull, pod
 	// start), bypassing every cache so no scheduled key is pre-warmed.
 	primeCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
@@ -134,7 +146,7 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 			for idx := range jobs {
 				req := sched.Requests[idx]
 				t0 := time.Now()
-				err := wl.issue(req.Key, ropts)
+				err := wl.issue(req.Tenant, req.Key, ropts)
 				outcomes[idx] = outcome{stage: req.Stage, latency: time.Since(t0), err: err}
 			}
 		}()
@@ -264,6 +276,19 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 		"redispatched": failAfter.Redispatched - failBefore.Redispatched,
 		"exhausted":    failAfter.Exhausted - failBefore.Exhausted,
 	}
+	if len(effective.Tenants) > 0 {
+		tenantLat := map[string][]time.Duration{}
+		tenantErr := map[string]int{}
+		for i, o := range outcomes {
+			tag := tenantTag(sched.Requests[i].Tenant)
+			if o.err != nil {
+				tenantErr[tag]++
+				continue
+			}
+			tenantLat[tag] = append(tenantLat[tag], o.latency)
+		}
+		res.Tenants = tenantResults(tenantLat, tenantErr, elapsed, tb.Service().TenantStatsAll())
+	}
 
 	res.Assertions, res.Passed = evalAssertions(spec.Assertions, res, opts.Compress)
 	for _, a := range res.Assertions {
@@ -279,6 +304,55 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 		DurationMS: elapsed.Milliseconds(),
 		Scenario:   res,
 	}, nil
+}
+
+// tenantTag renders a schedule tenant tag the way the service's stats
+// do: the untagged remainder is the anonymous tenant.
+func tenantTag(tenant string) string {
+	if tenant == "" {
+		return auth.AnonymousTenantID
+	}
+	return tenant
+}
+
+// tenantResults folds per-tenant client outcomes together with the
+// service-side admission and fairness counters.
+func tenantResults(lat map[string][]time.Duration, errs map[string]int, elapsed time.Duration, svc map[string]core.TenantStats) map[string]bench.TenantResult {
+	tags := map[string]bool{}
+	for t := range lat {
+		tags[t] = true
+	}
+	for t := range errs {
+		tags[t] = true
+	}
+	for t := range svc {
+		tags[t] = true
+	}
+	out := make(map[string]bench.TenantResult, len(tags))
+	for tag := range tags {
+		l := lat[tag]
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		tr := bench.TenantResult{
+			Offered:   len(l) + errs[tag],
+			Completed: len(l),
+			Errors:    errs[tag],
+		}
+		if len(l) > 0 {
+			tr.P50MS = round2(float64(metrics.Percentile(l, 50)) / float64(time.Millisecond))
+			tr.P95MS = round2(float64(metrics.Percentile(l, 95)) / float64(time.Millisecond))
+			tr.P99MS = round2(float64(metrics.Percentile(l, 99)) / float64(time.Millisecond))
+		}
+		if secs := elapsed.Seconds(); secs > 0 {
+			tr.Throughput = round2(float64(len(l)) / secs)
+		}
+		st := svc[tag]
+		tr.Admitted = st.Admitted
+		tr.RejectedQuota = st.RejectedQuota
+		tr.RejectedOverload = st.RejectedOverload
+		tr.DequeueShare = round4(st.DequeueShare)
+		out[tag] = tr
+	}
+	return out
 }
 
 // satAchievedFraction is the fraction of the offered rate a probe must
@@ -416,7 +490,7 @@ func runProbe(wl *workload, keys *keyPicker, clients int, rate float64, window t
 			defer wg.Done()
 			for idx := range jobs {
 				t0 := time.Now()
-				err := wl.issue(reqs[idx].key, ropts)
+				err := wl.issue("", reqs[idx].key, ropts)
 				outcomes[idx] = outcome{latency: time.Since(t0), err: err}
 			}
 		}()
@@ -473,33 +547,66 @@ func evalAssertions(asserts []Assertion, res *bench.ScenarioResult, compress flo
 	out := make([]bench.AssertionResult, 0, len(asserts))
 	passed := true
 	for _, a := range asserts {
+		base, tenant := splitAssertion(a.Name)
 		want := a.Value
-		if a.Name == "min_requests" && compress > 1 {
+		// Count-based minimums are written for the full-scale run and
+		// scale down with compression; rates and fractions hold as-is.
+		if (base == "min_requests" || base == "min_quota_rejections") && compress > 1 {
 			want = a.Value / compress
 		}
 		var got float64
-		switch a.Name {
-		case "max_error_rate":
-			if res.Totals.Offered > 0 {
-				got = round4(float64(res.Totals.Errors) / float64(res.Totals.Offered))
+		if tenant != "" {
+			// Tenant-qualified bound: evaluate against that tenant's
+			// slice of the run.
+			tr := res.Tenants[tenant]
+			switch base {
+			case "max_error_rate":
+				if tr.Offered > 0 {
+					got = round4(float64(tr.Errors) / float64(tr.Offered))
+				}
+			case "max_p99_ms":
+				got = tr.P99MS
+			case "min_throughput":
+				got = tr.Throughput
+			case "min_requests":
+				got = float64(tr.Completed)
+			case "min_quota_rejections", "max_quota_rejections":
+				got = float64(tr.RejectedQuota)
+			case "max_overload_rejections":
+				got = float64(tr.RejectedOverload)
 			}
-		case "min_cache_hit_rate", "max_cache_hit_rate":
-			got = res.CacheHitRate
-		case "min_throughput":
-			got = res.Totals.Throughput
-		case "max_p99_ms":
-			got = res.Totals.P99MS
-		case "min_redispatched":
-			got = float64(res.Failovers["redispatched"])
-		case "min_requests":
-			got = float64(res.Totals.Completed)
-		case "min_saturation_rps":
-			// A rate, not a count: compression shrinks probe windows but
-			// not rates, so the bound holds unscaled.
-			got = res.SaturationRPS
+		} else {
+			switch base {
+			case "max_error_rate":
+				if res.Totals.Offered > 0 {
+					got = round4(float64(res.Totals.Errors) / float64(res.Totals.Offered))
+				}
+			case "min_cache_hit_rate", "max_cache_hit_rate":
+				got = res.CacheHitRate
+			case "min_throughput":
+				got = res.Totals.Throughput
+			case "max_p99_ms":
+				got = res.Totals.P99MS
+			case "min_redispatched":
+				got = float64(res.Failovers["redispatched"])
+			case "min_requests":
+				got = float64(res.Totals.Completed)
+			case "min_saturation_rps":
+				// A rate, not a count: compression shrinks probe windows but
+				// not rates, so the bound holds unscaled.
+				got = res.SaturationRPS
+			case "min_quota_rejections", "max_quota_rejections":
+				for _, tr := range res.Tenants {
+					got += float64(tr.RejectedQuota)
+				}
+			case "max_overload_rejections":
+				for _, tr := range res.Tenants {
+					got += float64(tr.RejectedOverload)
+				}
+			}
 		}
 		pass := got <= want
-		if strings.HasPrefix(a.Name, "min_") {
+		if strings.HasPrefix(base, "min_") {
 			pass = got >= want
 		}
 		out = append(out, bench.AssertionResult{Name: a.Name, Want: want, Got: got, Pass: pass})
@@ -514,7 +621,7 @@ type workload struct {
 	spec  *Spec
 	tb    *bench.Testbed
 	input func(key int) any
-	issue func(key int, opts core.RunOptions) error
+	issue func(tenant string, key int, opts core.RunOptions) error
 	// steps are the servables (pipeline steps or the single servable)
 	// to re-deploy after a redeploy:true fault; step i prefers site
 	// placementSite(i).
@@ -629,21 +736,29 @@ func setupWorkload(tb *bench.Testbed, spec *Spec) (*workload, error) {
 	// swaps the service mid-run and later requests must hit the new one.
 	switch spec.Workload.Kind {
 	case "run", "pipeline":
-		w.issue = func(key int, opts core.RunOptions) error {
-			_, err := tb.Service().Run(ctx, core.Anonymous, w.id, w.input(key), opts)
+		w.issue = func(tenant string, key int, opts core.RunOptions) error {
+			_, err := tb.Service().Run(ctx, callerFor(tenant), w.id, w.input(key), opts)
 			return err
 		}
 	case "run_batch":
-		w.issue = func(key int, opts core.RunOptions) error {
+		w.issue = func(tenant string, key int, opts core.RunOptions) error {
 			inputs := make([]any, spec.Workload.BatchSize)
 			for i := range inputs {
 				inputs[i] = fmt.Sprintf("%v-%d", w.input(key), i)
 			}
-			_, err := tb.Service().RunBatch(ctx, core.Anonymous, w.id, inputs, opts)
+			_, err := tb.Service().RunBatch(ctx, callerFor(tenant), w.id, inputs, opts)
 			return err
 		}
 	}
 	return w, nil
+}
+
+// callerFor tags a scheduled request with its tenant. Untagged
+// requests stay the plain anonymous caller — the pre-tenancy path.
+func callerFor(tenant string) core.Caller {
+	c := core.Anonymous
+	c.Tenant = tenant
+	return c
 }
 
 // applyFault executes one fault event against the testbed.

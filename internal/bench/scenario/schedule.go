@@ -7,12 +7,14 @@ import (
 )
 
 // Request is one scheduled client request: fire at Offset from run
-// start, using input key Key. Key selection and timing are both fully
-// determined by (spec, seed) — see TestScheduleDeterminism.
+// start, using input key Key, tagged with Tenant ("" = anonymous).
+// Key selection, timing and tenant assignment are all fully determined
+// by (spec, seed) — see TestScheduleDeterminism.
 type Request struct {
 	Offset time.Duration
 	Stage  int // index into Schedule.Windows
 	Key    int
+	Tenant string
 }
 
 // StageWindow is one stage's slice of the run timeline.
@@ -67,6 +69,15 @@ func BuildSchedule(spec *Spec) *Schedule {
 		}
 		start += d
 	}
+	// Tenant tags draw from their own rng stream: declaring a tenants:
+	// block must not perturb the key/offset schedule an existing spec
+	// compiled to, or every committed result would silently change.
+	if len(spec.Tenants) > 0 {
+		trng := rand.New(rand.NewSource(spec.Seed + 1))
+		for i := range sched.Requests {
+			sched.Requests[i].Tenant = pickTenant(spec.Tenants, trng)
+		}
+	}
 	for _, f := range spec.Faults {
 		ev := FaultEvent{
 			At:       f.At.D(),
@@ -80,6 +91,19 @@ func BuildSchedule(spec *Spec) *Schedule {
 		sched.Faults = append(sched.Faults, ev)
 	}
 	return sched
+}
+
+// pickTenant draws one request's tenant from the declared shares; the
+// residual probability mass is the anonymous remainder ("").
+func pickTenant(tenants []TenantSpec, rng *rand.Rand) string {
+	r := rng.Float64()
+	for _, t := range tenants {
+		if r < t.Share {
+			return t.ID
+		}
+		r -= t.Share
+	}
+	return ""
 }
 
 // stageOffsets lays out one stage's request times relative to the

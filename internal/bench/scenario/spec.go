@@ -18,6 +18,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -45,8 +46,13 @@ type Spec struct {
 	Topology TopologySpec `json:"topology"`
 	Service  ServiceSpec  `json:"service"`
 	Workload WorkloadSpec `json:"workload"`
-	Stages   []StageSpec  `json:"stages"`
-	Faults   []FaultSpec  `json:"faults,omitempty"`
+	// Tenants declares the workload's tenant mix: each scheduled
+	// request is tagged with a tenant drawn from these shares (the
+	// uncovered remainder stays anonymous), and each tenant's quota is
+	// installed on the service before the measured window.
+	Tenants []TenantSpec `json:"tenants,omitempty"`
+	Stages  []StageSpec  `json:"stages"`
+	Faults  []FaultSpec  `json:"faults,omitempty"`
 	// Assertions hold machine-checked bounds on the run's totals,
 	// sorted by name for stable output.
 	Assertions []Assertion `json:"assertions,omitempty"`
@@ -156,8 +162,29 @@ type FaultSpec struct {
 	Redeploy bool `json:"redeploy,omitempty"`
 }
 
+// TenantSpec declares one tenant in the workload mix.
+type TenantSpec struct {
+	// ID tags the tenant's requests on the data plane ("anonymous" is
+	// reserved for the untagged remainder).
+	ID string `json:"id"`
+	// Share is the tenant's fraction of scheduled requests, in (0, 1];
+	// shares may sum to < 1 and the remainder stays anonymous.
+	Share float64 `json:"share"`
+	// Priority is the dequeue-weight class: high | normal | low
+	// (default normal).
+	Priority string `json:"priority,omitempty"`
+	// MaxInFlight caps the tenant's concurrently admitted runs
+	// (0 = unlimited). Admissions beyond it reject with quota_exceeded.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+	// RatePerSec caps the tenant's admissions per second with a
+	// one-second burst (0 = unlimited).
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+}
+
 // Assertion is one machine-checked bound on the run's totals. The
-// min_/max_ prefix of the name encodes the comparison direction.
+// min_/max_ prefix of the name encodes the comparison direction; a
+// ".<tenant-id>" suffix scopes the bound to one tenant's slice of the
+// run (e.g. "max_p99_ms.bg").
 type Assertion struct {
 	Name  string  `json:"name"`
 	Value float64 `json:"value"`
@@ -166,14 +193,39 @@ type Assertion struct {
 // assertionNames enumerates the known assertion keys and whether their
 // value is a fraction (bounded to [0,1]).
 var assertionNames = map[string]struct{ fraction bool }{
-	"max_error_rate":     {fraction: true},
-	"min_cache_hit_rate": {fraction: true},
-	"max_cache_hit_rate": {fraction: true},
-	"min_throughput":     {},
-	"max_p99_ms":         {},
-	"min_redispatched":   {},
-	"min_requests":       {},
-	"min_saturation_rps": {},
+	"max_error_rate":          {fraction: true},
+	"min_cache_hit_rate":      {fraction: true},
+	"max_cache_hit_rate":      {fraction: true},
+	"min_throughput":          {},
+	"max_p99_ms":              {},
+	"min_redispatched":        {},
+	"min_requests":            {},
+	"min_saturation_rps":      {},
+	"min_quota_rejections":    {},
+	"max_quota_rejections":    {},
+	"max_overload_rejections": {},
+}
+
+// perTenantAssertions lists the bases that accept a ".<tenant-id>"
+// qualifier; the rest are whole-run observables (cache, saturation,
+// failover) that have no per-tenant slice.
+var perTenantAssertions = map[string]bool{
+	"max_error_rate":          true,
+	"max_p99_ms":              true,
+	"min_requests":            true,
+	"min_throughput":          true,
+	"min_quota_rejections":    true,
+	"max_quota_rejections":    true,
+	"max_overload_rejections": true,
+}
+
+// splitAssertion splits a possibly tenant-qualified assertion name
+// into its base and tenant ("" when unqualified).
+func splitAssertion(name string) (base, tenant string) {
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		return name[:i], name[i+1:]
+	}
+	return name, ""
 }
 
 // TMID names a 1-based site index the way the testbed does.
@@ -315,6 +367,43 @@ func (s *Spec) Validate() error {
 	if s.Workload.Kind == "run_batch" && s.Workload.BatchSize < 1 {
 		return fmt.Errorf("scenario %s: workload.batch_size must be >= 1 for run_batch", s.Name)
 	}
+	tenantIDs := map[string]bool{}
+	var shareSum float64
+	for i, t := range s.Tenants {
+		if t.ID == "" {
+			return fmt.Errorf("scenario %s: tenants[%d]: id is required", s.Name, i)
+		}
+		if t.ID == "anonymous" {
+			return fmt.Errorf("scenario %s: tenants[%d]: id %q is reserved for the untagged remainder", s.Name, i, t.ID)
+		}
+		if tenantIDs[t.ID] {
+			return fmt.Errorf("scenario %s: duplicate tenant id %q", s.Name, t.ID)
+		}
+		tenantIDs[t.ID] = true
+		if t.Share <= 0 || t.Share > 1 {
+			return fmt.Errorf("scenario %s: tenant %s: share must be in (0, 1], got %g", s.Name, t.ID, t.Share)
+		}
+		shareSum += t.Share
+		switch t.Priority {
+		case "", "high", "normal", "low":
+		default:
+			return fmt.Errorf("scenario %s: tenant %s: priority %q (want high, normal or low)", s.Name, t.ID, t.Priority)
+		}
+		if t.MaxInFlight < 0 {
+			return fmt.Errorf("scenario %s: tenant %s: max_in_flight must be >= 0", s.Name, t.ID)
+		}
+		if t.RatePerSec < 0 {
+			return fmt.Errorf("scenario %s: tenant %s: rate_per_sec must be >= 0", s.Name, t.ID)
+		}
+	}
+	if shareSum > 1+1e-9 {
+		return fmt.Errorf("scenario %s: tenant shares sum to %g, must be <= 1", s.Name, shareSum)
+	}
+	if len(s.Tenants) > 0 && s.HasFault("restart_ms") {
+		// Quotas are runtime state, not in the durable store; a mid-run
+		// MS restart would silently drop them and unpin the assertions.
+		return fmt.Errorf("scenario %s: tenants cannot combine with a restart_ms fault (quotas do not survive the restart)", s.Name)
+	}
 	if len(s.Stages) == 0 {
 		return fmt.Errorf("scenario %s: at least one stage is required", s.Name)
 	}
@@ -342,6 +431,11 @@ func (s *Spec) Validate() error {
 			}
 			if len(s.Faults) != 0 {
 				return fmt.Errorf("scenario %s: saturation scenarios cannot schedule faults", s.Name)
+			}
+			if len(s.Tenants) != 0 {
+				// Probe load is generated at runtime, not from the
+				// pre-compiled schedule the tenant mix is drawn into.
+				return fmt.Errorf("scenario %s: tenants cannot combine with a saturation stage", s.Name)
 			}
 			if st.StartRate <= 0 {
 				return fmt.Errorf("scenario %s: stage %s: saturation needs start_rate > 0 (the search lower bound)", s.Name, st.Name)
@@ -393,14 +487,23 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for _, a := range s.Assertions {
-		meta, known := assertionNames[a.Name]
+		base, tenant := splitAssertion(a.Name)
+		meta, known := assertionNames[base]
 		if !known {
 			names := make([]string, 0, len(assertionNames))
 			for n := range assertionNames {
 				names = append(names, n)
 			}
 			sort.Strings(names)
-			return fmt.Errorf("scenario %s: unknown assertion %q (known: %v)", s.Name, a.Name, names)
+			return fmt.Errorf("scenario %s: unknown assertion %q (known: %v, optionally .<tenant-id> qualified)", s.Name, a.Name, names)
+		}
+		if tenant != "" {
+			if !perTenantAssertions[base] {
+				return fmt.Errorf("scenario %s: assertion %s: %s cannot be tenant-qualified (whole-run observable)", s.Name, a.Name, base)
+			}
+			if !tenantIDs[tenant] {
+				return fmt.Errorf("scenario %s: assertion %s: unknown tenant %q (declare it under tenants:)", s.Name, a.Name, tenant)
+			}
 		}
 		if a.Value < 0 {
 			return fmt.Errorf("scenario %s: assertion %s: value must be >= 0", s.Name, a.Name)
@@ -486,6 +589,22 @@ func decodeSpec(root any) (*Spec, error) {
 				w.BatchSize = f.num("batch_size", 8)
 				w.NoCache = f.boolean("no_cache", false)
 			})
+		}
+		for i, item := range f.list("tenants") {
+			sub, err := asMap(item, fmt.Sprintf("tenants[%d]", i))
+			if err != nil {
+				d.fail(err)
+				continue
+			}
+			var ts TenantSpec
+			d.with(sub, fmt.Sprintf("tenants[%d]", i), func(f *fields) {
+				ts.ID = f.str("id", "")
+				ts.Share = f.f64("share", 0)
+				ts.Priority = f.str("priority", "")
+				ts.MaxInFlight = f.num("max_in_flight", 0)
+				ts.RatePerSec = f.f64("rate_per_sec", 0)
+			})
+			spec.Tenants = append(spec.Tenants, ts)
 		}
 		for i, item := range f.list("stages") {
 			sub, err := asMap(item, fmt.Sprintf("stages[%d]", i))

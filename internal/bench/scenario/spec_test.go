@@ -162,6 +162,22 @@ func TestParseErrors(t *testing.T) {
 		{"assertion-fraction-range", minimalSpec + "assertions:\n  max_error_rate: 1.5\n", "fraction in [0,1]"},
 		{"assertion-negative", minimalSpec + "assertions:\n  min_throughput: -1\n", "must be >= 0"},
 		{"heartbeat-vs-stale", minimalSpec + "topology:\n  heartbeat: 2s\nservice:\n  tm_stale_after: 1s\n", "must be < service.tm_stale_after"},
+		{"tenant-unknown-field", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    weight: 3\n", `unknown field "weight"`},
+		{"tenant-missing-id", minimalSpec + "tenants:\n  - share: 0.5\n", "id is required"},
+		{"tenant-reserved-id", minimalSpec + "tenants:\n  - id: anonymous\n    share: 0.5\n", "reserved"},
+		{"tenant-duplicate-id", minimalSpec + "tenants:\n  - id: a\n    share: 0.3\n  - id: a\n    share: 0.3\n", `duplicate tenant id "a"`},
+		{"tenant-zero-share", minimalSpec + "tenants:\n  - id: a\n    share: 0\n", "share must be in (0, 1]"},
+		{"tenant-share-above-one", minimalSpec + "tenants:\n  - id: a\n    share: 1.5\n", "share must be in (0, 1]"},
+		{"tenant-shares-sum", minimalSpec + "tenants:\n  - id: a\n    share: 0.7\n  - id: b\n    share: 0.7\n", "sum to 1.4"},
+		{"tenant-bad-priority", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    priority: urgent\n", `priority "urgent"`},
+		{"tenant-negative-inflight", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    max_in_flight: -1\n", "max_in_flight must be >= 0"},
+		{"tenant-negative-rate", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    rate_per_sec: -2\n", "rate_per_sec must be >= 0"},
+		{"tenant-with-restart-ms", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nfaults:\n  - at: 1s\n    kind: restart_ms\n", "quotas do not survive"},
+		{"assertion-unknown-tenant", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nassertions:\n  max_p99_ms.b: 100\n", `unknown tenant "b"`},
+		{"assertion-not-per-tenant", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nassertions:\n  min_cache_hit_rate.a: 0.5\n", "cannot be tenant-qualified"},
+		{"assertion-qualified-unknown-base", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nassertions:\n  max_latency.a: 5\n", `unknown assertion "max_latency.a"`},
+		{"tenant-with-saturation", strings.Replace(minimalSpec, "kind: steady\n    duration: 2s\n    rate: 10",
+			"kind: saturation\n    duration: 2s\n    rate: 10\n    start_rate: 5", 1) + "tenants:\n  - id: a\n    share: 0.5\n", "cannot combine with a saturation stage"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -173,6 +189,73 @@ func TestParseErrors(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestParseTenants pins the tenants: block round trip and the
+// schedule-side contract: tenant assignment is deterministic, tracks
+// the declared shares, and — critically — declaring tenants must NOT
+// perturb the key/offset schedule the same spec compiled to before,
+// or every committed pre-tenancy result would silently change.
+func TestParseTenants(t *testing.T) {
+	yaml := minimalSpec + `tenants:
+  - id: hog
+    share: 0.7
+    priority: high
+    max_in_flight: 4
+    rate_per_sec: 2.5
+  - id: bg
+    share: 0.1
+assertions:
+  max_error_rate.bg: 0
+  max_p99_ms.bg: 100
+`
+	spec, err := Parse([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Tenants) != 2 {
+		t.Fatalf("tenants = %+v", spec.Tenants)
+	}
+	hog := spec.Tenants[0]
+	if hog.ID != "hog" || hog.Share != 0.7 || hog.Priority != "high" || hog.MaxInFlight != 4 || hog.RatePerSec != 2.5 {
+		t.Errorf("hog = %+v", hog)
+	}
+	if bg := spec.Tenants[1]; bg.ID != "bg" || bg.Share != 0.1 || bg.Priority != "" {
+		t.Errorf("bg = %+v", bg)
+	}
+
+	a, b := BuildSchedule(spec), BuildSchedule(spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec+seed produced different tenant assignments")
+	}
+	counts := map[string]int{}
+	for _, r := range a.Requests {
+		counts[r.Tenant]++
+	}
+	n := len(a.Requests)
+	if counts["hog"] == 0 || counts["bg"] == 0 || counts[""] == 0 {
+		t.Fatalf("tenant mix missing a class: %v", counts)
+	}
+	// 20 requests at these shares: the split must at least order as
+	// hog > anonymous > bg (0.7 / 0.2 / 0.1).
+	if !(counts["hog"] > counts[""] && counts[""] >= counts["bg"]) {
+		t.Errorf("tenant shares off: %v over %d requests", counts, n)
+	}
+
+	// Bit-identical keys/offsets vs the tenant-free spec.
+	plain, err := Parse([]byte(minimalSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := BuildSchedule(plain)
+	if len(base.Requests) != n {
+		t.Fatalf("request counts diverged: %d vs %d", len(base.Requests), n)
+	}
+	for i := range base.Requests {
+		if base.Requests[i].Key != a.Requests[i].Key || base.Requests[i].Offset != a.Requests[i].Offset {
+			t.Fatalf("request %d: declaring tenants changed the schedule (%+v vs %+v)", i, base.Requests[i], a.Requests[i])
+		}
 	}
 }
 
@@ -320,7 +403,7 @@ func TestCompressed(t *testing.T) {
 // Every committed scenario file must parse, validate, and compile to a
 // non-empty schedule.
 func TestCommittedScenarios(t *testing.T) {
-	files := []string{"diurnal-ramp", "hotkey-skew", "wan-pipeline", "chaos-tm-kill", "cache-churn"}
+	files := []string{"diurnal-ramp", "hotkey-skew", "wan-pipeline", "chaos-tm-kill", "cache-churn", "tenant-fairness"}
 	for _, name := range files {
 		t.Run(name, func(t *testing.T) {
 			spec, err := ParseFile("../../../scenarios/" + name + ".yaml")

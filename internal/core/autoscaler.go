@@ -411,31 +411,52 @@ func (s *Service) AutoscalerStats() map[string]AutoscaleStatus {
 	return s.scaler.all()
 }
 
-// admitRun is the admission-control gate for synchronous runs: when the
-// servable's resolved MaxQueue bound is positive and its admitted
-// pending count has reached it, the run is refused with ErrOverloaded
-// instead of deepening the queue. Admission is check-AND-reserve under
-// one lock — a simultaneous burst cannot all slip past the bound the
-// way a read-then-dispatch check would allow. Every admitted request
-// holds its reservation (weight units for batches) from admission
-// until completion; the caller must invoke the returned release
-// exactly once. Cache hits and singleflight followers are never gated
-// — they add no load.
-func (s *Service) admitRun(servableID string, weight int) (release func(), err error) {
-	bound := s.scaler.maxQueue(servableID)
-	if bound <= 0 {
-		return func() {}, nil
-	}
+// admitRun is the admission-control gate for synchronous runs. Two
+// independent bounds are enforced, with distinct rejections so a
+// client can tell "you are over budget" from "the servable is busy":
+//
+//   - the servable's resolved MaxQueue bound → ErrOverloaded, which
+//     also feeds the autoscaler's rejection signal;
+//   - the caller's tenant quota (MaxInFlight across all servables,
+//     plus the RatePerSec token bucket) → ErrQuotaExceeded, which
+//     deliberately does NOT drive the autoscaler — a tenant over its
+//     own budget is not servable pressure to scale for.
+//
+// Admission is check-AND-reserve under one lock in the routing
+// table's (tenant × servable) matrix — a simultaneous burst cannot
+// all slip past either bound the way a read-then-dispatch check would
+// allow. Every admitted request holds its reservation (weight units
+// for batches) from admission until completion; the caller must
+// invoke the returned release exactly once. Cache hits and
+// singleflight followers are never gated — they add no load.
+func (s *Service) admitRun(caller Caller, servableID string, weight int) (release func(), err error) {
 	if weight < 1 {
 		weight = 1
 	}
-	pending, ok := s.route.reserve(servableID, weight, bound)
-	if !ok {
-		s.scaler.noteRejection(servableID)
-		return nil, ErrOverloaded.WithDetail(fmt.Sprintf("%s: %d requests pending (bound %d)", servableID, pending, bound))
+	tenant := caller.Tenant
+	quota, limited := s.tenantQuota(tenant)
+	if limited && quota.RatePerSec > 0 && !s.takeTenantToken(tenant, quota.RatePerSec) {
+		s.noteQuotaRejected(tenant)
+		return nil, ErrQuotaExceeded.WithDetail(fmt.Sprintf("tenant %q over rate limit %g req/s", tenantLabel(tenant), quota.RatePerSec))
 	}
+	svBound := s.scaler.maxQueue(servableID)
+	tenantBound := 0
+	if limited {
+		tenantBound = quota.MaxInFlight
+	}
+	pending, verdict := s.route.reserve(tenant, servableID, weight, svBound, tenantBound)
+	switch verdict {
+	case admitOverloaded:
+		s.scaler.noteRejection(servableID)
+		s.noteOverloadRejected(tenant)
+		return nil, ErrOverloaded.WithDetail(fmt.Sprintf("%s: %d requests pending (bound %d)", servableID, pending, svBound))
+	case admitQuota:
+		s.noteQuotaRejected(tenant)
+		return nil, ErrQuotaExceeded.WithDetail(fmt.Sprintf("tenant %q: %d runs in flight (quota %d)", tenantLabel(tenant), pending, tenantBound))
+	}
+	s.noteAdmitted(tenant)
 	var once sync.Once
 	return func() {
-		once.Do(func() { s.route.unreserve(servableID, weight) })
+		once.Do(func() { s.route.unreserve(tenant, servableID, weight) })
 	}, nil
 }

@@ -206,7 +206,7 @@ func (s *Service) RunCoalesced(ctx context.Context, caller Caller, servableID st
 	// dispatch: a held coalescing slot is pending demand too. The
 	// reservation is held until this member's outcome arrives (or its
 	// ctx ends) — parked requests keep counting against the bound.
-	release, err := s.admitRun(servableID, 1)
+	release, err := s.admitRun(caller, servableID, 1)
 	if err != nil {
 		return RunResult{}, err
 	}

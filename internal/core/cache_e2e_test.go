@@ -37,7 +37,7 @@ func startFakeTM(t *testing.T, ms *core.Service, id string, block chan struct{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "")
+	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "", "")
 	stop := make(chan struct{})
 	t.Cleanup(func() { close(stop) })
 	go func() {

@@ -27,7 +27,7 @@ func blackHoleTM(t *testing.T) (*core.Service, string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "")
+	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "", "")
 	if err := ms.WaitForTM(1, 2*time.Second); err != nil {
 		t.Fatal(err)
 	}

@@ -31,6 +31,7 @@ const (
 	CodeCanceled      Code = "canceled"
 	CodeTaskFailed    Code = "task_failed"
 	CodeOverloaded    Code = "overloaded"
+	CodeQuotaExceeded Code = "quota_exceeded"
 	CodeUpstream      Code = "upstream_error"
 	CodeInternal      Code = "internal"
 )
@@ -96,6 +97,7 @@ var (
 	ErrCanceled      = &Error{Code: CodeCanceled, HTTPStatus: StatusClientClosedRequest, Message: "core: request canceled"}
 	ErrTaskFailed    = &Error{Code: CodeTaskFailed, HTTPStatus: http.StatusBadGateway, Message: "core: task failed"}
 	ErrOverloaded    = &Error{Code: CodeOverloaded, HTTPStatus: http.StatusTooManyRequests, Message: "core: servable overloaded"}
+	ErrQuotaExceeded = &Error{Code: CodeQuotaExceeded, HTTPStatus: http.StatusTooManyRequests, Message: "core: tenant quota exceeded"}
 	ErrUpstream      = &Error{Code: CodeUpstream, HTTPStatus: http.StatusBadGateway, Message: "core: upstream failure"}
 	ErrInternal      = &Error{Code: CodeInternal, HTTPStatus: http.StatusInternalServerError, Message: "core: internal error"}
 )
@@ -105,7 +107,8 @@ var (
 var sentinels = []*Error{
 	ErrBadRequest, ErrUnauthorized, ErrForbidden, ErrNotFound,
 	ErrTaskNotFound, ErrConflict, ErrNoTaskManager, ErrTimeout,
-	ErrCanceled, ErrTaskFailed, ErrOverloaded, ErrUpstream, ErrInternal,
+	ErrCanceled, ErrTaskFailed, ErrOverloaded, ErrQuotaExceeded,
+	ErrUpstream, ErrInternal,
 }
 
 // errorStatus is the code→HTTP-status table driving both API versions'

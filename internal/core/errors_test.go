@@ -24,6 +24,7 @@ func TestSentinelStatusTable(t *testing.T) {
 		ErrCanceled:      StatusClientClosedRequest,
 		ErrTaskFailed:    http.StatusBadGateway,
 		ErrOverloaded:    http.StatusTooManyRequests,
+		ErrQuotaExceeded: http.StatusTooManyRequests,
 		ErrUpstream:      http.StatusBadGateway,
 		ErrInternal:      http.StatusInternalServerError,
 	}

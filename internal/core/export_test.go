@@ -1,0 +1,7 @@
+package core
+
+// ReservationsEmpty reports whether the two-level (tenant × servable)
+// admission reservation table is fully drained — every reserve was
+// matched by exactly one unreserve. Test-only visibility for the
+// quota storm test.
+func (s *Service) ReservationsEmpty() bool { return s.route.reservationsEmpty() }

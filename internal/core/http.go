@@ -34,6 +34,12 @@ func (s *Service) Handler() http.Handler {
 		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Deprecation", "true")
 			w.Header().Set("Link", "</api/v2>; rel=\"successor-version\"")
+			if s.cfg.DisableV1 {
+				// Retired surface (-disable-v1): the route still matches
+				// so clients get a deliberate 410, not a generic 404.
+				rpc.WriteError(w, http.StatusGone, "v1 API disabled on this server; use /api/v2")
+				return
+			}
 			h(w, r)
 		})
 	}
@@ -62,6 +68,7 @@ func (s *Service) caller(w http.ResponseWriter, r *http.Request) (Caller, bool) 
 		rpc.WriteError(w, http.StatusUnauthorized, "%v", err)
 		return Caller{}, false
 	}
+	stampTenant(r.Context(), c.Tenant)
 	return c, true
 }
 

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/rpc"
 	"repro/internal/schema"
 	"repro/internal/search"
@@ -66,7 +67,14 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v2/cache/stats", s.handleV2CacheStats)
 	mux.HandleFunc("POST /api/v2/cache/flush", s.handleV2CacheFlush)
 	mux.HandleFunc("GET /api/v2/stats", s.handleV2Stats)
+	mux.HandleFunc("GET /api/v2/tenants", s.handleV2Tenants)
+	mux.HandleFunc("PUT /api/v2/tenants/{tenant}/quota", s.handleV2TenantQuota)
 }
+
+// TenantHeader lets callers tag requests with a tenant when the server
+// runs without an auth service (development, benchmarks). With auth
+// enabled the header is ignored — tenancy follows the token's identity.
+const TenantHeader = "X-DLHub-Tenant"
 
 // writeV2 writes a success envelope.
 func writeV2(w http.ResponseWriter, r *http.Request, status int, data any) {
@@ -85,13 +93,21 @@ func writeV2Error(w http.ResponseWriter, r *http.Request, err error) {
 }
 
 // callerV2 resolves the request identity, writing the enveloped 401 on
-// failure.
+// failure. Without an auth service, the X-DLHub-Tenant header may tag
+// the caller's tenant directly; with auth, tenancy is derived from the
+// token's identity and the header is ignored.
 func (s *Service) callerV2(w http.ResponseWriter, r *http.Request) (Caller, bool) {
 	c, err := s.ResolveCaller(r.Header.Get("Authorization"))
 	if err != nil {
 		writeV2Error(w, r, ErrUnauthorized.WithDetail(err.Error()))
 		return Caller{}, false
 	}
+	if s.cfg.Auth == nil {
+		if h := r.Header.Get(TenantHeader); h != "" {
+			c.Tenant = h
+		}
+	}
+	stampTenant(r.Context(), c.Tenant)
 	return c, true
 }
 
@@ -818,5 +834,49 @@ func (s *Service) handleV2Stats(w http.ResponseWriter, r *http.Request) {
 		// null when the server runs without a durable store (-data-dir
 		// unset); counters otherwise.
 		"wal": s.WALStats(),
+		// Per-tenant admission/fairness counters, keyed by tenant label
+		// ("anonymous" for the default lane). Empty until traffic flows.
+		"tenants": s.TenantStatsAll(),
 	})
+}
+
+// --- tenants ----------------------------------------------------------------
+
+// handleV2Tenants lists the known tenants and their quota/priority
+// configuration.
+func (s *Service) handleV2Tenants(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	views := s.TenantList()
+	writeV2(w, r, http.StatusOK, Page[TenantView]{Items: views, Total: len(views)})
+}
+
+// TenantQuotaRequest is the PUT /api/v2/tenants/{tenant}/quota body.
+type TenantQuotaRequest struct {
+	MaxInFlight int     `json:"max_in_flight"`
+	RatePerSec  float64 `json:"rate_per_sec"`
+	Priority    string  `json:"priority,omitempty"` // high | normal | low
+}
+
+// handleV2TenantQuota installs (or replaces) a tenant's quota spec and
+// fairness weight; the tenant record is created if absent.
+func (s *Service) handleV2TenantQuota(w http.ResponseWriter, r *http.Request) {
+	if _, ok := s.callerV2(w, r); !ok {
+		return
+	}
+	var req TenantQuotaRequest
+	if !readV2(w, r, &req) {
+		return
+	}
+	view, err := s.SetTenantQuota(r.PathValue("tenant"), auth.Quota{
+		MaxInFlight: req.MaxInFlight,
+		RatePerSec:  req.RatePerSec,
+		Priority:    req.Priority,
+	})
+	if err != nil {
+		writeV2Error(w, r, err)
+		return
+	}
+	writeV2(w, r, http.StatusOK, view)
 }

@@ -33,7 +33,7 @@ func markDrainingViaHeartbeat(t *testing.T, ms *core.Service, tmID string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms.Broker().Push(taskmanager.RegisterQueue, body, "", "")
+	ms.Broker().Push(taskmanager.RegisterQueue, body, "", "", "")
 	deadline := time.Now().Add(5 * time.Second)
 	for {
 		for _, id := range ms.DrainingTMs() {
@@ -76,7 +76,7 @@ func heartbeat(ms *core.Service, tmID string) (stop func()) {
 				return
 			case <-ticker.C:
 				body, _ := json.Marshal(taskmanager.Registration{TMID: tmID})
-				ms.Broker().Push(taskmanager.RegisterQueue, body, "", "")
+				ms.Broker().Push(taskmanager.RegisterQueue, body, "", "", "")
 			}
 		}
 	}()
@@ -658,7 +658,7 @@ func TestRejoinIgnoresStaleDrainingHeartbeat(t *testing.T) {
 
 	// The stale in-flight heartbeat arrives after the rejoin ack.
 	body, _ := json.Marshal(taskmanager.Registration{TMID: "site-a", Draining: true})
-	ms.Broker().Push(taskmanager.RegisterQueue, body, "", "")
+	ms.Broker().Push(taskmanager.RegisterQueue, body, "", "", "")
 	deadline := time.Now().Add(500 * time.Millisecond)
 	for time.Now().Before(deadline) {
 		if len(ms.DrainingTMs()) != 0 {

@@ -24,13 +24,29 @@ const RequestIDHeader = "X-Request-ID"
 
 type ctxKey int
 
-const ctxKeyRequestID ctxKey = iota
+const (
+	ctxKeyRequestID ctxKey = iota
+	ctxKeyTenant
+)
 
 // RequestIDFromContext returns the request's correlation ID ("" outside
 // a request).
 func RequestIDFromContext(ctx context.Context) string {
 	id, _ := ctx.Value(ctxKeyRequestID).(string)
 	return id
+}
+
+// tenantHolder carries the resolved tenant tag outward to the access-log
+// middleware: the holder is installed before routing, and the handler's
+// caller resolution stamps it once the identity is known.
+type tenantHolder struct{ tag string }
+
+// stampTenant records the request's resolved tenant for the access log.
+// A no-op when logging is off (no holder installed) or the tag is empty.
+func stampTenant(ctx context.Context, tenant string) {
+	if h, ok := ctx.Value(ctxKeyTenant).(*tenantHolder); ok && tenant != "" {
+		h.tag = tenant
+	}
 }
 
 // middleware assembles the chain: request-ID → access log → per-route
@@ -85,10 +101,18 @@ func (s *Service) withAccessLog(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		hold := &tenantHolder{}
+		r = r.WithContext(context.WithValue(r.Context(), ctxKeyTenant, hold))
 		next.ServeHTTP(sw, r)
-		log.Printf("http %s %s -> %d (%s) rid=%s",
+		// The tenant field appears only when a tenant resolved, so
+		// anonymous traffic logs the exact pre-tenancy line.
+		tenant := ""
+		if hold.tag != "" {
+			tenant = " tenant=" + hold.tag
+		}
+		log.Printf("http %s %s -> %d (%s) rid=%s%s",
 			r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond),
-			RequestIDFromContext(r.Context()))
+			RequestIDFromContext(r.Context()), tenant)
 	})
 }
 

@@ -55,7 +55,7 @@ func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Do
 	// same thing whether placement happens to allow the monolith or
 	// not. (The distributed engine additionally admits each step under
 	// its own ID as it dispatches.)
-	release, err := s.admitRun(doc.ID, 1)
+	release, err := s.admitRun(caller, doc.ID, 1)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -71,6 +71,7 @@ func (s *Service) runPipeline(ctx context.Context, caller Caller, doc *schema.Do
 			Input:    input,
 			Steps:    steps,
 			NoMemo:   opts.NoMemo,
+			Tenant:   caller.Tenant,
 		}
 		res, err := s.dispatchWatched(ctx, tmID, task)
 		if err != nil && errors.Is(err, errTMLost) && ctx.Err() == nil {
@@ -120,7 +121,7 @@ func (s *Service) runPipelineSteps(ctx context.Context, caller Caller, steps []s
 		if err != nil {
 			return RunResult{}, fmt.Errorf("pipeline step %d (%s): %w", i+1, stepID, err)
 		}
-		res, err := s.runStep(ctx, stepID, stepDoc.Version, current, opts)
+		res, err := s.runStep(ctx, caller, stepID, stepDoc.Version, current, opts)
 		if err != nil {
 			return RunResult{}, fmt.Errorf("pipeline step %d (%s): %w", i+1, stepID, err)
 		}
@@ -170,7 +171,7 @@ func (s *Service) runPipelineSteps(ctx context.Context, caller Caller, steps []s
 // servable: result cache + singleflight when usable (sharing the key
 // space with direct invocations), admission under the step's own ID,
 // placement-aware least-loaded routing.
-func (s *Service) runStep(ctx context.Context, stepID string, version int, input any, opts RunOptions) (RunResult, error) {
+func (s *Service) runStep(ctx context.Context, caller Caller, stepID string, version int, input any, opts RunOptions) (RunResult, error) {
 	task := taskmanager.Task{
 		ID:       queue.NewID(),
 		Kind:     "run",
@@ -178,13 +179,14 @@ func (s *Service) runStep(ctx context.Context, stepID string, version int, input
 		Executor: opts.Executor,
 		Input:    input,
 		NoMemo:   opts.NoMemo,
+		Tenant:   caller.Tenant,
 	}
 	if s.cacheUsable(opts) {
 		if key, err := resultKey(stepID, version, "run", input); err == nil {
-			return s.runCached(ctx, key, stepID, task)
+			return s.runCached(ctx, caller, key, stepID, task)
 		}
 	}
-	release, err := s.admitRun(stepID, 1)
+	release, err := s.admitRun(caller, stepID, 1)
 	if err != nil {
 		return RunResult{}, err
 	}

@@ -47,7 +47,7 @@ func startScriptedTM(t *testing.T, ms *core.Service, id string) *scriptedTM {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "")
+	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "", "")
 	t.Cleanup(func() { close(s.stop) })
 	go s.loop()
 	return s

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/bench"
+	"repro/internal/core"
+)
+
+// TestQuotaReservationStorm is the -race leak check for the admission
+// reservation table: many goroutines interleave quota-rejected,
+// canceled, and completed runs across three tenants, and at the end the
+// (tenant × servable) reservation matrix must be exactly empty — every
+// admit matched by one release, no slot leaked by any outcome path.
+func TestQuotaReservationStorm(t *testing.T) {
+	tb := newTB(t, bench.Options{})
+	ms := tb.MS
+	id, err := ms.Publish(context.Background(), core.Anonymous, sleepPackage(t, "storm-sv", 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Deploy(context.Background(), core.Anonymous, id, 4, "parsl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.SetTenantQuota("storm", auth.Quota{MaxInFlight: 2, Priority: auth.PriorityLow}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.SetTenantQuota("calm", auth.Quota{Priority: auth.PriorityHigh}); err != nil {
+		t.Fatal(err)
+	}
+	caller := func(tenant string) core.Caller {
+		c := core.Anonymous
+		c.Tenant = tenant
+		return c
+	}
+
+	const (
+		workers = 6
+		iters   = 30
+	)
+	var wg sync.WaitGroup
+	fail := make(chan error, 3*workers)
+	// Quota-constrained tenant: successes and quota_exceeded rejections
+	// both legal; anything else is a bug.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				input := fmt.Sprintf("storm-%d-%d", w, i)
+				_, err := ms.Run(context.Background(), caller("storm"), id, input, core.RunOptions{NoMemo: true})
+				if err != nil && !errors.Is(err, core.ErrQuotaExceeded) {
+					fail <- fmt.Errorf("storm run: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Canceled callers: the context dies while the run is admitted;
+	// the reservation must still be released.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*time.Millisecond)
+				input := fmt.Sprintf("cancel-%d-%d", w, i)
+				_, err := ms.Run(ctx, caller("calm"), id, input, core.RunOptions{NoMemo: true})
+				cancel()
+				if err != nil && !errors.Is(err, core.ErrCanceled) && !errors.Is(err, core.ErrTimeout) {
+					fail <- fmt.Errorf("canceled run: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Anonymous completions (no quota, default lane) interleave with
+	// both, plus concurrent quota updates racing the admission reads.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if i%10 == 0 {
+					if _, err := ms.SetTenantQuota("storm", auth.Quota{MaxInFlight: 2 + i%2, Priority: auth.PriorityLow}); err != nil {
+						fail <- fmt.Errorf("set quota: %v", err)
+						return
+					}
+				}
+				input := fmt.Sprintf("anon-%d-%d", w, i)
+				if _, err := ms.Run(context.Background(), core.Anonymous, id, input, core.RunOptions{NoMemo: true}); err != nil {
+					fail <- fmt.Errorf("anonymous run: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(fail)
+	for err := range fail {
+		t.Error(err)
+	}
+
+	if !ms.ReservationsEmpty() {
+		t.Fatalf("reservation table not drained after storm: %+v", ms.TenantStatsAll())
+	}
+	stats := ms.TenantStatsAll()
+	for tenant, st := range stats {
+		if st.InFlight != 0 {
+			t.Errorf("tenant %s reports %d in-flight after storm", tenant, st.InFlight)
+		}
+	}
+	// The storm tenant's outcomes must all be accounted: every run was
+	// either admitted or quota-rejected.
+	storm := stats["storm"]
+	if storm.Admitted+storm.RejectedQuota < workers*iters {
+		t.Errorf("storm tenant accounts %d outcomes, want >= %d (admitted %d, rejected %d)",
+			storm.Admitted+storm.RejectedQuota, workers*iters, storm.Admitted, storm.RejectedQuota)
+	}
+}

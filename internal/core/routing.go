@@ -56,10 +56,18 @@ type routingTable struct {
 	// work units per servable (batches weigh their input count) — the
 	// demand signal the autoscaler acts on.
 	svInflight map[string]int
-	// svReserved counts admission-control reservations per servable:
-	// admitted-but-unfinished requests, reserved atomically at the
-	// admission check so concurrent bursts cannot overrun the bound.
-	svReserved map[string]int
+	// Admission-control reservation table, two-level (tenant ×
+	// servable): admitted-but-unfinished requests, reserved atomically
+	// at the admission check so a concurrent burst cannot overrun
+	// either bound. resvSv and resvTenant are the per-axis totals the
+	// two bounds are checked against (the servable MaxQueue bound and
+	// the tenant MaxInFlight quota); resvCell is the full matrix, kept
+	// for stats and for the drain-to-zero invariant tests. Entries are
+	// deleted when they reach zero, so a fully drained table is
+	// literally empty.
+	resvSv     map[string]int
+	resvTenant map[string]int
+	resvCell   map[resvKey]int
 	// replicas tracks the desired replica count per servable, updated
 	// by Deploy/Scale — the autoscaler's notion of current scale.
 	replicas map[string]int
@@ -77,7 +85,9 @@ func newRoutingTable() *routingTable {
 		inflight:   make(map[string]int),
 		active:     make(map[string]int),
 		svInflight: make(map[string]int),
-		svReserved: make(map[string]int),
+		resvSv:     make(map[string]int),
+		resvTenant: make(map[string]int),
+		resvCell:   make(map[resvKey]int),
 		replicas:   make(map[string]int),
 		placements: make(map[string][]string),
 	}
@@ -362,31 +372,90 @@ func (rt *routingTable) servableLoad(servableID string) int {
 	return rt.svInflight[servableID]
 }
 
-// reserve is the admission-control check-and-reserve: when the pending
-// reservation count has reached bound the request is refused (ok =
-// false, with the observed count), otherwise weight units are reserved
-// under the same critical section so a simultaneous burst cannot all
-// slip past the bound.
-func (rt *routingTable) reserve(servableID string, weight, bound int) (pending int, ok bool) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	pending = rt.svReserved[servableID]
-	if pending >= bound {
-		return pending, false
-	}
-	rt.svReserved[servableID] += weight
-	return pending, true
+// resvKey addresses one cell of the (tenant × servable) reservation
+// matrix. The empty tenant is the anonymous/default lane.
+type resvKey struct {
+	tenant   string
+	servable string
 }
 
-// unreserve releases an admission reservation, clamping at zero.
-func (rt *routingTable) unreserve(servableID string, weight int) {
+// admitVerdict is reserve's outcome: admitted, refused by the
+// servable's pending bound (overloaded), or refused by the tenant's
+// in-flight quota (quota exceeded).
+type admitVerdict int
+
+const (
+	admitOK admitVerdict = iota
+	admitOverloaded
+	admitQuota
+)
+
+// reserve is the admission-control check-and-reserve over the
+// two-level table: the servable's pending bound and the tenant's
+// in-flight quota are checked and the reservation taken under ONE
+// critical section, so a simultaneous burst cannot slip past either
+// bound. A bound <= 0 is unenforced; the reservation itself is always
+// recorded (it is the in-flight accounting for stats and release).
+// pending reports the count the refused axis was observed at.
+func (rt *routingTable) reserve(tenant, servableID string, weight, svBound, tenantBound int) (pending int, v admitVerdict) {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	if rt.svReserved[servableID] >= weight {
-		rt.svReserved[servableID] -= weight
-	} else {
-		rt.svReserved[servableID] = 0
+	if svBound > 0 {
+		if p := rt.resvSv[servableID]; p >= svBound {
+			return p, admitOverloaded
+		}
 	}
+	if tenantBound > 0 {
+		if p := rt.resvTenant[tenant]; p >= tenantBound {
+			return p, admitQuota
+		}
+	}
+	rt.resvSv[servableID] += weight
+	rt.resvTenant[tenant] += weight
+	rt.resvCell[resvKey{tenant, servableID}] += weight
+	return 0, admitOK
+}
+
+// unreserve releases an admission reservation, clamping at zero and
+// deleting exhausted entries so a drained table is empty.
+func (rt *routingTable) unreserve(tenant, servableID string, weight int) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	dec := func(m map[string]int, k string) {
+		if m[k] > weight {
+			m[k] -= weight
+		} else {
+			delete(m, k)
+		}
+	}
+	dec(rt.resvSv, servableID)
+	dec(rt.resvTenant, tenant)
+	key := resvKey{tenant, servableID}
+	if rt.resvCell[key] > weight {
+		rt.resvCell[key] -= weight
+	} else {
+		delete(rt.resvCell, key)
+	}
+}
+
+// reservedByTenant snapshots the per-tenant in-flight reservation
+// totals (the stats view of the tenant axis).
+func (rt *routingTable) reservedByTenant() map[string]int {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	out := make(map[string]int, len(rt.resvTenant))
+	for t, n := range rt.resvTenant {
+		out[t] = n
+	}
+	return out
+}
+
+// reservationsEmpty reports whether every admission reservation has
+// been released — the drain-to-zero invariant the storm test pins.
+func (rt *routingTable) reservationsEmpty() bool {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return len(rt.resvSv) == 0 && len(rt.resvTenant) == 0 && len(rt.resvCell) == 0
 }
 
 // placementsAll reports which TMs host each servable (copies).

@@ -51,7 +51,7 @@ func TestRoutingReadsDoNotBlockOnRepositoryWrite(t *testing.T) {
 			s.DrainingTMs()
 			s.FailoverStats()
 			s.WatcherStats()
-			release, err := s.admitRun("sv", 1)
+			release, err := s.admitRun(Anonymous, "sv", 1)
 			if err != nil {
 				return fmt.Errorf("admitRun: %v", err)
 			}

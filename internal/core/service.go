@@ -80,6 +80,9 @@ type Config struct {
 	// Cache tunes the service-layer result cache (zero value: enabled
 	// with defaults; set Disabled to turn it off).
 	Cache CacheConfig
+	// DisableV1 retires the deprecated v1 compatibility shims: every
+	// /api/* (non-v2) route answers 410 Gone pointing at /api/v2.
+	DisableV1 bool
 	// LogRequests enables HTTP access logging through the middleware
 	// chain (off by default: benches and tests stay quiet).
 	LogRequests bool
@@ -170,6 +173,17 @@ type Service struct {
 	// loop runs for the service lifetime.
 	scaler *autoscaler
 
+	// tenants is the quota/priority registry (tenancy.go) — shared
+	// with cfg.Auth when authentication is on, standalone in open
+	// mode so quota admin always works. tbuckets holds the per-tenant
+	// rate-limit token buckets; tcounters the per-tenant admission
+	// counters surfaced in /api/v2/stats.
+	tenants   *auth.TenantRegistry
+	tbMu      sync.Mutex
+	tbuckets  map[string]*tokenBucket
+	tcMu      sync.Mutex
+	tcounters map[string]*tenantCounters
+
 	// routeMu guards routeStats, the per-route HTTP counters the
 	// middleware chain maintains.
 	routeMu    sync.Mutex
@@ -192,6 +206,7 @@ type Service struct {
 type AsyncTask struct {
 	ID       string             `json:"id"`
 	Status   string             `json:"status"` // pending | completed | failed
+	Tenant   string             `json:"tenant,omitempty"`
 	Reply    *taskmanager.Reply `json:"reply,omitempty"`
 	Error    string             `json:"error,omitempty"`
 	Created  time.Time          `json:"created"`
@@ -223,16 +238,23 @@ func New(cfg Config) *Service {
 		// Visibility must exceed the longest single task (large batch
 		// chunks in the Fig. 7 sweeps run for minutes at one replica);
 		// redelivery is for lost Task Managers, not slow ones.
-		broker:   queue.NewBroker(10 * time.Minute),
-		index:    search.NewIndex(),
-		builder:  container.NewBuilder(cfg.Registry),
-		docs:     make(map[string]*schema.Document),
-		versions: make(map[string][]*schema.Document),
-		packages: make(map[string]*servable.Package),
-		tasks:    make(map[string]*asyncTask),
-		route:    newRoutingTable(),
-		stop:     make(chan struct{}),
-		timeFunc: time.Now,
+		broker:    queue.NewBroker(10 * time.Minute),
+		index:     search.NewIndex(),
+		builder:   container.NewBuilder(cfg.Registry),
+		docs:      make(map[string]*schema.Document),
+		versions:  make(map[string][]*schema.Document),
+		packages:  make(map[string]*servable.Package),
+		tasks:     make(map[string]*asyncTask),
+		route:     newRoutingTable(),
+		stop:      make(chan struct{}),
+		timeFunc:  time.Now,
+		tbuckets:  make(map[string]*tokenBucket),
+		tcounters: make(map[string]*tenantCounters),
+	}
+	if cfg.Auth != nil {
+		s.tenants = cfg.Auth.Tenants()
+	} else {
+		s.tenants = auth.NewTenantRegistry()
 	}
 	s.watcher = newLivenessWatcher(cfg.TMStaleAfter, func() time.Time { return s.timeFunc() })
 	s.lifeCtx, s.lifeCancel = context.WithCancel(context.Background())
@@ -414,10 +436,15 @@ func (s *Service) recordDeployment(servableID, tmID string, replicas int) error 
 
 // --- identity ---------------------------------------------------------------
 
-// Caller is a resolved request identity.
+// Caller is a resolved request identity. Tenant is the accounting
+// tag the admission layer and broker fairness key on: "" means the
+// anonymous/default tenant (unmapped identities, open mode), which
+// carries no quota and lands in the broker's default lane — the
+// pre-tenancy behavior, byte for byte.
 type Caller struct {
 	IdentityID string
 	Principals []string
+	Tenant     string
 }
 
 // Anonymous is the unauthenticated caller: it matches the public
@@ -441,6 +468,7 @@ func (s *Service) ResolveCaller(bearer string) (Caller, error) {
 	return Caller{
 		IdentityID: tok.IdentityID,
 		Principals: s.cfg.Auth.Principals(tok.IdentityID),
+		Tenant:     s.tenants.TenantOf(tok.IdentityID),
 	}, nil
 }
 
@@ -836,7 +864,7 @@ func (s *Service) invalidateCache(servableID string) {
 // marked CacheHit with their own request time. A follower's wait is
 // bounded by its own ctx, never the leader's; a canceled leader
 // releases its followers, one of which re-dispatches.
-func (s *Service) runCached(ctx context.Context, key, servableID string, task taskmanager.Task) (RunResult, error) {
+func (s *Service) runCached(ctx context.Context, caller Caller, key, servableID string, task taskmanager.Task) (RunResult, error) {
 	start := time.Now()
 	if res, ok := s.cache.get(key); ok {
 		return markCacheHit(res, start), nil
@@ -845,8 +873,10 @@ func (s *Service) runCached(ctx context.Context, key, servableID string, task ta
 	res, err, shared := s.flight.do(ctx, key, func() (RunResult, error) {
 		// Admission is checked by the leader only: followers add no
 		// load, and a leader rejection is the overload answer for the
-		// whole flight.
-		release, aerr := s.admitRun(servableID, 1)
+		// whole flight. The leader's tenant is billed — followers on
+		// the same key share its reservation like they share its
+		// dispatch.
+		release, aerr := s.admitRun(caller, servableID, 1)
 		if aerr != nil {
 			return RunResult{}, aerr
 		}
@@ -891,13 +921,14 @@ func (s *Service) Run(ctx context.Context, caller Caller, servableID string, inp
 		Executor: opts.Executor,
 		Input:    input,
 		NoMemo:   opts.NoMemo,
+		Tenant:   caller.Tenant,
 	}
 	if s.cacheUsable(opts) {
 		if key, err := resultKey(servableID, doc.Version, "run", input); err == nil {
-			return s.runCached(ctx, key, servableID, task)
+			return s.runCached(ctx, caller, key, servableID, task)
 		}
 	}
-	release, err := s.admitRun(servableID, 1)
+	release, err := s.admitRun(caller, servableID, 1)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -923,17 +954,18 @@ func (s *Service) RunBatch(ctx context.Context, caller Caller, servableID string
 		Executor: opts.Executor,
 		Inputs:   inputs,
 		NoMemo:   opts.NoMemo,
+		Tenant:   caller.Tenant,
 	}
 	// Pipelines are uncacheable here for the same reason as in Run:
 	// step servables version independently of the pipeline document.
 	if s.cacheUsable(opts) && doc.Servable.Type != schema.TypePipeline {
 		if key, err := resultKey(servableID, doc.Version, "batch", inputs); err == nil {
-			return s.runCached(ctx, key, servableID, task)
+			return s.runCached(ctx, caller, key, servableID, task)
 		}
 	}
 	// A batch reserves its input count: admitting a 250-item batch as
 	// one unit would let a single request blow far past the bound.
-	release, err := s.admitRun(servableID, len(inputs))
+	release, err := s.admitRun(caller, servableID, len(inputs))
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -1035,7 +1067,7 @@ func (s *Service) dispatchTo(ctx context.Context, tmID string, task taskmanager.
 	if err != nil {
 		return RunResult{}, err
 	}
-	replyBody, err := s.broker.RequestCtx(ctx, taskmanager.TaskQueue(tmID), body)
+	replyBody, err := s.broker.RequestCtx(ctx, taskmanager.TaskQueue(tmID), body, task.Tenant)
 	if err != nil {
 		return RunResult{}, wrapCtxErr(err)
 	}
@@ -1067,7 +1099,7 @@ func (s *Service) RunAsync(ctx context.Context, caller Caller, servableID string
 	}
 	id := queue.NewID()
 	at := &asyncTask{
-		AsyncTask: AsyncTask{ID: id, Status: "pending", Created: s.timeFunc()},
+		AsyncTask: AsyncTask{ID: id, Status: "pending", Tenant: caller.Tenant, Created: s.timeFunc()},
 		done:      make(chan struct{}),
 	}
 	s.taskMu.Lock()

@@ -126,7 +126,7 @@ func TestCloseFailsPendingAsync(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "")
+	ms.Broker().Push(taskmanager.RegisterQueue, reg, "", "", "")
 	if err := ms.WaitForTM(1, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}

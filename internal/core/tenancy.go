@@ -1,0 +1,228 @@
+package core
+
+// Tenancy: the service-side half of multi-tenant QoS. The tenant
+// registry (internal/auth.TenantRegistry) holds who maps to which
+// tenant and each tenant's quota spec; this file owns enforcement
+// state that must live with the serving path — per-tenant rate-limit
+// token buckets and per-tenant admission counters — plus the admin
+// surface (SetTenantQuota, TenantList, TenantStats) the HTTP layer
+// and CLI wrap. In-flight accounting itself lives in the routing
+// table's (tenant × servable) reservation matrix (routing.go), and
+// dequeue fairness in the broker's weighted lanes (internal/queue).
+//
+// Quotas are runtime state, like autoscale demand and routing: they
+// are not written to the durable store, so a restarted server comes
+// back with open quotas until the operator (or scenario) re-applies
+// them.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/auth"
+)
+
+// tenantLabel renders a data-plane tenant tag for humans: the empty
+// tag is the anonymous tenant.
+func tenantLabel(tenant string) string {
+	if tenant == "" {
+		return auth.AnonymousTenantID
+	}
+	return tenant
+}
+
+// tenantQuota resolves the quota spec enforced for a tenant tag. The
+// anonymous tenant ("") is never limited.
+func (s *Service) tenantQuota(tenant string) (auth.Quota, bool) {
+	if tenant == "" {
+		return auth.Quota{}, false
+	}
+	t, ok := s.tenants.Get(tenant)
+	if !ok {
+		return auth.Quota{}, false
+	}
+	return t.Quota, true
+}
+
+// tokenBucket is one tenant's rate-limit state: a standard token
+// bucket with capacity max(rate, 1) — a one-second burst.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// takeTenantToken consumes one admission token from the tenant's
+// bucket, reporting false (reject) when the bucket is empty. The rate
+// is passed in from the quota at each admission so a quota update
+// applies immediately.
+func (s *Service) takeTenantToken(tenant string, rate float64) bool {
+	now := s.timeFunc()
+	s.tbMu.Lock()
+	defer s.tbMu.Unlock()
+	b, ok := s.tbuckets[tenant]
+	if !ok {
+		b = &tokenBucket{tokens: rate, last: now}
+		s.tbuckets[tenant] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * rate
+		b.last = now
+	}
+	burst := rate
+	if burst < 1 {
+		burst = 1
+	}
+	if b.tokens > burst {
+		b.tokens = burst
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tenantCounters are one tenant's admission outcomes, guarded by
+// Service.tcMu.
+type tenantCounters struct {
+	admitted         uint64
+	rejectedQuota    uint64
+	rejectedOverload uint64
+}
+
+// countersLocked returns the tenant's counter record; tcMu held.
+func (s *Service) countersLocked(tenant string) *tenantCounters {
+	c, ok := s.tcounters[tenant]
+	if !ok {
+		c = &tenantCounters{}
+		s.tcounters[tenant] = c
+	}
+	return c
+}
+
+func (s *Service) noteAdmitted(tenant string) {
+	s.tcMu.Lock()
+	defer s.tcMu.Unlock()
+	s.countersLocked(tenant).admitted++
+}
+
+func (s *Service) noteQuotaRejected(tenant string) {
+	s.tcMu.Lock()
+	defer s.tcMu.Unlock()
+	s.countersLocked(tenant).rejectedQuota++
+}
+
+func (s *Service) noteOverloadRejected(tenant string) {
+	s.tcMu.Lock()
+	defer s.tcMu.Unlock()
+	s.countersLocked(tenant).rejectedOverload++
+}
+
+// --- admin surface -----------------------------------------------------------
+
+// TenantView is the wire shape of a tenant record (quota spec).
+type TenantView struct {
+	ID          string  `json:"id"`
+	Name        string  `json:"name,omitempty"`
+	Priority    string  `json:"priority,omitempty"`
+	MaxInFlight int     `json:"max_in_flight,omitempty"`
+	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
+	Weight      int     `json:"weight"`
+}
+
+func tenantView(t auth.Tenant) TenantView {
+	return TenantView{
+		ID:          t.ID,
+		Name:        t.Name,
+		Priority:    t.Quota.Priority,
+		MaxInFlight: t.Quota.MaxInFlight,
+		RatePerSec:  t.Quota.RatePerSec,
+		Weight:      auth.PriorityWeight(t.Quota.Priority),
+	}
+}
+
+// SetTenantQuota installs or replaces a tenant's quota spec and pushes
+// the priority class's dequeue weight to the broker, so fairness and
+// the next admission check both see the update immediately.
+func (s *Service) SetTenantQuota(tenantID string, q auth.Quota) (TenantView, error) {
+	if tenantID == "" || tenantID == auth.AnonymousTenantID {
+		return TenantView{}, ErrBadRequest.WithDetail("the anonymous tenant cannot carry a quota")
+	}
+	if !auth.ValidPriority(q.Priority) {
+		return TenantView{}, ErrBadRequest.WithDetail(fmt.Sprintf("unknown priority class %q (want high|normal|low)", q.Priority))
+	}
+	if q.MaxInFlight < 0 || q.RatePerSec < 0 {
+		return TenantView{}, ErrBadRequest.WithDetail("quota bounds must be >= 0 (0 = unlimited)")
+	}
+	t := s.tenants.SetQuota(tenantID, q)
+	s.broker.SetLaneWeight(tenantID, auth.PriorityWeight(q.Priority))
+	return tenantView(t), nil
+}
+
+// BindTenant maps an identity URN onto a tenant for token resolution.
+func (s *Service) BindTenant(identityID, tenantID string) {
+	s.tenants.Bind(identityID, tenantID)
+}
+
+// TenantList returns every registered tenant's quota spec, sorted by
+// ID.
+func (s *Service) TenantList() []TenantView {
+	ts := s.tenants.List()
+	out := make([]TenantView, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, tenantView(t))
+	}
+	return out
+}
+
+// TenantStats is one tenant's serving-path counters: admission
+// outcomes, live in-flight reservations, and its share of broker
+// dequeues (the fairness observable).
+type TenantStats struct {
+	Admitted         uint64  `json:"admitted"`
+	RejectedQuota    uint64  `json:"rejected_quota"`
+	RejectedOverload uint64  `json:"rejected_overload"`
+	InFlight         int     `json:"in_flight"`
+	Dequeued         uint64  `json:"dequeued"`
+	DequeueShare     float64 `json:"dequeue_share"`
+}
+
+// TenantStatsAll merges the three per-tenant observables — admission
+// counters, reservation-table in-flight, broker lane dequeues — keyed
+// by tenant (the anonymous lane under "anonymous").
+func (s *Service) TenantStatsAll() map[string]TenantStats {
+	out := map[string]TenantStats{}
+	get := func(tag string) TenantStats { return out[tenantLabel(tag)] }
+	put := func(tag string, st TenantStats) { out[tenantLabel(tag)] = st }
+
+	s.tcMu.Lock()
+	for tag, c := range s.tcounters {
+		st := get(tag)
+		st.Admitted = c.admitted
+		st.RejectedQuota = c.rejectedQuota
+		st.RejectedOverload = c.rejectedOverload
+		put(tag, st)
+	}
+	s.tcMu.Unlock()
+
+	for tag, n := range s.route.reservedByTenant() {
+		st := get(tag)
+		st.InFlight = n
+		put(tag, st)
+	}
+
+	deq := s.broker.LaneDequeues()
+	var total uint64
+	for _, n := range deq {
+		total += n
+	}
+	for tag, n := range deq {
+		st := get(tag)
+		st.Dequeued = n
+		if total > 0 {
+			st.DequeueShare = float64(n) / float64(total)
+		}
+		put(tag, st)
+	}
+	return out
+}

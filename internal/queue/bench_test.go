@@ -11,7 +11,7 @@ func BenchmarkPushPullAck(b *testing.B) {
 	body := make([]byte, 256)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		br.Push("bench", body, "", "")
+		br.Push("bench", body, "", "", "")
 		msg, ok := br.Pull("bench", 0)
 		if !ok {
 			b.Fatal("message missing")
@@ -52,7 +52,7 @@ func BenchmarkConcurrentProducersConsumers(b *testing.B) {
 	defer br.Close()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			br.Push("par", []byte("x"), "", "")
+			br.Push("par", []byte("x"), "", "", "")
 			if msg, ok := br.Pull("par", time.Second); ok {
 				br.Ack("par", msg.ID)
 			}

@@ -9,6 +9,17 @@
 // with per-message ReplyTo queues, mirroring the paper's flow where Task
 // Managers "retrieve waiting tasks from the queue, unpackage the
 // request, execute the task, and return the results via the same queue."
+//
+// Fairness: each named queue is internally striped into per-tenant
+// lanes, drained by deficit round-robin (DRR) weighted by the tenant's
+// priority class (SetLaneWeight). A push carries an optional tenant
+// tag; untagged messages land in the default lane (""), and a queue
+// that only ever sees one lane degenerates to exactly the old single
+// FIFO — order, redelivery, and Drop/Purge semantics unchanged. With
+// multiple lanes, a flood from one tenant can deepen only its own
+// lane: the DRR scheduler keeps serving other lanes at their weighted
+// share, so a quiet tenant's latency is bounded by its own backlog,
+// not the aggressor's.
 package queue
 
 import (
@@ -32,6 +43,9 @@ type Message struct {
 	ReplyTo string `json:"reply_to,omitempty"`
 	// CorrelationID links a reply to its request.
 	CorrelationID string `json:"correlation_id,omitempty"`
+	// Tenant is the fairness lane tag ("" = default lane). Redelivery
+	// returns a message to its own lane.
+	Tenant string `json:"tenant,omitempty"`
 	// Body is the opaque payload.
 	Body []byte `json:"body"`
 	// Attempt counts deliveries (1 on first delivery).
@@ -60,15 +74,73 @@ type pendingMsg struct {
 	deadline time.Time
 }
 
+// lane is one tenant's FIFO within a named queue. deficit is the DRR
+// byte^W message credit: each round-robin visit tops it up by the
+// lane's weight, and each dequeue spends one.
+type lane struct {
+	ready   *list.List // of Message
+	deficit int
+}
+
+// namedQueue holds per-tenant ready lanes plus the queue-wide pending
+// set and parked consumers. Invariant: every lane present in lanes /
+// order has at least one ready message — lanes are created on first
+// push and removed the moment they drain, so the DRR rotation never
+// spins over empty lanes and a single-tenant queue is one FIFO.
 type namedQueue struct {
 	mu      sync.Mutex
-	ready   *list.List // of Message
+	lanes   map[string]*lane
+	order   []string // DRR visit order (lane creation order)
+	rr      int      // index into order of the lane being served
 	pending map[string]*pendingMsg
 	waiters *list.List // of chan Message
 }
 
 func newNamedQueue() *namedQueue {
-	return &namedQueue{ready: list.New(), pending: make(map[string]*pendingMsg), waiters: list.New()}
+	return &namedQueue{
+		lanes:   make(map[string]*lane),
+		pending: make(map[string]*pendingMsg),
+		waiters: list.New(),
+	}
+}
+
+// laneLocked returns the tag's lane, creating and enrolling it in the
+// rotation if needed. q.mu held.
+func (q *namedQueue) laneLocked(tag string) *lane {
+	ln, ok := q.lanes[tag]
+	if !ok {
+		ln = &lane{ready: list.New()}
+		q.lanes[tag] = ln
+		q.order = append(q.order, tag)
+	}
+	return ln
+}
+
+// removeLaneLocked drops a drained lane from the rotation, keeping rr
+// pointed at the same next-up lane. q.mu held.
+func (q *namedQueue) removeLaneLocked(tag string) {
+	delete(q.lanes, tag)
+	for i, name := range q.order {
+		if name == tag {
+			q.order = append(q.order[:i], q.order[i+1:]...)
+			if i < q.rr {
+				q.rr--
+			}
+			break
+		}
+	}
+	if q.rr >= len(q.order) {
+		q.rr = 0
+	}
+}
+
+// readyLenLocked sums ready messages across lanes. q.mu held.
+func (q *namedQueue) readyLenLocked() int {
+	n := 0
+	for _, ln := range q.lanes {
+		n += ln.ready.Len()
+	}
+	return n
 }
 
 // Broker is an in-process message broker. Remote access goes through
@@ -81,6 +153,14 @@ type Broker struct {
 	visibility time.Duration
 	stopSweep  chan struct{}
 	sweepOnce  sync.Once
+
+	// fairMu guards the broker-wide fairness state: configured lane
+	// weights and the per-tenant dequeue counters (the stats
+	// observable for dequeue share). It is a leaf lock — acquired
+	// under q.mu, never the other way around.
+	fairMu     sync.Mutex
+	laneWeight map[string]int
+	dequeues   map[string]uint64
 }
 
 // NewBroker creates a broker whose unacknowledged deliveries become
@@ -93,6 +173,8 @@ func NewBroker(visibility time.Duration) *Broker {
 		queues:     make(map[string]*namedQueue),
 		visibility: visibility,
 		stopSweep:  make(chan struct{}),
+		laneWeight: make(map[string]int),
+		dequeues:   make(map[string]uint64),
 	}
 	go b.sweeper()
 	return b
@@ -100,6 +182,48 @@ func NewBroker(visibility time.Duration) *Broker {
 
 // Close stops the redelivery sweeper.
 func (b *Broker) Close() { b.sweepOnce.Do(func() { close(b.stopSweep) }) }
+
+// SetLaneWeight sets the DRR quantum for a tenant lane across every
+// queue (weights are a tenant property, not a queue property). Weights
+// below 1 are clamped to 1; unconfigured lanes weigh 1.
+func (b *Broker) SetLaneWeight(tenant string, weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	b.fairMu.Lock()
+	b.laneWeight[tenant] = weight
+	b.fairMu.Unlock()
+}
+
+// laneWeightOf resolves a lane's DRR quantum (default 1).
+func (b *Broker) laneWeightOf(tenant string) int {
+	b.fairMu.Lock()
+	defer b.fairMu.Unlock()
+	if w, ok := b.laneWeight[tenant]; ok {
+		return w
+	}
+	return 1
+}
+
+// noteDequeue counts one delivery on a tenant lane.
+func (b *Broker) noteDequeue(tenant string) {
+	b.fairMu.Lock()
+	b.dequeues[tenant]++
+	b.fairMu.Unlock()
+}
+
+// LaneDequeues snapshots the per-tenant delivery counters (reply-queue
+// deliveries land on the requesting tenant's own tag, or the default
+// lane).
+func (b *Broker) LaneDequeues() map[string]uint64 {
+	b.fairMu.Lock()
+	defer b.fairMu.Unlock()
+	out := make(map[string]uint64, len(b.dequeues))
+	for t, n := range b.dequeues {
+		out[t] = n
+	}
+	return out
+}
 
 func (b *Broker) queue(name string) *namedQueue {
 	b.mu.RLock()
@@ -119,12 +243,14 @@ func (b *Broker) queue(name string) *namedQueue {
 }
 
 // Push enqueues body on the named queue and returns the message ID.
-func (b *Broker) Push(queueName string, body []byte, replyTo, correlationID string) string {
+// tenant tags the fairness lane ("" = default).
+func (b *Broker) Push(queueName string, body []byte, replyTo, correlationID, tenant string) string {
 	msg := Message{
 		ID:            NewID(),
 		Queue:         queueName,
 		ReplyTo:       replyTo,
 		CorrelationID: correlationID,
+		Tenant:        tenant,
 		Body:          body,
 		enqueued:      time.Now(),
 	}
@@ -148,7 +274,7 @@ func (b *Broker) DeleteQueue(name string) bool {
 		return false
 	}
 	q.mu.Lock()
-	idle := q.ready.Len() == 0 && len(q.pending) == 0 && q.waiters.Len() == 0
+	idle := len(q.lanes) == 0 && len(q.pending) == 0 && q.waiters.Len() == 0
 	q.mu.Unlock()
 	if !idle {
 		return false
@@ -159,7 +285,10 @@ func (b *Broker) DeleteQueue(name string) bool {
 
 func (b *Broker) deliver(q *namedQueue, msg Message) {
 	q.mu.Lock()
-	// Hand directly to a waiting consumer when one is parked.
+	// Hand directly to a waiting consumer when one is parked. The
+	// queue is necessarily empty then (a waiter only parks on an empty
+	// queue), so fairness has nothing to arbitrate — but the delivery
+	// still counts toward the lane's dequeue share.
 	for q.waiters.Len() > 0 {
 		front := q.waiters.Front()
 		ch := front.Value.(chan Message)
@@ -167,11 +296,44 @@ func (b *Broker) deliver(q *namedQueue, msg Message) {
 		msg.Attempt++
 		q.pending[msg.ID] = &pendingMsg{msg: msg, deadline: time.Now().Add(b.visibility)}
 		q.mu.Unlock()
+		b.noteDequeue(msg.Tenant)
 		ch <- msg
 		return
 	}
-	q.ready.PushBack(msg)
+	q.laneLocked(msg.Tenant).ready.PushBack(msg)
 	q.mu.Unlock()
+}
+
+// popLocked removes and returns the next ready message under deficit
+// round-robin: the rotation stays on one lane until its deficit (topped
+// up by the lane weight on each visit) is spent or the lane drains,
+// then advances. q.mu held; reports false on an empty queue.
+func (b *Broker) popLocked(q *namedQueue) (Message, bool) {
+	if len(q.order) == 0 {
+		return Message{}, false
+	}
+	if q.rr >= len(q.order) {
+		q.rr = 0
+	}
+	tag := q.order[q.rr]
+	ln := q.lanes[tag]
+	if ln.deficit <= 0 {
+		ln.deficit = b.laneWeightOf(tag)
+	}
+	msg := ln.ready.Remove(ln.ready.Front()).(Message)
+	ln.deficit--
+	switch {
+	case ln.ready.Len() == 0:
+		// Drained lanes leave the rotation (and forfeit leftover
+		// credit — an idle tenant must not bank a burst).
+		q.removeLaneLocked(tag)
+	case ln.deficit <= 0:
+		q.rr++
+		if q.rr >= len(q.order) {
+			q.rr = 0
+		}
+	}
+	return msg, true
 }
 
 // Pull waits up to timeout for a message on the named queue. ok is false
@@ -188,13 +350,11 @@ func (b *Broker) Pull(queueName string, timeout time.Duration) (Message, bool) {
 func (b *Broker) PullCtx(ctx context.Context, queueName string, timeout time.Duration) (Message, bool) {
 	q := b.queue(queueName)
 	q.mu.Lock()
-	if q.ready.Len() > 0 {
-		front := q.ready.Front()
-		msg := front.Value.(Message)
-		q.ready.Remove(front)
+	if msg, ok := b.popLocked(q); ok {
 		msg.Attempt++
 		q.pending[msg.ID] = &pendingMsg{msg: msg, deadline: time.Now().Add(b.visibility)}
 		q.mu.Unlock()
+		b.noteDequeue(msg.Tenant)
 		return msg, true
 	}
 	if timeout <= 0 && ctx.Done() == nil {
@@ -234,7 +394,7 @@ func (b *Broker) PullCtx(ctx context.Context, queueName string, timeout time.Dur
 	}
 }
 
-// Drop removes a not-yet-delivered message from a queue's ready list,
+// Drop removes a not-yet-delivered message from a queue's ready lanes,
 // reporting whether it was found. A canceled requester uses it to
 // withdraw its task before any consumer picks it up; once delivered
 // (pending) the message is the consumer's and Drop reports false.
@@ -242,10 +402,15 @@ func (b *Broker) Drop(queueName, msgID string) bool {
 	q := b.queue(queueName)
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for e := q.ready.Front(); e != nil; e = e.Next() {
-		if e.Value.(Message).ID == msgID {
-			q.ready.Remove(e)
-			return true
+	for tag, ln := range q.lanes {
+		for e := ln.ready.Front(); e != nil; e = e.Next() {
+			if e.Value.(Message).ID == msgID {
+				ln.ready.Remove(e)
+				if ln.ready.Len() == 0 {
+					q.removeLaneLocked(tag)
+				}
+				return true
+			}
 		}
 	}
 	return false
@@ -263,8 +428,10 @@ func (b *Broker) Purge(queueName string) int {
 	q := b.queue(queueName)
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	n := q.ready.Len() + len(q.pending)
-	q.ready.Init()
+	n := q.readyLenLocked() + len(q.pending)
+	q.lanes = make(map[string]*lane)
+	q.order = nil
+	q.rr = 0
 	q.pending = make(map[string]*pendingMsg)
 	return n
 }
@@ -282,7 +449,8 @@ func (b *Broker) Ack(queueName, msgID string) bool {
 	return true
 }
 
-// Nack returns a delivered message to the queue immediately.
+// Nack returns a delivered message to the queue (its own lane)
+// immediately.
 func (b *Broker) Nack(queueName, msgID string) bool {
 	q := b.queue(queueName)
 	q.mu.Lock()
@@ -305,12 +473,24 @@ func (b *Broker) Queues() int {
 	return len(b.queues)
 }
 
-// Len reports ready (not in-flight) messages on a queue.
+// Len reports ready (not in-flight) messages on a queue, across all
+// lanes.
 func (b *Broker) Len(queueName string) int {
 	q := b.queue(queueName)
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return q.ready.Len()
+	return q.readyLenLocked()
+}
+
+// LaneLen reports ready messages on one tenant lane of a queue.
+func (b *Broker) LaneLen(queueName, tenant string) int {
+	q := b.queue(queueName)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ln, ok := q.lanes[tenant]; ok {
+		return ln.ready.Len()
+	}
+	return 0
 }
 
 // InFlight reports delivered-but-unacknowledged messages on a queue.
@@ -362,15 +542,20 @@ func (b *Broker) sweep(now time.Time) {
 			// reply older than the visibility window means its requester
 			// is gone (canceled after the task was pulled) — drop it so
 			// abandoned replies cannot accumulate.
-			for e := q.ready.Front(); e != nil; {
-				next := e.Next()
-				if e.Value.(Message).enqueued.Before(staleCutoff) {
-					q.ready.Remove(e)
+			for tag, ln := range q.lanes {
+				for e := ln.ready.Front(); e != nil; {
+					next := e.Next()
+					if e.Value.(Message).enqueued.Before(staleCutoff) {
+						ln.ready.Remove(e)
+					}
+					e = next
 				}
-				e = next
+				if ln.ready.Len() == 0 {
+					q.removeLaneLocked(tag)
+				}
 			}
 		}
-		empty := q.ready.Len() == 0 && len(q.pending) == 0 && q.waiters.Len() == 0
+		empty := len(q.lanes) == 0 && len(q.pending) == 0 && q.waiters.Len() == 0
 		q.mu.Unlock()
 		for _, msg := range expired {
 			b.deliver(q, msg)
@@ -388,7 +573,7 @@ func (b *Broker) sweep(now time.Time) {
 func (b *Broker) Request(queueName string, body []byte, timeout time.Duration) ([]byte, bool) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	reply, err := b.RequestCtx(ctx, queueName, body)
+	reply, err := b.RequestCtx(ctx, queueName, body, "")
 	return reply, err == nil
 }
 
@@ -400,11 +585,11 @@ func (b *Broker) Request(queueName string, body []byte, timeout time.Duration) (
 // queue when no consumer has pulled it yet, so canceled work never
 // executes needlessly; the per-request reply queue is deleted on every
 // exit path (the sweeper collects it if a straggling reply recreates
-// it).
-func (b *Broker) RequestCtx(ctx context.Context, queueName string, body []byte) ([]byte, error) {
+// it). tenant tags the request's fairness lane on the task queue.
+func (b *Broker) RequestCtx(ctx context.Context, queueName string, body []byte, tenant string) ([]byte, error) {
 	replyQ := replyQueuePrefix + NewID()
 	corr := NewID()
-	msgID := b.Push(queueName, body, replyQ, corr)
+	msgID := b.Push(queueName, body, replyQ, corr, tenant)
 	defer b.DeleteQueue(replyQ)
 	// With no Done channel, PullCtx needs a finite poll window to block
 	// at all; loop forever in visibility-sized slices.
@@ -436,10 +621,13 @@ func (b *Broker) RequestCtx(ctx context.Context, queueName string, body []byte) 
 }
 
 // Reply pushes a response for msg onto its ReplyTo queue and acks the
-// original. It is a no-op for messages with no ReplyTo.
+// original. It is a no-op for messages with no ReplyTo. The reply
+// inherits the request's tenant tag, so reply-side dequeues are billed
+// to the same lane (a reply queue has one consumer — fairness never
+// arbitrates it).
 func (b *Broker) Reply(msg Message, body []byte) {
 	if msg.ReplyTo != "" {
-		b.Push(msg.ReplyTo, body, "", msg.CorrelationID)
+		b.Push(msg.ReplyTo, body, "", msg.CorrelationID, msg.Tenant)
 	}
 	b.Ack(msg.Queue, msg.ID)
 }

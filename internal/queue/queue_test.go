@@ -14,7 +14,7 @@ import (
 func TestPushPull(t *testing.T) {
 	b := NewBroker(time.Second)
 	defer b.Close()
-	id := b.Push("tasks", []byte("work"), "", "")
+	id := b.Push("tasks", []byte("work"), "", "", "")
 	if id == "" {
 		t.Fatal("Push should return an ID")
 	}
@@ -54,7 +54,7 @@ func TestPullWakesWaiter(t *testing.T) {
 		}
 	}()
 	time.Sleep(20 * time.Millisecond)
-	b.Push("tasks", []byte("late"), "", "")
+	b.Push("tasks", []byte("late"), "", "", "")
 	select {
 	case msg := <-done:
 		if string(msg.Body) != "late" {
@@ -68,7 +68,7 @@ func TestPullWakesWaiter(t *testing.T) {
 func TestVisibilityTimeoutRedelivers(t *testing.T) {
 	b := NewBroker(50 * time.Millisecond)
 	defer b.Close()
-	b.Push("tasks", []byte("flaky"), "", "")
+	b.Push("tasks", []byte("flaky"), "", "", "")
 	msg, ok := b.Pull("tasks", 0)
 	if !ok {
 		t.Fatal("first delivery missing")
@@ -93,7 +93,7 @@ func TestVisibilityTimeoutRedelivers(t *testing.T) {
 func TestNackImmediateRequeue(t *testing.T) {
 	b := NewBroker(time.Hour)
 	defer b.Close()
-	b.Push("tasks", []byte("retry-me"), "", "")
+	b.Push("tasks", []byte("retry-me"), "", "", "")
 	msg, _ := b.Pull("tasks", 0)
 	if !b.Nack("tasks", msg.ID) {
 		t.Fatal("Nack should succeed")
@@ -119,7 +119,7 @@ func TestFIFOOrdering(t *testing.T) {
 	b := NewBroker(time.Second)
 	defer b.Close()
 	for i := 0; i < 20; i++ {
-		b.Push("tasks", []byte{byte(i)}, "", "")
+		b.Push("tasks", []byte{byte(i)}, "", "", "")
 	}
 	for i := 0; i < 20; i++ {
 		msg, ok := b.Pull("tasks", 0)
@@ -185,7 +185,7 @@ func TestAllMessagesDelivered(t *testing.T) {
 		}()
 	}
 	for i := 0; i < n; i++ {
-		b.Push("bulk", []byte(fmt.Sprintf("m%d", i)), "", "")
+		b.Push("bulk", []byte(fmt.Sprintf("m%d", i)), "", "", "")
 	}
 	wg.Wait()
 	if len(seen) != n {
@@ -201,7 +201,7 @@ func TestAllMessagesDelivered(t *testing.T) {
 func TestQueueIsolation(t *testing.T) {
 	b := NewBroker(time.Second)
 	defer b.Close()
-	b.Push("a", []byte("for-a"), "", "")
+	b.Push("a", []byte("for-a"), "", "", "")
 	if _, ok := b.Pull("b", 0); ok {
 		t.Fatal("queue b should be empty")
 	}
@@ -213,8 +213,8 @@ func TestQueueIsolation(t *testing.T) {
 func TestLenAndInFlight(t *testing.T) {
 	b := NewBroker(time.Minute)
 	defer b.Close()
-	b.Push("q", []byte("1"), "", "")
-	b.Push("q", []byte("2"), "", "")
+	b.Push("q", []byte("1"), "", "", "")
+	b.Push("q", []byte("2"), "", "", "")
 	if b.Len("q") != 2 || b.InFlight("q") != 0 {
 		t.Fatalf("want 2 ready/0 inflight, got %d/%d", b.Len("q"), b.InFlight("q"))
 	}
@@ -260,7 +260,7 @@ func TestTransportPushPullAck(t *testing.T) {
 	defer b.Close()
 	c := startTransport(t, b)
 
-	id, err := c.Push("remote", []byte("payload"), "", "")
+	id, err := c.Push("remote", []byte("payload"), "", "", "")
 	if err != nil || id == "" {
 		t.Fatalf("push failed: %v", err)
 	}
@@ -350,7 +350,7 @@ func TestCanceledRequestReplyGC(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
 	go func() {
-		_, err := b.RequestCtx(ctx, "work", []byte("ping"))
+		_, err := b.RequestCtx(ctx, "work", []byte("ping"), "")
 		errCh <- err
 	}()
 	msg, ok := b.Pull("work", 2*time.Second) // consumer claims the task
@@ -384,7 +384,7 @@ func TestRequestCtxUnboundedContext(t *testing.T) {
 			b.Reply(msg, []byte("pong"))
 		}
 	}()
-	reply, err := b.RequestCtx(context.Background(), "work", []byte("ping"))
+	reply, err := b.RequestCtx(context.Background(), "work", []byte("ping"), "")
 	if err != nil || string(reply) != "pong" {
 		t.Fatalf("unbounded RequestCtx: %q %v", reply, err)
 	}
@@ -396,9 +396,9 @@ func TestRequestCtxUnboundedContext(t *testing.T) {
 func TestPurge(t *testing.T) {
 	b := NewBroker(50 * time.Millisecond)
 	defer b.Close()
-	b.Push("tasks", []byte("claimed"), "", "")
-	b.Push("tasks", []byte("ready-1"), "", "")
-	b.Push("tasks", []byte("ready-2"), "", "")
+	b.Push("tasks", []byte("claimed"), "", "", "")
+	b.Push("tasks", []byte("ready-1"), "", "", "")
+	b.Push("tasks", []byte("ready-2"), "", "", "")
 	if _, ok := b.Pull("tasks", time.Second); !ok { // claim one, never ack
 		t.Fatal("no message to claim")
 	}
@@ -414,7 +414,7 @@ func TestPurge(t *testing.T) {
 		t.Fatal("purged claimed message was redelivered by the sweeper")
 	}
 	// The queue still works for new traffic.
-	b.Push("tasks", []byte("fresh"), "", "")
+	b.Push("tasks", []byte("fresh"), "", "", "")
 	if msg, ok := b.Pull("tasks", time.Second); !ok || string(msg.Body) != "fresh" {
 		t.Fatalf("post-purge delivery broken: %v %v", msg, ok)
 	}

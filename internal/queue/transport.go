@@ -43,6 +43,7 @@ type pushReq struct {
 	Body          []byte `json:"body"`
 	ReplyTo       string `json:"reply_to"`
 	CorrelationID string `json:"correlation_id"`
+	Tenant        string `json:"tenant,omitempty"`
 }
 
 type pullReq struct {
@@ -65,7 +66,7 @@ func (s *Server) handlePush(_ context.Context, payload []byte) ([]byte, error) {
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return nil, fmt.Errorf("queue: bad push request: %w", err)
 	}
-	id := s.broker.Push(req.Queue, req.Body, req.ReplyTo, req.CorrelationID)
+	id := s.broker.Push(req.Queue, req.Body, req.ReplyTo, req.CorrelationID, req.Tenant)
 	return json.Marshal(map[string]string{"id": id})
 }
 
@@ -118,8 +119,9 @@ func NewClient(conn net.Conn) *Client { return &Client{rc: rpc.NewClient(conn)} 
 func (c *Client) Close() error { return c.rc.Close() }
 
 // Push enqueues remotely; it returns the broker-assigned message ID.
-func (c *Client) Push(queueName string, body []byte, replyTo, correlationID string) (string, error) {
-	payload, err := json.Marshal(pushReq{Queue: queueName, Body: body, ReplyTo: replyTo, CorrelationID: correlationID})
+// tenant tags the fairness lane ("" = default).
+func (c *Client) Push(queueName string, body []byte, replyTo, correlationID, tenant string) (string, error) {
+	payload, err := json.Marshal(pushReq{Queue: queueName, Body: body, ReplyTo: replyTo, CorrelationID: correlationID, Tenant: tenant})
 	if err != nil {
 		return "", err
 	}
@@ -174,10 +176,11 @@ func (c *Client) Nack(queueName, msgID string) error {
 	return err
 }
 
-// Reply pushes a response onto msg's ReplyTo queue and acks the original.
+// Reply pushes a response onto msg's ReplyTo queue and acks the
+// original, inheriting the request's tenant tag.
 func (c *Client) Reply(msg Message, body []byte) error {
 	if msg.ReplyTo != "" {
-		if _, err := c.Push(msg.ReplyTo, body, "", msg.CorrelationID); err != nil {
+		if _, err := c.Push(msg.ReplyTo, body, "", msg.CorrelationID, msg.Tenant); err != nil {
 			return err
 		}
 	}
@@ -188,7 +191,7 @@ func (c *Client) Reply(msg Message, body []byte) error {
 func (c *Client) Request(queueName string, body []byte, timeout time.Duration) ([]byte, bool, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	reply, err := c.RequestCtx(ctx, queueName, body)
+	reply, err := c.RequestCtx(ctx, queueName, body, "")
 	switch {
 	case err == nil:
 		return reply, true, nil
@@ -211,10 +214,10 @@ func (c *Client) DeleteQueue(name string) error {
 // distinguish cancellation from deadline expiry or transport failure.
 // The per-request reply queue is deleted on exit (best effort — the
 // broker's sweeper collects strays).
-func (c *Client) RequestCtx(ctx context.Context, queueName string, body []byte) ([]byte, error) {
+func (c *Client) RequestCtx(ctx context.Context, queueName string, body []byte, tenant string) ([]byte, error) {
 	replyQ := replyQueuePrefix + NewID()
 	corr := NewID()
-	if _, err := c.Push(queueName, body, replyQ, corr); err != nil {
+	if _, err := c.Push(queueName, body, replyQ, corr, tenant); err != nil {
 		return nil, err
 	}
 	defer c.DeleteQueue(replyQ) //nolint:errcheck — sweeper backstops

@@ -53,6 +53,10 @@ type Task struct {
 	Steps    []string `json:"steps,omitempty"`  // pipeline
 	Replicas int      `json:"replicas,omitempty"`
 	NoMemo   bool     `json:"no_memo,omitempty"` // per-task memo override
+	// Tenant is the submitting tenant's tag ("" = anonymous): set by
+	// the Management Service from the resolved caller, carried on the
+	// task record and the queue fairness lane.
+	Tenant string `json:"tenant,omitempty"`
 	// Package carries the servable package for deploys.
 	Package *PackageWire `json:"package,omitempty"`
 }
@@ -124,7 +128,7 @@ type Registration struct {
 // QueueAPI abstracts the broker connection (in-process broker or remote
 // netsim-shaped client).
 type QueueAPI interface {
-	Push(queueName string, body []byte, replyTo, correlationID string) (string, error)
+	Push(queueName string, body []byte, replyTo, correlationID, tenant string) (string, error)
 	Pull(queueName string, timeout time.Duration) (queue.Message, bool, error)
 	Ack(queueName, msgID string) error
 	Reply(msg queue.Message, body []byte) error
@@ -134,8 +138,8 @@ type QueueAPI interface {
 type BrokerAdapter struct{ B *queue.Broker }
 
 // Push implements QueueAPI.
-func (a BrokerAdapter) Push(q string, body []byte, replyTo, corr string) (string, error) {
-	return a.B.Push(q, body, replyTo, corr), nil
+func (a BrokerAdapter) Push(q string, body []byte, replyTo, corr, tenant string) (string, error) {
+	return a.B.Push(q, body, replyTo, corr, tenant), nil
 }
 
 // Pull implements QueueAPI.
@@ -245,7 +249,7 @@ func New(cfg Config) (*TM, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := cfg.Queue.Push(RegisterQueue, reg, "", ""); err != nil {
+	if _, err := cfg.Queue.Push(RegisterQueue, reg, "", "", ""); err != nil {
 		return nil, fmt.Errorf("taskmanager: registration failed: %w", err)
 	}
 	for i := 0; i < cfg.Pullers; i++ {
@@ -275,7 +279,7 @@ func (tm *TM) heartbeatLoop() {
 			reg.Active = tm.Active()
 			reg.Draining = tm.Draining()
 			if body, err := json.Marshal(reg); err == nil {
-				tm.cfg.Queue.Push(RegisterQueue, body, "", "") //nolint:errcheck — next beat retries
+				tm.cfg.Queue.Push(RegisterQueue, body, "", "", "") //nolint:errcheck — next beat retries
 			}
 		}
 	}

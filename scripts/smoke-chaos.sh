@@ -22,7 +22,9 @@ build_bins dlhub-server dlhub-taskmanager dlhub
 # Liveness window 1500ms against 300ms heartbeats: 5 missed beats
 # declare a TM dead — fast enough that failover lands well inside the
 # default 120s request deadline, slow enough that a loaded-but-alive TM
-# is never falsely declared lost.
+# is never falsely declared lost. (Liveness is on by default now —
+# -tm-stale-after defaults to 15s, 3x the default heartbeat — but this
+# smoke compresses both to keep the kill-to-failover window short.)
 "$SMOKE_BIN/dlhub-server" -http "$HTTP" -queue "$QUEUE" -tm-stale-after 1500ms &
 wait_for_healthy "$BASE"
 "$SMOKE_BIN/dlhub-taskmanager" -queue "$QUEUE" -id chaos-tm-1 -nodes 2 -heartbeat 300ms &

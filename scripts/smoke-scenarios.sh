@@ -35,7 +35,7 @@ for f in scenarios/*.yaml; do
   "$SMOKE_BIN/dlhub-bench" -scenario "$f" -verify-json "$json"
 done
 
-echo "== compressed replays (chaos + ramp + MS restart + saturation) =="
+echo "== compressed replays (chaos + ramp + MS restart + saturation + tenants) =="
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/chaos-tm-kill.yaml \
   -scenario-compress 2 -json "$SMOKE_WORK/BENCH_chaos.json"
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/diurnal-ramp.yaml \
@@ -44,6 +44,10 @@ echo "== compressed replays (chaos + ramp + MS restart + saturation) =="
   -scenario-compress 2 -json "$SMOKE_WORK/BENCH_msrestart.json"
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/saturation.yaml \
   -scenario-compress 4 -json "$SMOKE_WORK/BENCH_saturation.json"
+# Multi-tenant QoS: the hog tenant floods at 10x its quota; the run
+# fails unless the quiet tenant finishes with zero rejections.
+"$SMOKE_BIN/dlhub-bench" -scenario scenarios/tenant-fairness.yaml \
+  -scenario-compress 3 -json "$SMOKE_WORK/BENCH_tenant-fairness.json"
 
 echo "== -diff: a run diffed against itself is never a regression =="
 "$SMOKE_BIN/dlhub-bench" -diff BENCH_saturation.json BENCH_saturation.json
