@@ -16,9 +16,15 @@
 // A -snapshot directory upgrades in place to a -data-dir: the WAL's
 // checkpoint file is the same repository.gob.
 //
+// Authentication is off by default (open mode; the X-DLHub-Tenant
+// header may tag tenancy for development). -auth makes bearer tokens
+// mandatory: accounts register and log in at /api/v2/auth/*, tenancy
+// follows the token's identity, and the header shim is rejected. See
+// docs/SECURITY.md and docs/OPERATIONS.md.
+//
 // Example:
 //
-//	dlhub-server -http :8080 -queue :7000 -data-dir /var/lib/dlhub
+//	dlhub-server -http :8080 -queue :7000 -data-dir /var/lib/dlhub -auth
 package main
 
 import (
@@ -33,9 +39,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/core"
 	"repro/internal/queue"
 	"repro/internal/store"
+)
+
+// The server's own resource-server identity and the scope its tokens
+// carry — what DLHub registers with Globus Auth ("associated scope for
+// programmatic invocation", §IV-D).
+const (
+	authClientID = "dlhub"
+	runScope     = "dlhub:serve"
 )
 
 func main() {
@@ -58,6 +73,9 @@ func main() {
 	tmStaleAfter := flag.Duration("tm-stale-after", 15*time.Second, "drop TMs from routing when no heartbeat arrived within this window, and fail over dispatches stuck on them (default 3x the TM heartbeat interval; 0 disables liveness + failover)")
 	failoverRetries := flag.Int("failover-retries", 0, "re-dispatch budget per run after its TM misses the liveness window (default 2, negative disables; requires -tm-stale-after)")
 	disableV1 := flag.Bool("disable-v1", false, "retire the deprecated v1 API: /api/* (non-v2) routes answer 410 Gone")
+	authOn := flag.Bool("auth", false, "require bearer-token authentication: identities register/login via /api/v2/auth, tenancy follows the token, and the X-DLHub-Tenant header is rejected")
+	authProvider := flag.String("auth-provider", "local", "identity provider name register/login default to (with -auth)")
+	authTokenTTL := flag.Duration("auth-token-ttl", time.Hour, "issued token lifetime (with -auth)")
 	flag.Parse()
 
 	var wal *store.WAL
@@ -96,6 +114,21 @@ func main() {
 	}
 	if wal != nil {
 		cfg.Store = wal
+	}
+	if *authOn {
+		// The in-process authority plays Globus Auth: the server is its
+		// own registered resource server, and login tokens carry the run
+		// scope every API call is authorized against. User accounts are
+		// durable (WAL + checkpoint); tokens are not — a restart
+		// invalidates outstanding bearers and clients log in again.
+		as := auth.NewService(*authTokenTTL)
+		as.RegisterProvider(*authProvider)
+		as.RegisterClient(authClientID, "DLHub Management Service", runScope)
+		cfg.Auth = as
+		cfg.RequireAuth = true
+		cfg.RunScope = runScope
+		cfg.AuthClientID = authClientID
+		cfg.AuthProvider = *authProvider
 	}
 	ms := core.New(cfg)
 	defer ms.Close()
@@ -169,7 +202,11 @@ func main() {
 	if *disableV1 {
 		apiGen = "/api/v2 only, v1 gone"
 	}
-	fmt.Printf("dlhub-server: REST on %s (%s; health at /api/v2/healthz, /api/v2/readyz), queue on %s\n", hl.Addr(), apiGen, ql.Addr())
+	authMode := "open (no auth)"
+	if *authOn {
+		authMode = "bearer tokens required (provider " + *authProvider + ")"
+	}
+	fmt.Printf("dlhub-server: REST on %s (%s; %s; health at /api/v2/healthz, /api/v2/readyz), queue on %s\n", hl.Addr(), apiGen, authMode, ql.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -24,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"repro/dlhub"
 	"repro/internal/schema"
@@ -60,6 +61,14 @@ func main() {
 		err = cmdTM(args)
 	case "tenant":
 		err = cmdTenant(args)
+	case "register":
+		err = cmdRegister(args)
+	case "login":
+		err = cmdLogin(args)
+	case "logout":
+		err = cmdLogout(args)
+	case "whoami":
+		err = cmdWhoami(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -86,13 +95,57 @@ commands:
   status   check an asynchronous task
   autoscale  view or set a servable's replica autoscaling policy
   tm       task manager lifecycle: ls | drain | rejoin | deregister | undeploy
-  tenant   multi-tenant QoS: ls | set-quota`)
+  tenant   multi-tenant QoS: ls | set-quota
+  register create an account on a server running with -auth
+  login    obtain a bearer token and store it in ~/.dlhub/token
+  logout   revoke the stored token and forget it
+  whoami   show the identity and tenant the server resolves for the token`)
 }
 
 func client(fs *flag.FlagSet) *dlhub.Client {
 	server := fs.Lookup("server").Value.String()
 	token := os.Getenv("DLHUB_TOKEN")
+	if token == "" {
+		token = loadToken()
+	}
 	return dlhub.NewClient(server, token)
+}
+
+// tokenPath is where `dlhub login` keeps the bearer token: DLHUB_TOKEN
+// overrides it per-invocation, DLHUB_TOKEN_FILE relocates it (tests,
+// multiple accounts).
+func tokenPath() string {
+	if p := os.Getenv("DLHUB_TOKEN_FILE"); p != "" {
+		return p
+	}
+	home, err := os.UserHomeDir()
+	if err != nil {
+		return ""
+	}
+	return filepath.Join(home, ".dlhub", "token")
+}
+
+func loadToken() string {
+	p := tokenPath()
+	if p == "" {
+		return ""
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(data))
+}
+
+func saveToken(token string) error {
+	p := tokenPath()
+	if p == "" {
+		return fmt.Errorf("cannot resolve a token path (no home directory; set DLHUB_TOKEN_FILE)")
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o700); err != nil {
+		return err
+	}
+	return os.WriteFile(p, []byte(token+"\n"), 0o600)
 }
 
 func serverFlag(fs *flag.FlagSet) {
@@ -505,8 +558,20 @@ func cmdTenant(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, _ := json.MarshalIndent(tenants, "", "  ")
-		fmt.Println(string(out))
+		// DURABLE says whether the quota is WAL-backed (explicitly set on
+		// a server running with -data-dir) or evaporates on restart.
+		fmt.Printf("%-20s %-8s %-12s %-10s %-7s %s\n", "TENANT", "PRIO", "MAX-IN-FLT", "RATE/S", "WEIGHT", "DURABLE")
+		for _, t := range tenants {
+			rate := "-"
+			if t.RatePerSec > 0 {
+				rate = fmt.Sprintf("%g", t.RatePerSec)
+			}
+			mif := "-"
+			if t.MaxInFlight > 0 {
+				mif = fmt.Sprintf("%d", t.MaxInFlight)
+			}
+			fmt.Printf("%-20s %-8s %-12s %-10s %-7d %v\n", t.ID, t.Priority, mif, rate, t.Weight, t.Durable)
+		}
 		return nil
 	case "set-quota":
 		if fs.NArg() < 1 {
@@ -526,6 +591,127 @@ func cmdTenant(args []string) error {
 	default:
 		return fmt.Errorf("unknown tenant subcommand %q (want ls|set-quota)", sub)
 	}
+}
+
+// password resolves the secret for register/login: the -password flag,
+// else the DLHUB_PASSWORD environment variable (keeps secrets out of
+// shell history and `ps` output in scripts).
+func password(flagValue string) (string, error) {
+	if flagValue != "" {
+		return flagValue, nil
+	}
+	if pw := os.Getenv("DLHUB_PASSWORD"); pw != "" {
+		return pw, nil
+	}
+	return "", fmt.Errorf("no password: pass -password or set DLHUB_PASSWORD")
+}
+
+func cmdRegister(args []string) error {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	serverFlag(fs)
+	user := fs.String("user", "", "username (required)")
+	pw := fs.String("password", "", "password (or set DLHUB_PASSWORD)")
+	provider := fs.String("provider", "", "identity provider (default: the server's)")
+	name := fs.String("name", "", "full name")
+	email := fs.String("email", "", "email address")
+	tenant := fs.String("tenant", "", "bind the new identity to this tenant")
+	fs.Parse(args) //nolint:errcheck
+	if *user == "" {
+		return fmt.Errorf("usage: dlhub register -user <name> [-password ...] [-tenant ...]")
+	}
+	secret, err := password(*pw)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	identityID, err := client(fs).Register(ctx, dlhub.RegisterRequest{
+		Provider: *provider,
+		Username: *user,
+		Password: secret,
+		Name:     *name,
+		Email:    *email,
+		Tenant:   *tenant,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %s\n", identityID)
+	if *tenant != "" {
+		fmt.Printf("bound to tenant %s\n", *tenant)
+	}
+	return nil
+}
+
+func cmdLogin(args []string) error {
+	fs := flag.NewFlagSet("login", flag.ExitOnError)
+	serverFlag(fs)
+	user := fs.String("user", "", "username (required)")
+	pw := fs.String("password", "", "password (or set DLHUB_PASSWORD)")
+	provider := fs.String("provider", "", "identity provider (default: the server's)")
+	fs.Parse(args) //nolint:errcheck
+	if *user == "" {
+		return fmt.Errorf("usage: dlhub login -user <name> [-password ...]")
+	}
+	secret, err := password(*pw)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := client(fs).Login(ctx, *provider, *user, secret)
+	if err != nil {
+		return err
+	}
+	if err := saveToken(res.AccessToken); err != nil {
+		return fmt.Errorf("token obtained but not saved: %w", err)
+	}
+	fmt.Printf("logged in as %s (token in %s, expires %s)\n",
+		res.IdentityID, tokenPath(), res.ExpiresAt.Format("2006-01-02 15:04:05"))
+	if res.Tenant != "" {
+		fmt.Printf("tenant: %s\n", res.Tenant)
+	}
+	return nil
+}
+
+func cmdLogout(args []string) error {
+	fs := flag.NewFlagSet("logout", flag.ExitOnError)
+	serverFlag(fs)
+	fs.Parse(args) //nolint:errcheck
+	c := client(fs)
+	if c.Token == "" {
+		fmt.Println("no stored token")
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Best effort: the token may already be expired or the server down;
+	// forgetting the local copy is the part that must not fail silently.
+	if err := c.Revoke(ctx, ""); err != nil {
+		fmt.Fprintf(os.Stderr, "revoke failed (forgetting the token anyway): %v\n", err)
+	}
+	if p := tokenPath(); p != "" {
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	fmt.Println("logged out")
+	return nil
+}
+
+func cmdWhoami(args []string) error {
+	fs := flag.NewFlagSet("whoami", flag.ExitOnError)
+	serverFlag(fs)
+	fs.Parse(args) //nolint:errcheck
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	id, err := client(fs).Whoami(ctx)
+	if err != nil {
+		return err
+	}
+	out, _ := json.MarshalIndent(id, "", "  ")
+	fmt.Println(string(out))
+	return nil
 }
 
 func splitNonEmpty(s string) []string {

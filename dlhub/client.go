@@ -768,6 +768,78 @@ func (c *Client) SetTenantQuota(ctx context.Context, tenantID string, q TenantQu
 	return &view, nil
 }
 
+// --- authentication -----------------------------------------------------------
+
+// LoginResult is a successful login: the bearer token plus its expiry
+// and resolved identity — an alias of the server's wire type so the two
+// cannot drift.
+type LoginResult = core.LoginResult
+
+// RegisterRequest describes a new account for Register — an alias of
+// the server's wire type.
+type RegisterRequest = core.RegisterRequest
+
+// Identity is the caller's resolved view of itself, as reported by
+// Whoami.
+type Identity struct {
+	IdentityID string   `json:"identity_id"`
+	Tenant     string   `json:"tenant"`
+	Principals []string `json:"principals"`
+}
+
+// WithToken returns a shallow copy of the client that authenticates
+// with the given bearer token — the idiomatic follow-up to Login:
+//
+//	res, _ := c.Login(ctx, "", user, pass)
+//	c = c.WithToken(res.AccessToken)
+func (c *Client) WithToken(token string) *Client {
+	cc := *c
+	cc.Token = token
+	return &cc
+}
+
+// Register creates a durable account on a server running with -auth
+// (the account survives restarts; see docs/SECURITY.md) and returns
+// the identity URN.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (string, error) {
+	var resp map[string]string
+	if err := c.call(ctx, http.MethodPost, "/api/v2/auth/register", req, &resp, ""); err != nil {
+		return "", err
+	}
+	return resp["identity_id"], nil
+}
+
+// Login exchanges provider credentials for a bearer token ("" provider
+// selects the server's default). The token is NOT stored on the
+// client — chain with WithToken, or set Token yourself.
+func (c *Client) Login(ctx context.Context, provider, username, password string) (*LoginResult, error) {
+	req := core.LoginRequest{Provider: provider, Username: username, Password: password}
+	var res LoginResult
+	if err := c.call(ctx, http.MethodPost, "/api/v2/auth/login", req, &res, ""); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Revoke invalidates a token and everything derived from it. An empty
+// token revokes the client's own bearer.
+func (c *Client) Revoke(ctx context.Context, token string) error {
+	if token == "" {
+		token = c.Token
+	}
+	return c.call(ctx, http.MethodPost, "/api/v2/auth/revoke", core.RevokeRequest{Token: token}, nil, "")
+}
+
+// Whoami reports the identity and tenant the server resolves for this
+// client's token — the end-to-end check that auth is wired up.
+func (c *Client) Whoami(ctx context.Context) (*Identity, error) {
+	var id Identity
+	if err := c.call(ctx, http.MethodGet, "/api/v2/auth/whoami", nil, &id, ""); err != nil {
+		return nil, err
+	}
+	return &id, nil
+}
+
 // Healthy reports liveness of the Management Service. Probes report
 // the current state from a single request — no retries, so poll loops
 // see state changes immediately.

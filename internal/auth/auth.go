@@ -136,6 +136,11 @@ func hashPassword(pw string) string {
 	return hex.EncodeToString(sum[:])
 }
 
+// HashPassword returns the stored form of a password. It is exported so
+// the Management Service can hash at registration time and persist only
+// the hash — plaintext credentials never reach the WAL or checkpoints.
+func HashPassword(pw string) string { return hashPassword(pw) }
+
 // RegisterProvider adds an identity provider (campus, ORCID, Google...).
 func (s *Service) RegisterProvider(name string) {
 	s.mu.Lock()
@@ -163,6 +168,31 @@ func (s *Service) RegisterUser(providerName, username, password, fullName, email
 	}
 	s.identities[id.ID] = id
 	return id, nil
+}
+
+// RegisterUserHashed installs an account from its stored credential —
+// the WAL-replay and snapshot-restore path, where only the hash
+// survives. It is an idempotent upsert: re-applying a record converges,
+// and the provider is created if the replaying process never registered
+// it explicitly.
+func (s *Service) RegisterUserHashed(providerName, username, passwordHash, fullName, email string) *Identity {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.providers[providerName]
+	if !ok {
+		p = &provider{name: providerName, users: make(map[string]string)}
+		s.providers[providerName] = p
+	}
+	p.users[username] = passwordHash
+	id := &Identity{
+		ID:       URN(providerName, username),
+		Provider: providerName,
+		Username: username,
+		Name:     fullName,
+		Email:    email,
+	}
+	s.identities[id.ID] = id
+	return id
 }
 
 // RegisterClient registers a resource server and the scopes it defines.

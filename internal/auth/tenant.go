@@ -56,6 +56,11 @@ func ValidPriority(class string) bool {
 // Quota bounds one tenant's use of the serving path. Zero values mean
 // unlimited; a tenant with the zero Quota is admitted exactly like the
 // pre-tenancy path.
+//
+// Quotas are durable policy, not runtime state: the Management Service
+// logs every SetQuota (and identity binding) to its WAL and folds the
+// registry into checkpoints, so a -data-dir server restarts with the
+// same quotas it crashed with (internal/core/durable.go).
 type Quota struct {
 	// MaxInFlight caps the tenant's concurrent reserved runs across
 	// all servables (0 = unlimited). Exceeding it is a quota_exceeded
@@ -74,6 +79,10 @@ type Tenant struct {
 	ID    string
 	Name  string
 	Quota Quota
+	// HasQuota distinguishes a tenant whose quota was explicitly set
+	// (SetQuota — an operator decision worth persisting) from a record
+	// auto-created by Bind that merely inherits the open default.
+	HasQuota bool
 }
 
 // TenantRegistry maps identities to tenants and holds each tenant's
@@ -104,8 +113,35 @@ func (r *TenantRegistry) SetQuota(id string, q Quota) Tenant {
 		t = Tenant{ID: id, Name: id}
 	}
 	t.Quota = q
+	t.HasQuota = true
 	r.tenants[id] = t
 	return t
+}
+
+// Install upserts a tenant record verbatim — the snapshot-restore and
+// WAL-replay primitive. Unlike SetQuota it preserves the record's
+// HasQuota flag as logged.
+func (r *TenantRegistry) Install(t Tenant) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tenants[t.ID] = t
+}
+
+// Snapshot copies the registry for serialization: every tenant record
+// (sorted by ID) and every identity→tenant binding.
+func (r *TenantRegistry) Snapshot() ([]Tenant, map[string]string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ts := make([]Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	binds := make(map[string]string, len(r.byIdentity))
+	for id, tid := range r.byIdentity {
+		binds[id] = tid
+	}
+	return ts, binds
 }
 
 // Get returns the tenant record for id.

@@ -70,7 +70,7 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 		defer os.RemoveAll(dir) //nolint:errcheck
 		dataDir = dir
 	}
-	tb, err := bench.NewTestbed(bench.Options{
+	tbOpts := bench.Options{
 		Nodes:             spec.Topology.Nodes,
 		WAN:               spec.Topology.WAN,
 		ServiceCache:      spec.Service.Cache,
@@ -80,7 +80,23 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 		TMStaleAfter:      spec.Service.TMStaleAfter.D(),
 		FailoverRetries:   spec.Service.FailoverRetries,
 		DataDir:           dataDir,
-	})
+	}
+	if effective.Auth {
+		// The auth service plays Globus Auth: it lives OUTSIDE the
+		// Management Service (it is config, like the real external
+		// authority), so tokens survive a restart_ms fault while the
+		// tenant registry and user records still prove their WAL path —
+		// recovery replays them into the fresh service instance.
+		as := auth.NewService(time.Hour)
+		as.RegisterProvider("scenario")
+		as.RegisterClient("dlhub", "DLHub Management Service", "dlhub:serve")
+		tbOpts.Auth = as
+		tbOpts.RunScope = "dlhub:serve"
+		tbOpts.RequireAuth = true
+		tbOpts.AuthClientID = "dlhub"
+		tbOpts.AuthProvider = "scenario"
+	}
+	tb, err := bench.NewTestbed(tbOpts)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %s: testbed: %w", spec.Name, err)
 	}
@@ -107,6 +123,34 @@ func Run(spec *Spec, opts Options) (*bench.Report, error) {
 			Priority:    t.Priority,
 		}); err != nil {
 			return nil, fmt.Errorf("scenario %s: tenant %s: %w", spec.Name, t.ID, err)
+		}
+	}
+	// Authenticated mode: one account per tenant, registered and logged
+	// in up front; every tagged request then resolves its caller from
+	// the tenant's bearer token — the same introspection path an HTTP
+	// request takes, including post-restart resolution against the
+	// recovered registry.
+	if effective.Auth {
+		tokens := make(map[string]string, len(effective.Tenants))
+		for _, t := range effective.Tenants {
+			user := t.ID + "-user"
+			if _, err := tb.Service().RegisterUser("", user, "scenario-pw", "", "", t.ID); err != nil {
+				return nil, fmt.Errorf("scenario %s: register %s: %w", spec.Name, user, err)
+			}
+			res, err := tb.Service().Login("", user, "scenario-pw")
+			if err != nil {
+				return nil, fmt.Errorf("scenario %s: login %s: %w", spec.Name, user, err)
+			}
+			tokens[t.ID] = res.AccessToken
+		}
+		wl.caller = func(tenant string) (core.Caller, error) {
+			tok, ok := tokens[tenant]
+			if !ok {
+				// The untagged remainder stays on the internal anonymous
+				// path (direct API calls carry their Caller explicitly).
+				return callerFor(tenant), nil
+			}
+			return tb.Service().ResolveCaller("Bearer " + tok)
 		}
 	}
 	// Prime once outside the measured window (container pull, pod
@@ -622,6 +666,10 @@ type workload struct {
 	tb    *bench.Testbed
 	input func(key int) any
 	issue func(tenant string, key int, opts core.RunOptions) error
+	// caller maps a request's tenant tag to its Caller. The default is
+	// the tag-only anonymous caller; auth mode swaps in per-tenant
+	// token resolution.
+	caller func(tenant string) (core.Caller, error)
 	// steps are the servables (pipeline steps or the single servable)
 	// to re-deploy after a redeploy:true fault; step i prefers site
 	// placementSite(i).
@@ -672,6 +720,7 @@ func (w *workload) redeployTo(ctx context.Context, tmID string) error {
 // setupWorkload publishes and deploys the spec's servables.
 func setupWorkload(tb *bench.Testbed, spec *Spec) (*workload, error) {
 	w := &workload{spec: spec, tb: tb}
+	w.caller = func(tenant string) (core.Caller, error) { return callerFor(tenant), nil }
 	ctx := context.Background()
 	switch spec.Workload.Servable {
 	case "synthetic":
@@ -737,16 +786,24 @@ func setupWorkload(tb *bench.Testbed, spec *Spec) (*workload, error) {
 	switch spec.Workload.Kind {
 	case "run", "pipeline":
 		w.issue = func(tenant string, key int, opts core.RunOptions) error {
-			_, err := tb.Service().Run(ctx, callerFor(tenant), w.id, w.input(key), opts)
+			c, err := w.caller(tenant)
+			if err != nil {
+				return err
+			}
+			_, err = tb.Service().Run(ctx, c, w.id, w.input(key), opts)
 			return err
 		}
 	case "run_batch":
 		w.issue = func(tenant string, key int, opts core.RunOptions) error {
+			c, err := w.caller(tenant)
+			if err != nil {
+				return err
+			}
 			inputs := make([]any, spec.Workload.BatchSize)
 			for i := range inputs {
 				inputs[i] = fmt.Sprintf("%v-%d", w.input(key), i)
 			}
-			_, err := tb.Service().RunBatch(ctx, callerFor(tenant), w.id, inputs, opts)
+			_, err = tb.Service().RunBatch(ctx, c, w.id, inputs, opts)
 			return err
 		}
 	}

@@ -51,8 +51,14 @@ type Spec struct {
 	// uncovered remainder stays anonymous), and each tenant's quota is
 	// installed on the service before the measured window.
 	Tenants []TenantSpec `json:"tenants,omitempty"`
-	Stages  []StageSpec  `json:"stages"`
-	Faults  []FaultSpec  `json:"faults,omitempty"`
+	// Auth runs the scenario authenticated: the service requires bearer
+	// tokens, one user per tenant is registered and logged in before
+	// the measured window, and every tagged request resolves its caller
+	// from that tenant's token (untagged remainder requests stay on the
+	// internal anonymous path). Requires a tenants block.
+	Auth   bool        `json:"auth,omitempty"`
+	Stages []StageSpec `json:"stages"`
+	Faults []FaultSpec `json:"faults,omitempty"`
 	// Assertions hold machine-checked bounds on the run's totals,
 	// sorted by name for stable output.
 	Assertions []Assertion `json:"assertions,omitempty"`
@@ -399,10 +405,12 @@ func (s *Spec) Validate() error {
 	if shareSum > 1+1e-9 {
 		return fmt.Errorf("scenario %s: tenant shares sum to %g, must be <= 1", s.Name, shareSum)
 	}
-	if len(s.Tenants) > 0 && s.HasFault("restart_ms") {
-		// Quotas are runtime state, not in the durable store; a mid-run
-		// MS restart would silently drop them and unpin the assertions.
-		return fmt.Errorf("scenario %s: tenants cannot combine with a restart_ms fault (quotas do not survive the restart)", s.Name)
+	// Tenants may combine with restart_ms: quotas are WAL-logged and
+	// replayed on recovery, so the assertions stay pinned across the
+	// restart. (This combination was rejected before quotas were
+	// durable.)
+	if s.Auth && len(s.Tenants) == 0 {
+		return fmt.Errorf("scenario %s: auth requires a tenants block (the tenant users are what log in)", s.Name)
 	}
 	if len(s.Stages) == 0 {
 		return fmt.Errorf("scenario %s: at least one stage is required", s.Name)
@@ -556,6 +564,7 @@ func decodeSpec(root any) (*Spec, error) {
 		spec.Name = f.str("name", "")
 		spec.Description = f.str("description", "")
 		spec.Seed = f.i64("seed", spec.Seed)
+		spec.Auth = f.boolean("auth", false)
 		if sub, ok := f.sub("topology"); ok {
 			d.with(sub, "topology", func(f *fields) {
 				spec.Topology.TMs = f.num("tms", spec.Topology.TMs)

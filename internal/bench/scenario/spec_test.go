@@ -172,7 +172,7 @@ func TestParseErrors(t *testing.T) {
 		{"tenant-bad-priority", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    priority: urgent\n", `priority "urgent"`},
 		{"tenant-negative-inflight", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    max_in_flight: -1\n", "max_in_flight must be >= 0"},
 		{"tenant-negative-rate", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\n    rate_per_sec: -2\n", "rate_per_sec must be >= 0"},
-		{"tenant-with-restart-ms", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nfaults:\n  - at: 1s\n    kind: restart_ms\n", "quotas do not survive"},
+		{"auth-without-tenants", minimalSpec + "auth: true\n", "auth requires a tenants block"},
 		{"assertion-unknown-tenant", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nassertions:\n  max_p99_ms.b: 100\n", `unknown tenant "b"`},
 		{"assertion-not-per-tenant", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nassertions:\n  min_cache_hit_rate.a: 0.5\n", "cannot be tenant-qualified"},
 		{"assertion-qualified-unknown-base", minimalSpec + "tenants:\n  - id: a\n    share: 0.5\nassertions:\n  max_latency.a: 5\n", `unknown assertion "max_latency.a"`},
@@ -189,6 +189,32 @@ func TestParseErrors(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.want)
 			}
 		})
+	}
+}
+
+// TestParseAuthAndDurableTenants pins two contracts of the durable
+// tenant registry: auth round-trips as a spec field, and tenants may
+// now combine with a restart_ms fault (quotas are WAL-replayed, so the
+// prohibition that guarded runtime-only quotas is gone).
+func TestParseAuthAndDurableTenants(t *testing.T) {
+	yaml := minimalSpec + `auth: true
+tenants:
+  - id: a
+    share: 0.5
+    max_in_flight: 4
+faults:
+  - at: 1s
+    kind: restart_ms
+`
+	spec, err := Parse([]byte(yaml))
+	if err != nil {
+		t.Fatalf("tenants + restart_ms + auth must validate now that quotas are durable: %v", err)
+	}
+	if !spec.Auth {
+		t.Fatal("auth: true did not round-trip")
+	}
+	if !spec.HasFault("restart_ms") || len(spec.Tenants) != 1 {
+		t.Fatalf("spec lost its tenant or fault: %+v", spec)
 	}
 }
 

@@ -58,6 +58,14 @@ type Options struct {
 	Auth *auth.Service
 	// RunScope is required when Auth is set.
 	RunScope string
+	// RequireAuth makes bearer tokens mandatory (what `dlhub-server
+	// -auth` sets): an empty bearer resolves to 401, never anonymous.
+	RequireAuth bool
+	// AuthClientID names the resource-server client login issues tokens
+	// for; AuthProvider the identity provider register/login default to
+	// ("" = "local"). Only meaningful with Auth.
+	AuthClientID string
+	AuthProvider string
 	// AutoscaleInterval overrides the Management Service's autoscaler
 	// tick (0 keeps the 1s default). The autoscale ablation and tests
 	// use fast ticks so convergence fits in bench timescales.
@@ -176,6 +184,9 @@ func NewTestbed(opts Options) (*Testbed, error) {
 	cfg := core.Config{
 		Auth:              opts.Auth,
 		RunScope:          opts.RunScope,
+		RequireAuth:       opts.RequireAuth,
+		AuthClientID:      opts.AuthClientID,
+		AuthProvider:      opts.AuthProvider,
 		Registry:          registry,
 		Cache:             core.CacheConfig{Disabled: !opts.ServiceCache},
 		AutoscaleInterval: opts.AutoscaleInterval,

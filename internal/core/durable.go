@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/auth"
 	"repro/internal/schema"
 	"repro/internal/servable"
 	"repro/internal/store"
@@ -31,13 +32,21 @@ import (
 //	rejoin            recTM        — TM drain mark cleared
 //	deregister        recTM        — TM removed from the registry
 //	autoscale_policy  recPolicyPut — autoscale policy installed/updated
+//	tenant_quota      recTenantQuota — tenant quota spec set/replaced
+//	tenant_bind       recTenantBind  — identity URN bound to a tenant
+//	user              userRecord     — user registration (hash, never
+//	                                   the plaintext password)
 //
 // Deliberately NOT logged (runtime state the service re-learns or that
 // is semantically a cache): TM registrations and heartbeats (re-learned
 // when sites reconnect), drain marks asserted by heartbeats (the
 // original DrainTM was logged; a heartbeat echo is not a transition),
 // in-flight/demand counters, result-cache and idempotency entries,
-// async task table, and route metrics.
+// async task table, and route metrics. Access TOKENS are in this bucket
+// too: they are short-lived bearer secrets, so persisting them would
+// extend their blast radius past the process lifetime for no benefit —
+// after a restart clients simply log in again against the replayed user
+// records.
 //
 // Replay handlers are UPSERTS, not blind re-applications: a checkpoint
 // can run between an in-memory mutation and its append, so a tail
@@ -60,6 +69,9 @@ const (
 	recKindRejoin     = "rejoin"
 	recKindDeregister = "deregister"
 	recKindPolicy     = "autoscale_policy"
+	recKindTenant     = "tenant_quota"
+	recKindTenantBind = "tenant_bind"
+	recKindUser       = "user"
 )
 
 // recPublish logs a new servable version. Doc is a deep copy taken
@@ -96,6 +108,33 @@ type recTM struct{ TM string }
 type recPolicyPut struct {
 	ID     string
 	Policy AutoscalePolicy
+}
+
+// recTenantQuota logs a tenant quota put. Replay upserts the registry
+// record AND pushes the priority class's dequeue weight to the broker,
+// mirroring SetTenantQuota — the recovered fairness lanes must match
+// the pre-crash ones.
+type recTenantQuota struct {
+	ID    string
+	Quota auth.Quota
+}
+
+// recTenantBind logs an identity→tenant binding.
+type recTenantBind struct {
+	IdentityID string
+	TenantID   string
+}
+
+// userRecord is one durable user registration, doubling as the "user"
+// WAL payload and the snapshot entry. PasswordHash is the stored
+// credential form (auth.HashPassword) — the plaintext never leaves the
+// registration handler.
+type userRecord struct {
+	Provider     string
+	Username     string
+	PasswordHash string
+	FullName     string
+	Email        string
 }
 
 // logged appends one durable record for an already-applied in-memory
@@ -244,6 +283,28 @@ func (s *Service) applyRecord(rec store.Record) error {
 			return fmt.Errorf("core: replay policy %s: %w", p.ID, err)
 		}
 
+	case recKindTenant:
+		t, err := decodeRec[recTenantQuota](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.tenants.SetQuota(t.ID, t.Quota)
+		s.broker.SetLaneWeight(t.ID, auth.PriorityWeight(t.Quota.Priority))
+
+	case recKindTenantBind:
+		b, err := decodeRec[recTenantBind](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.tenants.Bind(b.IdentityID, b.TenantID)
+
+	case recKindUser:
+		u, err := decodeRec[userRecord](rec.Data)
+		if err != nil {
+			return err
+		}
+		s.installUser(u)
+
 	default:
 		// Forward compatibility: a newer build's record kind is skipped
 		// with a warning rather than failing the whole boot.
@@ -290,7 +351,8 @@ func (s *Service) WALStats() *store.Stats {
 }
 
 // StateFingerprint renders the durable repository state — servables,
-// placements, replicas, drain marks, autoscale policies — as a sorted,
+// placements, replicas, drain marks, autoscale policies, tenants,
+// identity bindings, and user registrations — as a sorted,
 // line-oriented string. Two services with equal fingerprints hold the
 // same durable state; the bench testbed compares fingerprints across a
 // kill-and-recover cycle, and a mismatch diff names the first divergent
@@ -319,6 +381,17 @@ func (s *Service) StateFingerprint() string {
 	}
 	for _, id := range sortedKeys(snap.Policies) {
 		fmt.Fprintf(&b, "policy %s %+v\n", id, snap.Policies[id])
+	}
+	for _, t := range snap.Tenants {
+		fmt.Fprintf(&b, "tenant %s prio=%s mif=%d rate=%g quota=%t\n",
+			t.ID, t.Quota.Priority, t.Quota.MaxInFlight, t.Quota.RatePerSec, t.HasQuota)
+	}
+	for _, id := range sortedKeys(snap.Bindings) {
+		fmt.Fprintf(&b, "binding %s -> %s\n", id, snap.Bindings[id])
+	}
+	for _, key := range sortedKeys(snap.Users) {
+		u := snap.Users[key]
+		fmt.Fprintf(&b, "user %s hash=%s\n", key, u.PasswordHash)
 	}
 	return b.String()
 }

@@ -61,8 +61,15 @@ func (s *Service) Handler() http.Handler {
 }
 
 // caller resolves the request identity, writing the error response on
-// failure.
+// failure. The X-DLHub-Tenant rejection matches callerV2: with auth
+// enabled, tenancy comes from token introspection only — the v1 shims
+// must not be a side door around it.
 func (s *Service) caller(w http.ResponseWriter, r *http.Request) (Caller, bool) {
+	if s.cfg.Auth != nil && r.Header.Get(TenantHeader) != "" {
+		rpc.WriteError(w, http.StatusUnauthorized,
+			"%s is not accepted when authentication is enabled; tenancy follows the token identity", TenantHeader)
+		return Caller{}, false
+	}
 	c, err := s.ResolveCaller(r.Header.Get("Authorization"))
 	if err != nil {
 		rpc.WriteError(w, http.StatusUnauthorized, "%v", err)

@@ -69,11 +69,15 @@ func (s *Service) routesV2(mux *http.ServeMux) {
 	mux.HandleFunc("GET /api/v2/stats", s.handleV2Stats)
 	mux.HandleFunc("GET /api/v2/tenants", s.handleV2Tenants)
 	mux.HandleFunc("PUT /api/v2/tenants/{tenant}/quota", s.handleV2TenantQuota)
+	s.routesV2Auth(mux)
 }
 
 // TenantHeader lets callers tag requests with a tenant when the server
 // runs without an auth service (development, benchmarks). With auth
-// enabled the header is ignored — tenancy follows the token's identity.
+// enabled, tenancy follows the token's identity and a request carrying
+// this header is rejected 401 outright — accepting (or silently
+// ignoring) a caller-asserted tenant would make quota accounting
+// spoofable, the hole this release closes.
 const TenantHeader = "X-DLHub-Tenant"
 
 // writeV2 writes a success envelope.
@@ -94,9 +98,17 @@ func writeV2Error(w http.ResponseWriter, r *http.Request, err error) {
 
 // callerV2 resolves the request identity, writing the enveloped 401 on
 // failure. Without an auth service, the X-DLHub-Tenant header may tag
-// the caller's tenant directly; with auth, tenancy is derived from the
-// token's identity and the header is ignored.
+// the caller's tenant directly; with auth, tenancy is derived
+// exclusively from the token's identity and a request that carries the
+// header at all is rejected — see TenantHeader.
 func (s *Service) callerV2(w http.ResponseWriter, r *http.Request) (Caller, bool) {
+	if s.cfg.Auth != nil {
+		if r.Header.Get(TenantHeader) != "" {
+			writeV2Error(w, r, ErrUnauthorized.WithDetail(
+				TenantHeader+" is not accepted when authentication is enabled; tenancy follows the token identity"))
+			return Caller{}, false
+		}
+	}
 	c, err := s.ResolveCaller(r.Header.Get("Authorization"))
 	if err != nil {
 		writeV2Error(w, r, ErrUnauthorized.WithDetail(err.Error()))

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/auth"
 	"repro/internal/schema"
 	"repro/internal/search"
 	"repro/internal/servable"
@@ -42,6 +43,14 @@ type snapshot struct {
 	Draining []string
 	// Policies are the installed autoscale policies.
 	Policies map[string]AutoscalePolicy
+	// Tenants and Bindings persist the tenant registry — quota specs
+	// and identity→tenant mappings — so fairness policy survives a
+	// restart; Users persists registered accounts (credential hashes
+	// only) so operators and clients can log back in after recovery.
+	// All three decode as nil from pre-tenancy snapshots.
+	Tenants  []auth.Tenant
+	Bindings map[string]string
+	Users    map[string]userRecord
 }
 
 // captureSnapshot deep-copies repository state for serialization.
@@ -50,7 +59,10 @@ type snapshot struct {
 // would race UpdateMetadata mutating them concurrently. Autoscale
 // policies are collected FIRST, outside s.mu — the scaler's status path
 // acquires its own lock before s.mu, so nesting s.mu → scaler.mu here
-// would invert that order.
+// would invert that order. The tenant registry and user table are
+// collected outside s.mu too (each has its own lock and no s.mu
+// nesting), with the same mutation-then-append guarantee as drain
+// marks: a quota the snapshot misses still has its record in the tail.
 //
 // The routing slice (placements/replicas/draining) is captured while
 // s.mu is still held for reading: every durable routing mutation
@@ -63,6 +75,8 @@ type snapshot struct {
 // replayed from the tail.
 func (s *Service) captureSnapshot() snapshot {
 	policies := s.scaler.policies()
+	tenants, bindings := s.tenants.Snapshot()
+	users := s.snapshotUsers()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	snap := snapshot{
@@ -70,6 +84,9 @@ func (s *Service) captureSnapshot() snapshot {
 		Versions:   make(map[string][]*schema.Document, len(s.versions)),
 		Components: make(map[string]map[string][]byte, len(s.packages)),
 		Policies:   policies,
+		Tenants:    tenants,
+		Bindings:   bindings,
+		Users:      users,
 	}
 	for id, doc := range s.docs {
 		snap.Docs[id] = doc.Clone()
@@ -193,6 +210,20 @@ func (s *Service) restoreSnapshot(r io.Reader) error {
 			// against a hand-edited snapshot without aborting the boot.
 			return fmt.Errorf("core: snapshot policy %s: %w", id, err)
 		}
+	}
+	// Tenancy & identity: tenants install before bindings (Bind would
+	// otherwise auto-create a record and lose the HasQuota flag), and
+	// every restored quota re-pushes its broker lane weight exactly as
+	// SetTenantQuota did originally.
+	for _, t := range snap.Tenants {
+		s.tenants.Install(t)
+		s.broker.SetLaneWeight(t.ID, auth.PriorityWeight(t.Quota.Priority))
+	}
+	for id, tid := range snap.Bindings {
+		s.tenants.Bind(id, tid)
+	}
+	for _, u := range snap.Users {
+		s.installUser(u)
 	}
 	return nil
 }

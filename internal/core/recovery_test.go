@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/auth"
 	"repro/internal/bench"
 	"repro/internal/container"
 	"repro/internal/core"
@@ -58,8 +59,9 @@ func TestRecoveryRandomInterleaving(t *testing.T) {
 			ms, _ := openRecovered(t, dir, 5)
 
 			var known []string
+			priorities := []string{"high", "normal", "low"}
 			mutate := func() {
-				switch rng.Intn(6) {
+				switch rng.Intn(8) {
 				case 0:
 					id, err := ms.Publish(context.Background(), core.Anonymous, servable.NoopPackage())
 					if err != nil {
@@ -111,6 +113,21 @@ func TestRecoveryRandomInterleaving(t *testing.T) {
 					if err := ms.Checkpoint(); err != nil {
 						t.Fatal(err)
 					}
+				case 6:
+					// Tenant quotas are durable records too; re-setting an
+					// existing tenant's quota exercises the upsert replay.
+					tid := "tenant-" + strconv.Itoa(rng.Intn(4))
+					q := auth.Quota{
+						MaxInFlight: rng.Intn(8),
+						RatePerSec:  float64(rng.Intn(50)),
+						Priority:    priorities[rng.Intn(len(priorities))],
+					}
+					if _, err := ms.SetTenantQuota(tid, q); err != nil {
+						t.Fatal(err)
+					}
+				case 7:
+					ms.BindTenant("urn:identity:test:user-"+strconv.Itoa(rng.Intn(6)),
+						"tenant-"+strconv.Itoa(rng.Intn(4)))
 				}
 			}
 
@@ -192,6 +209,140 @@ func TestRecoveryTornTail(t *testing.T) {
 	}
 	if got := ms2.StateFingerprint(); got != want {
 		t.Fatalf("torn-tail recovery: want the state before the torn record\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestRecoveryTornTenantRecord tears the WAL mid-way through a tenant
+// quota record: recovery must drop exactly that quota update — the
+// tenant keeps its previous quota — and tolerate the truncation.
+func TestRecoveryTornTenantRecord(t *testing.T) {
+	dir := t.TempDir()
+	ms, _ := openRecovered(t, dir, 0)
+
+	if _, err := ms.SetTenantQuota("acme", auth.Quota{MaxInFlight: 2, RatePerSec: 5, Priority: "high"}); err != nil {
+		t.Fatal(err)
+	}
+	ms.BindTenant("urn:identity:test:alice", "acme")
+	want := ms.StateFingerprint()
+	// The mutation that will be torn.
+	if _, err := ms.SetTenantQuota("acme", auth.Quota{MaxInFlight: 99, Priority: "low"}); err != nil {
+		t.Fatal(err)
+	}
+	if ms.StateFingerprint() == want {
+		t.Fatal("test broken: quota update did not change the fingerprint")
+	}
+	ms.Close()
+
+	walPath := filepath.Join(dir, "wal.log")
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ms2, info := openRecovered(t, dir, 0)
+	if !info.Truncated {
+		t.Fatal("torn tail not reported as truncated")
+	}
+	if got := ms2.StateFingerprint(); got != want {
+		t.Fatalf("torn tenant record: want the pre-tear quota back\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// TestRecoveryDurableTenancy is the identity-and-tenancy durability
+// path end to end: quotas, identity bindings and user accounts set on
+// an authenticated service, killed without a shutdown checkpoint, must
+// replay byte-identically into an OPEN-mode service (its registry is
+// fresh — nothing survives except through the WAL), report the right
+// Durable flag, and — rebooted WITH auth — let the replayed account
+// simply log in again and resolve to its tenant. A checkpoint lands
+// between the two quota mutations so one arrives from the snapshot and
+// the other from the log tail.
+func TestRecoveryDurableTenancy(t *testing.T) {
+	dir := t.TempDir()
+	open := func(withAuth bool) (*core.Service, func()) {
+		w, err := store.Open(store.Options{Dir: dir, Sync: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := core.Config{Registry: container.NewRegistry(), Store: w}
+		if withAuth {
+			as := auth.NewService(time.Hour)
+			as.RegisterProvider("local")
+			as.RegisterClient("dlhub", "DLHub Management Service", "dlhub:serve")
+			cfg.Auth = as
+			cfg.RequireAuth = true
+			cfg.RunScope = "dlhub:serve"
+			cfg.AuthClientID = "dlhub"
+			cfg.AuthProvider = "local"
+		}
+		ms := core.New(cfg)
+		if _, err := ms.Recover(); err != nil {
+			t.Fatal(err)
+		}
+		return ms, func() { ms.Close(); w.Close() }
+	}
+
+	ms, done := open(true)
+	if _, err := ms.SetTenantQuota("acme", auth.Quota{MaxInFlight: 3, RatePerSec: 5, Priority: "high"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.RegisterUser("", "alice", "hunter2", "Alice", "alice@example.org", "acme"); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpoint now: acme and alice arrive from the snapshot, beta from
+	// the WAL tail behind it.
+	if err := ms.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ms.SetTenantQuota("beta", auth.Quota{RatePerSec: 1, Priority: "low"}); err != nil {
+		t.Fatal(err)
+	}
+	want := ms.StateFingerprint()
+	done() // kill -9: no shutdown checkpoint
+
+	// Recover in OPEN mode: core.New builds a fresh standalone registry,
+	// so everything below exists only if the WAL + checkpoint carried it.
+	ms2, done2 := open(false)
+	if got := ms2.StateFingerprint(); got != want {
+		t.Fatalf("open-mode recovery differs\n--- want\n%s--- got\n%s", want, got)
+	}
+	durable := map[string]bool{}
+	for _, v := range ms2.TenantList() {
+		durable[v.ID] = v.Durable
+	}
+	if !durable["acme"] || !durable["beta"] {
+		t.Fatalf("recovered quotas not marked durable: %v", durable)
+	}
+	done2()
+
+	// Recover WITH a fresh auth service: the replayed account logs in
+	// again (tokens died with the old process — by design) and the token
+	// resolves to the replayed tenant binding.
+	ms3, done3 := open(true)
+	defer done3()
+	if got := ms3.StateFingerprint(); got != want {
+		t.Fatalf("auth-mode recovery differs\n--- want\n%s--- got\n%s", want, got)
+	}
+	res, err := ms3.Login("", "alice", "hunter2")
+	if err != nil {
+		t.Fatalf("login after recovery: %v", err)
+	}
+	caller, err := ms3.ResolveCaller("Bearer " + res.AccessToken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caller.Tenant != "acme" {
+		t.Fatalf("recovered identity resolves to tenant %q, want acme", caller.Tenant)
+	}
+	// Strict mode holds after recovery: no bearer, no anonymous fallback.
+	if _, err := ms3.ResolveCaller(""); err == nil {
+		t.Fatal("RequireAuth service accepted an empty bearer after recovery")
+	}
+	if _, err := ms3.Login("", "alice", "wrong"); err == nil {
+		t.Fatal("login accepted a wrong password after recovery")
 	}
 }
 

@@ -57,8 +57,22 @@ import (
 type Config struct {
 	// Auth enables authentication; nil runs the service open (benches).
 	Auth *auth.Service
+	// RequireAuth (with Auth set) makes bearer tokens mandatory: a
+	// request with no (or an invalid) Authorization header is rejected
+	// 401 instead of falling back to the anonymous caller, and the
+	// X-DLHub-Tenant development shim is rejected outright. This is what
+	// `dlhub-server -auth` turns on; tests that want optional auth set
+	// Auth alone.
+	RequireAuth bool
 	// RunScope is the Globus Auth scope required to invoke servables.
 	RunScope string
+	// AuthClientID is the resource-server client (registered on Auth)
+	// that login tokens are issued for — the Management Service's own
+	// client identity (auth_http.go).
+	AuthClientID string
+	// AuthProvider is the identity provider register/login requests
+	// target when they name none ("" = "local").
+	AuthProvider string
 	// Registry stores built servable container images.
 	Registry *container.Registry
 	// TaskTimeout bounds synchronous task execution (default 120s).
@@ -184,6 +198,14 @@ type Service struct {
 	tcMu      sync.Mutex
 	tcounters map[string]*tenantCounters
 
+	// users is the durable identity table (auth_http.go): registrations
+	// accepted over HTTP, keyed provider/username, mirrored into
+	// cfg.Auth when authentication is on, and rebuilt from the
+	// checkpoint + WAL on recovery — so accounts survive restarts even
+	// though tokens deliberately do not.
+	userMu sync.Mutex
+	users  map[string]userRecord
+
 	// routeMu guards routeStats, the per-route HTTP counters the
 	// middleware chain maintains.
 	routeMu    sync.Mutex
@@ -250,6 +272,7 @@ func New(cfg Config) *Service {
 		timeFunc:  time.Now,
 		tbuckets:  make(map[string]*tokenBucket),
 		tcounters: make(map[string]*tenantCounters),
+		users:     make(map[string]userRecord),
 	}
 	if cfg.Auth != nil {
 		s.tenants = cfg.Auth.Tenants()
@@ -456,9 +479,18 @@ var Anonymous = Caller{
 }
 
 // ResolveCaller introspects a bearer token. With no Auth configured,
-// every caller is anonymous-with-public access.
+// every caller is anonymous-with-public access; with Auth configured
+// but not required, a missing header still resolves anonymous (the
+// optional-auth mode tests use). Under RequireAuth a missing header is
+// an authentication failure — there is no anonymous fallback.
 func (s *Service) ResolveCaller(bearer string) (Caller, error) {
-	if s.cfg.Auth == nil || bearer == "" {
+	if s.cfg.Auth == nil {
+		return Anonymous, nil
+	}
+	if bearer == "" {
+		if s.cfg.RequireAuth {
+			return Caller{}, fmt.Errorf("%w: missing bearer token", auth.ErrInvalidToken)
+		}
 		return Anonymous, nil
 	}
 	tok, err := s.cfg.Auth.Authorize(bearer, s.cfg.RunScope)

@@ -10,10 +10,12 @@ package core
 // table's (tenant × servable) reservation matrix (routing.go), and
 // dequeue fairness in the broker's weighted lanes (internal/queue).
 //
-// Quotas are runtime state, like autoscale demand and routing: they
-// are not written to the durable store, so a restarted server comes
-// back with open quotas until the operator (or scenario) re-applies
-// them.
+// Quotas are durable policy: every SetTenantQuota and BindTenant is
+// logged through the durability seam (durable.go) and the registry is
+// folded into checkpoints, so a -data-dir server restarts with the
+// quotas, priorities, and identity bindings it crashed with. Only the
+// enforcement state here — token buckets, admission counters — is
+// runtime and rebuilt from zero.
 
 import (
 	"fmt"
@@ -128,9 +130,14 @@ type TenantView struct {
 	MaxInFlight int     `json:"max_in_flight,omitempty"`
 	RatePerSec  float64 `json:"rate_per_sec,omitempty"`
 	Weight      int     `json:"weight"`
+	// Durable reports the quota is WAL-backed: explicitly set AND the
+	// server runs with a durable store, so it survives a restart. False
+	// for bind-created records inheriting the open default, and for
+	// every tenant on a store-less server.
+	Durable bool `json:"durable"`
 }
 
-func tenantView(t auth.Tenant) TenantView {
+func (s *Service) tenantView(t auth.Tenant) TenantView {
 	return TenantView{
 		ID:          t.ID,
 		Name:        t.Name,
@@ -138,12 +145,15 @@ func tenantView(t auth.Tenant) TenantView {
 		MaxInFlight: t.Quota.MaxInFlight,
 		RatePerSec:  t.Quota.RatePerSec,
 		Weight:      auth.PriorityWeight(t.Quota.Priority),
+		Durable:     t.HasQuota && s.cfg.Store != nil,
 	}
 }
 
 // SetTenantQuota installs or replaces a tenant's quota spec and pushes
 // the priority class's dequeue weight to the broker, so fairness and
-// the next admission check both see the update immediately.
+// the next admission check both see the update immediately. The put is
+// logged durably (after the in-memory mutation, without s.mu held —
+// the standard logged() discipline), so it survives a restart.
 func (s *Service) SetTenantQuota(tenantID string, q auth.Quota) (TenantView, error) {
 	if tenantID == "" || tenantID == auth.AnonymousTenantID {
 		return TenantView{}, ErrBadRequest.WithDetail("the anonymous tenant cannot carry a quota")
@@ -156,12 +166,15 @@ func (s *Service) SetTenantQuota(tenantID string, q auth.Quota) (TenantView, err
 	}
 	t := s.tenants.SetQuota(tenantID, q)
 	s.broker.SetLaneWeight(tenantID, auth.PriorityWeight(q.Priority))
-	return tenantView(t), nil
+	s.logged(recKindTenant, recTenantQuota{ID: tenantID, Quota: q})
+	return s.tenantView(t), nil
 }
 
-// BindTenant maps an identity URN onto a tenant for token resolution.
+// BindTenant maps an identity URN onto a tenant for token resolution,
+// durably.
 func (s *Service) BindTenant(identityID, tenantID string) {
 	s.tenants.Bind(identityID, tenantID)
+	s.logged(recKindTenantBind, recTenantBind{IdentityID: identityID, TenantID: tenantID})
 }
 
 // TenantList returns every registered tenant's quota spec, sorted by
@@ -170,7 +183,7 @@ func (s *Service) TenantList() []TenantView {
 	ts := s.tenants.List()
 	out := make([]TenantView, 0, len(ts))
 	for _, t := range ts {
-		out = append(out, tenantView(t))
+		out = append(out, s.tenantView(t))
 	}
 	return out
 }

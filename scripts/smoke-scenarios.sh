@@ -48,6 +48,11 @@ echo "== compressed replays (chaos + ramp + MS restart + saturation + tenants) =
 # fails unless the quiet tenant finishes with zero rejections.
 "$SMOKE_BIN/dlhub-bench" -scenario scenarios/tenant-fairness.yaml \
   -scenario-compress 3 -json "$SMOKE_WORK/BENCH_tenant-fairness.json"
+# Authenticated + durable tenancy: bearer tokens resolve each request's
+# tenant, the MS is kill -9'd mid-run, and the replayed quota must keep
+# rejecting the hog after recovery.
+"$SMOKE_BIN/dlhub-bench" -scenario scenarios/tenant-fairness-auth.yaml \
+  -scenario-compress 2 -json "$SMOKE_WORK/BENCH_tenant-fairness-auth.json"
 
 echo "== -diff: a run diffed against itself is never a regression =="
 "$SMOKE_BIN/dlhub-bench" -diff BENCH_saturation.json BENCH_saturation.json

@@ -56,7 +56,7 @@ code=$(curl -s -o /dev/null -w '%{http_code}' -X POST \
 
 echo "== tenant quota CLI + route on the v2-only server =="
 "$SMOKE_BIN/dlhub" tenant set-quota -max-in-flight 1 -rate 1 -priority low acme
-"$SMOKE_BIN/dlhub" tenant ls | grep -q '"acme"' || { echo "v2only: tenant ls missing acme"; exit 1; }
+"$SMOKE_BIN/dlhub" tenant ls | grep -Eq '^acme\s+low' || { echo "v2only: tenant ls missing acme"; exit 1; }
 # Flood past the quota from the acme tenant (auth is off, so the
 # X-DLHub-Tenant header carries the tenant tag): with max_in_flight=1
 # and rate 1/s, a burst of 8 must trip quota_exceeded at least once.
