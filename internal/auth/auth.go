@@ -29,7 +29,30 @@ var (
 	ErrInsufficientScope = errors.New("auth: insufficient scope")
 	ErrUnknownClient     = errors.New("auth: unknown client")
 	ErrUnknownGroup      = errors.New("auth: unknown group")
+	ErrInvalidName       = errors.New("auth: invalid provider or username")
 )
+
+// ValidName reports whether a provider or username is safe to embed in
+// the places identities are keyed: durable user-table keys
+// (<provider>/<username>) and identity URNs
+// (urn:identity:<provider>:<username>). Allowing '/' or ':' would let
+// two distinct registrations alias the same record, so names are
+// restricted to [A-Za-z0-9._-].
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
 
 // Identity is one identity from one provider (e.g. an ORCID, a campus
 // login, a Google account).
@@ -150,8 +173,22 @@ func (s *Service) RegisterProvider(name string) {
 	}
 }
 
+// HasProvider reports whether the named identity provider is
+// registered. The Management Service checks this on its open
+// registration route so callers cannot mint identities under provider
+// namespaces the operator never configured.
+func (s *Service) HasProvider(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.providers[name]
+	return ok
+}
+
 // RegisterUser creates an account at a provider and its identity record.
 func (s *Service) RegisterUser(providerName, username, password, fullName, email string) (*Identity, error) {
+	if !ValidName(providerName) || !ValidName(username) {
+		return nil, fmt.Errorf("%w: %s/%s", ErrInvalidName, providerName, username)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p, ok := s.providers[providerName]

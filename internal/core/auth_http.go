@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,11 +36,13 @@ func (s *Service) defaultProvider() string {
 }
 
 // installUser upserts one durable user record into the service's table
-// and mirrors it into the configured auth service. It is the shared
-// primitive of registration, WAL replay, and snapshot restore — replay
-// of a record the checkpoint already contains converges on the same
-// state. With no auth service configured the record is still kept, so
-// a later boot WITH -auth inherits the accounts.
+// and mirrors it into the configured auth service. It is the replay
+// primitive — WAL replay and snapshot restore only — where upsert
+// semantics are what make re-applying a record the checkpoint already
+// contains converge on the same state. Live registration goes through
+// installUserIfAbsent instead, which refuses to clobber. With no auth
+// service configured the record is still kept, so a later boot WITH
+// -auth inherits the accounts.
 func (s *Service) installUser(u userRecord) {
 	s.userMu.Lock()
 	s.users[u.Provider+"/"+u.Username] = u
@@ -47,6 +50,27 @@ func (s *Service) installUser(u userRecord) {
 	if s.cfg.Auth != nil {
 		s.cfg.Auth.RegisterUserHashed(u.Provider, u.Username, u.PasswordHash, u.FullName, u.Email)
 	}
+}
+
+// installUserIfAbsent is installUser for the live registration path:
+// the check-and-insert is atomic under userMu, and an existing account
+// is left untouched (returns false). Registration must never upsert —
+// the register route is open, so upserting would let any anonymous
+// caller overwrite an existing user's password and take over the
+// identity.
+func (s *Service) installUserIfAbsent(u userRecord) bool {
+	key := u.Provider + "/" + u.Username
+	s.userMu.Lock()
+	if _, exists := s.users[key]; exists {
+		s.userMu.Unlock()
+		return false
+	}
+	s.users[key] = u
+	s.userMu.Unlock()
+	if s.cfg.Auth != nil {
+		s.cfg.Auth.RegisterUserHashed(u.Provider, u.Username, u.PasswordHash, u.FullName, u.Email)
+	}
+	return true
 }
 
 // snapshotUsers copies the user table for the checkpoint codec.
@@ -63,7 +87,10 @@ func (s *Service) snapshotUsers() map[string]userRecord {
 // RegisterUser creates a durable account (and optionally binds its
 // identity to a tenant), returning the identity URN. The password is
 // hashed here; only the hash reaches the auth service, the WAL, and
-// checkpoints.
+// checkpoints. Because the route is open, registration is strictly
+// create-only (an existing account is a 409, never an overwrite) and
+// the provider must be one the server registered at startup — replay
+// alone is allowed to upsert and to resurrect providers.
 func (s *Service) RegisterUser(providerName, username, password, fullName, email, tenantID string) (string, error) {
 	if s.cfg.Auth == nil {
 		return "", ErrBadRequest.WithDetail("authentication is not enabled on this server (start it with -auth)")
@@ -73,6 +100,12 @@ func (s *Service) RegisterUser(providerName, username, password, fullName, email
 	}
 	if username == "" || password == "" {
 		return "", ErrBadRequest.WithDetail("username and password are required")
+	}
+	if !auth.ValidName(providerName) || !auth.ValidName(username) {
+		return "", ErrBadRequest.WithDetail("provider and username must match [A-Za-z0-9._-]+")
+	}
+	if !s.cfg.Auth.HasProvider(providerName) {
+		return "", ErrBadRequest.WithDetail("unknown identity provider " + strconv.Quote(providerName) + " (the server registers providers at startup; see -auth-provider)")
 	}
 	if tenantID == auth.AnonymousTenantID {
 		return "", ErrBadRequest.WithDetail("identities cannot be bound to the anonymous tenant explicitly")
@@ -84,7 +117,9 @@ func (s *Service) RegisterUser(providerName, username, password, fullName, email
 		FullName:     fullName,
 		Email:        email,
 	}
-	s.installUser(rec)
+	if !s.installUserIfAbsent(rec) {
+		return "", ErrConflict.WithDetail("account " + providerName + "/" + username + " already exists")
+	}
 	s.logged(recKindUser, rec)
 	identityID := auth.URN(providerName, username)
 	if tenantID != "" {

@@ -1,0 +1,95 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/auth"
+	"repro/internal/container"
+	"repro/internal/core"
+)
+
+// The register route is OPEN (a caller cannot hold a token before
+// obtaining one), which makes its hardening load-bearing: it must be
+// strictly create-only, confined to operator-registered providers, and
+// restricted to names that cannot alias durable keys or URNs.
+
+func newAuthService(t *testing.T) *core.Service {
+	t.Helper()
+	as := auth.NewService(time.Hour)
+	as.RegisterProvider("local")
+	as.RegisterClient("dlhub", "DLHub Management Service", "dlhub:serve")
+	ms := core.New(core.Config{
+		Registry:     container.NewRegistry(),
+		Auth:         as,
+		AuthProvider: "local",
+		AuthClientID: "dlhub",
+		RunScope:     "dlhub:serve",
+	})
+	t.Cleanup(func() { ms.Close() })
+	return ms
+}
+
+// A second registration for an existing account must be rejected, and
+// must not touch the stored credential — otherwise the open route is an
+// account-takeover primitive.
+func TestRegisterUserDuplicateRejected(t *testing.T) {
+	ms := newAuthService(t)
+	if _, err := ms.RegisterUser("", "alice", "hunter2", "Alice", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ms.RegisterUser("", "alice", "stolen", "Mallory", "", "")
+	if !errors.Is(err, core.ErrConflict) {
+		t.Fatalf("duplicate registration: err = %v, want ErrConflict", err)
+	}
+	// The original credential still works; the attacker's does not.
+	if _, err := ms.Login("", "alice", "hunter2"); err != nil {
+		t.Fatalf("original password no longer logs in: %v", err)
+	}
+	if _, err := ms.Login("", "alice", "stolen"); err == nil {
+		t.Fatal("attacker password logs in after rejected re-registration")
+	}
+}
+
+// Registration must stay inside the providers the operator registered
+// at startup; auto-creating providers is a replay-only affordance.
+func TestRegisterUserUnknownProviderRejected(t *testing.T) {
+	ms := newAuthService(t)
+	_, err := ms.RegisterUser("orcid", "alice", "pw", "", "", "")
+	if !errors.Is(err, core.ErrBadRequest) {
+		t.Fatalf("unknown provider: err = %v, want ErrBadRequest", err)
+	}
+	// And it must not have been created as a side effect.
+	if _, err := ms.Login("orcid", "alice", "pw"); err == nil {
+		t.Fatal("login succeeded against a provider registration should not have created")
+	}
+}
+
+// Names embedding the user-table key delimiter '/' or the URN delimiter
+// ':' could alias another identity's records; both are rejected.
+func TestRegisterUserDelimiterNamesRejected(t *testing.T) {
+	ms := newAuthService(t)
+	for _, username := range []string{"a/b", "a:b", "urn:identity:local:x", " "} {
+		if _, err := ms.RegisterUser("", username, "pw", "", "", ""); !errors.Is(err, core.ErrBadRequest) {
+			t.Fatalf("username %q: err = %v, want ErrBadRequest", username, err)
+		}
+	}
+}
+
+// Fingerprints show up verbatim in test-failure diffs; they must cover
+// credentials without containing the stored password hash itself.
+func TestStateFingerprintOmitsPasswordHash(t *testing.T) {
+	ms := newAuthService(t)
+	if _, err := ms.RegisterUser("", "alice", "hunter2", "Alice", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	fp := ms.StateFingerprint()
+	if !strings.Contains(fp, "user local/alice") {
+		t.Fatalf("fingerprint does not cover the registration:\n%s", fp)
+	}
+	if strings.Contains(fp, auth.HashPassword("hunter2")) {
+		t.Fatalf("fingerprint leaks the stored password hash:\n%s", fp)
+	}
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"bytes"
+	"crypto/sha256"
 	"encoding/gob"
+	"encoding/hex"
 	"fmt"
 	"log"
 	"sort"
@@ -391,9 +393,19 @@ func (s *Service) StateFingerprint() string {
 	}
 	for _, key := range sortedKeys(snap.Users) {
 		u := snap.Users[key]
-		fmt.Fprintf(&b, "user %s hash=%s\n", key, u.PasswordHash)
+		fmt.Fprintf(&b, "user %s cred=%s\n", key, credDigest(u.PasswordHash))
 	}
 	return b.String()
+}
+
+// credDigest folds a stored password hash into a short second-order
+// digest for fingerprint lines. Fingerprints end up verbatim in
+// test-failure diffs and comparison logs, so the stored hash itself
+// (offline-crackable unsalted SHA-256) must not leak into them; eight
+// hex chars of sha256(hash) still flag any credential divergence.
+func credDigest(storedHash string) string {
+	sum := sha256.Sum256([]byte(storedHash))
+	return hex.EncodeToString(sum[:4])
 }
 
 // sortedKeys returns a map's keys in sorted order, for deterministic

@@ -55,6 +55,18 @@ echo "auth: anonymous and header-spoofed requests rejected"
 echo "auth: alice registered, logged in, quota installed (durable)"
 OLD_TOKEN=$(cat "$DLHUB_TOKEN_FILE")
 
+# Registration is create-only: re-registering alice (new password) is a
+# 409 and must not overwrite her credential.
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/api/v2/auth/register" \
+  -H 'Content-Type: application/json' \
+  -d '{"username":"alice","password":"stolen"}')
+[ "$code" = "409" ] || { echo "auth: duplicate registration got $code, want 409"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/api/v2/auth/login" \
+  -H 'Content-Type: application/json' \
+  -d '{"username":"alice","password":"stolen"}')
+[ "$code" = "401" ] || { echo "auth: takeover password logs in ($code), want 401"; exit 1; }
+echo "auth: duplicate registration rejected, credential intact"
+
 # --- 3: kill -9, recover ------------------------------------------------------
 echo "auth: kill -9 server (pid $SERVER_PID)"
 kill -9 "$SERVER_PID"
